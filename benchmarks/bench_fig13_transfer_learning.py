@@ -1,0 +1,72 @@
+"""Figure 13: transfer learning / fine-tuning a pre-trained VGG16+CBAM on Imagenette."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Amalgam,
+    AmalgamConfig,
+    ClassificationTrainer,
+    apply_pretrained,
+    verify_pretrained_preserved,
+)
+from repro.data import DataLoader, make_imagenette
+from repro.models import VGG16WithCBAM, vgg16
+from repro.utils.rng import get_rng
+
+from .conftest import print_table
+
+
+def test_fig13_transfer_learning(benchmark, scale):
+    image_size = 32 if scale.name == "tiny" else 224
+    width = 0.125 if scale.name == "tiny" else 1.0
+    data = make_imagenette(train_count=max(scale.image_train // 4, 16),
+                           val_count=max(scale.image_val // 4, 8),
+                           image_size=image_size, seed=3)
+
+    # Stand-in for ImageNet pre-training: briefly train a plain VGG16 backbone.
+    backbone = vgg16(num_classes=10, in_channels=3, width_multiplier=width,
+                     rng=np.random.default_rng(1))
+    ClassificationTrainer(backbone, lr=0.05).fit(
+        DataLoader(data.train, scale.batch_size, shuffle=True, rng=get_rng(0)), epochs=1)
+    pretrained_state = {f"backbone.{k}": v for k, v in backbone.state_dict().items()}
+
+    rows = []
+    for amount in scale.amounts:
+        config = AmalgamConfig(augmentation_amount=amount, num_subnetworks=2, seed=7)
+        amalgam = Amalgam(config)
+        model = VGG16WithCBAM(num_classes=10, in_channels=3, width_multiplier=width,
+                              rng=np.random.default_rng(2))
+        loaded = apply_pretrained(model, pretrained_state)
+        job = amalgam.prepare_image_job(model, data)
+        check = verify_pretrained_preserved(job.augmented_model, pretrained_state,
+                                            parameter_names=loaded)
+        trained = amalgam.train_job(job, epochs=scale.epochs, lr=0.02,
+                                    batch_size=scale.batch_size)
+
+        extraction = amalgam.extract(
+            trained, lambda: VGG16WithCBAM(num_classes=10, in_channels=3,
+                                           width_multiplier=width,
+                                           rng=np.random.default_rng(0)))
+        _, extracted_accuracy = ClassificationTrainer(extraction.model, lr=0.01).evaluate(
+            DataLoader(data.validation, scale.batch_size))
+        rows.append([f"{amount:.0%}", "intact" if check.intact else "MODIFIED",
+                     f"{trained.training.history.last('train_accuracy'):.3f}",
+                     f"{trained.training.history.last('val_accuracy'):.3f}",
+                     f"{extracted_accuracy:.3f}",
+                     f"{trained.training.average_epoch_time:.2f}s"])
+        assert check.intact  # pre-trained weights must survive augmentation untouched
+
+    print_table("Figure 13: transfer learning (VGG16+CBAM / Imagenette)",
+                ["amount", "pretrained weights", "train acc", "val acc (aug)",
+                 "val acc (extracted)", "epoch time"], rows)
+
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=7)
+    amalgam = Amalgam(config)
+    model = VGG16WithCBAM(num_classes=10, in_channels=3, width_multiplier=width,
+                          rng=np.random.default_rng(2))
+    apply_pretrained(model, pretrained_state)
+    job = amalgam.prepare_image_job(model, data)
+    benchmark.pedantic(lambda: amalgam.train_job(job, epochs=1, lr=0.02,
+                                                 batch_size=scale.batch_size),
+                       rounds=1, iterations=1)

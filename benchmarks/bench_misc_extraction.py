@@ -1,0 +1,66 @@
+"""Section 5.4 miscellaneous results: extraction time and de-obfuscated inference time.
+
+The paper reports that (a) model extraction takes a few milliseconds and is
+independent of the augmentation amount, and (b) the de-obfuscated model's
+inference time equals the original model's because they have identical
+parameters.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Amalgam, AmalgamConfig
+from repro.data import make_mnist
+from repro.models import LeNet
+from repro.nn import Tensor
+
+from .conftest import print_table
+
+
+def _inference_time(model, batch, repeats: int = 5) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        model(batch)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_extraction_and_inference_time(benchmark, scale):
+    data = make_mnist(train_count=32, val_count=16, seed=1)
+    batch = Tensor(data.validation.samples[:16].astype(float))
+    original = LeNet(10, 1, 28, rng=np.random.default_rng(0))
+    original_inference = _inference_time(original, batch)
+
+    rows = []
+    extraction_times = {}
+    for amount in (0.25, 0.5, 1.0):
+        config = AmalgamConfig(augmentation_amount=amount, num_subnetworks=2, seed=2)
+        amalgam = Amalgam(config)
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(0))
+        job = amalgam.prepare_image_job(model, data)
+        extraction = amalgam.extract(job, lambda: LeNet(10, 1, 28))
+        extraction_times[amount] = extraction.elapsed
+        extracted_inference = _inference_time(extraction.model, batch)
+        rows.append([f"{amount:.0%}", f"{extraction.elapsed * 1e3:.2f} ms",
+                     f"{extraction.copied_parameters:,}",
+                     f"{extracted_inference * 1e3:.2f} ms",
+                     f"{original_inference * 1e3:.2f} ms"])
+
+    print_table("Section 5.4: extraction time and de-obfuscated inference time",
+                ["amount", "extraction time", "parameters copied",
+                 "extracted inference", "original inference"], rows)
+
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=2)
+    amalgam = Amalgam(config)
+    job = amalgam.prepare_image_job(LeNet(10, 1, 28, rng=np.random.default_rng(0)), data)
+    benchmark.pedantic(lambda: amalgam.extract(job, lambda: LeNet(10, 1, 28)),
+                       rounds=3, iterations=1)
+
+    # Extraction stays in the milliseconds range and does not explode with the amount.
+    assert all(elapsed < 1.0 for elapsed in extraction_times.values())
+    assert extraction_times[1.0] < extraction_times[0.25] * 25 + 1e-3
+    # The de-obfuscated model has exactly the original parameter count, so its
+    # inference cost is the original's (within measurement noise).
+    extracted = amalgam.extract(job, lambda: LeNet(10, 1, 28)).model
+    assert extracted.num_parameters() == original.num_parameters()

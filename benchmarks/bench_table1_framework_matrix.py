@@ -1,0 +1,17 @@
+"""Table 1: qualitative comparison of privacy-preserving training frameworks."""
+
+from repro.baselines import FRAMEWORK_PROPERTIES, framework_table
+
+from .conftest import print_table
+
+
+def test_table1_framework_matrix(benchmark):
+    table = benchmark(framework_table)
+    rows = [[row.name, row.usability, row.overhead,
+             "Yes" if row.accuracy_loss else "No",
+             "Yes" if row.gpu_acceleration else "No", row.compatibility]
+            for row in FRAMEWORK_PROPERTIES]
+    print_table("Table 1: privacy-preserving framework properties",
+                ["technique", "usability", "overhead", "accuracy loss", "GPU", "compatibility"],
+                rows)
+    assert table["Amalgam"].overhead == "Low"

@@ -1,0 +1,95 @@
+"""Table 2: dataset augmentation time, resolution, size and search space.
+
+Reproduces every row group of Table 2 (MNIST, CIFAR10, CIFAR100, Imagenette,
+WikiText2, AGNews) at the configured scale.  The search-space column is exact
+(it depends only on the geometry, not the sample count); augmentation time and
+dataset size scale with the synthetic sample counts.
+"""
+
+import pytest
+
+from repro.core import AmalgamConfig, DatasetAugmenter, brute_force_attempts
+from repro.data import make_agnews, make_image_dataset, make_wikitext2
+
+from .conftest import print_table
+
+IMAGE_DATASETS = ("mnist", "cifar10", "cifar100", "imagenette")
+
+
+@pytest.mark.parametrize("dataset_name", IMAGE_DATASETS)
+def test_table2_image_datasets(benchmark, scale, dataset_name):
+    image_size = 64 if (dataset_name == "imagenette" and scale.name == "tiny") else None
+    data = make_image_dataset(dataset_name, train_count=scale.image_train // 2,
+                              val_count=scale.image_val // 2, image_size=image_size, seed=1)
+
+    rows = []
+    results = {}
+    for amount in scale.amounts:
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=amount, seed=2))
+        result = augmenter.augment_images(data.train)
+        results[amount] = result
+        rows.append([f"{amount:.0%}",
+                     f"{result.augmentation_time:.3f}s",
+                     f"{result.dataset.info.shape[1]}x{result.dataset.info.shape[2]}",
+                     f"{result.dataset.nbytes() / 1e6:.1f} MB",
+                     str(result.search_space),
+                     str(brute_force_attempts(result.search_space))])
+
+    original = data.train
+    rows.insert(0, ["0% (original)", "-", f"{original.info.shape[1]}x{original.info.shape[2]}",
+                    f"{original.nbytes() / 1e6:.1f} MB", "-", "-"])
+    print_table(f"Table 2 ({dataset_name}): dataset augmentation",
+                ["amount", "time", "resolution", "size", "search space", "brute-force guesses"],
+                rows)
+
+    # Benchmark the 50% augmentation as the representative timed kernel.
+    augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=3))
+    benchmark.pedantic(lambda: augmenter.augment_images(data.train), rounds=1, iterations=1)
+
+    # Shape assertions mirroring the paper: monotone growth in size and search space.
+    sizes = [results[a].dataset.nbytes() for a in scale.amounts]
+    spaces = [results[a].search_space.log10 for a in scale.amounts]
+    assert sizes == sorted(sizes)
+    assert spaces == sorted(spaces)
+
+
+def test_table2_wikitext2(benchmark, scale):
+    train, _, _ = make_wikitext2(train_tokens=scale.lm_tokens, val_tokens=scale.lm_tokens // 5,
+                                 vocab_size=600 if scale.name == "tiny" else 28_782, seed=4)
+    rows = []
+    for amount in scale.amounts:
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=amount, seed=5))
+        result = augmenter.augment_sequence(train, batch_rows=8, seq_len=20)
+        rows.append([f"{amount:.0%}", f"{result.augmentation_time:.3f}s",
+                     f"{result.batches.nbytes / 1e6:.1f} MB", str(result.search_space)])
+    print_table("Table 2 (WikiText2): text augmentation",
+                ["amount", "time", "size", "search space"], rows)
+
+    augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=5))
+    benchmark.pedantic(lambda: augmenter.augment_sequence(train, batch_rows=8, seq_len=20),
+                       rounds=1, iterations=1)
+    # Paper values: 25% -> 53130, 50% -> 3.01e7, 75% -> 3.24e9, 100% -> 1.37e11.
+    first = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.25, seed=5)) \
+        .augment_sequence(train, batch_rows=8, seq_len=20)
+    assert 10 ** first.search_space.log10 == pytest.approx(53_130, rel=1e-6)
+
+
+def test_table2_agnews(benchmark, scale):
+    data, _ = make_agnews(train_samples=scale.text_samples, val_samples=scale.text_samples // 4,
+                          vocab_size=600 if scale.name == "tiny" else 95_812,
+                          sequence_length=32, seed=6)
+    rows = []
+    for amount in scale.amounts:
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=amount, seed=7))
+        result = augmenter.augment_token_dataset(data.train)
+        rows.append([f"{amount:.0%}", f"{result.augmentation_time:.3f}s",
+                     f"{result.dataset.samples.nbytes / 1e6:.2f} MB", str(result.search_space)])
+    print_table("Table 2 (AGNews): text augmentation",
+                ["amount", "time", "size", "search space"], rows)
+
+    augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=7))
+    benchmark.pedantic(lambda: augmenter.augment_token_dataset(data.train),
+                       rounds=1, iterations=1)
+    spaces = [DatasetAugmenter(AmalgamConfig(augmentation_amount=a, seed=7))
+              .augment_token_dataset(data.train).search_space.log10 for a in scale.amounts]
+    assert spaces == sorted(spaces)

@@ -1,0 +1,69 @@
+"""Table 3: computer-vision model parameters and training time vs augmentation amount.
+
+For every (model, dataset, amount) combination the harness builds the
+augmented model, counts its parameters, and trains for one epoch on the
+augmented dataset, reporting parameter counts and average epoch times exactly
+like the two halves of Table 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Amalgam, AmalgamConfig
+from repro.data import make_image_dataset
+from repro.models import create_model
+
+from .conftest import print_table
+
+MODELS = ("resnet18", "vgg16", "densenet121", "mobilenetv2")
+DATASETS = ("mnist", "cifar10")
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_table3_parameters_and_training_time(benchmark, scale, model_name, dataset_name):
+    data = make_image_dataset(dataset_name, train_count=scale.image_train // 2,
+                              val_count=scale.image_val // 2, seed=1)
+    in_channels = data.info.shape[0]
+
+    rows = []
+    original = create_model(model_name, num_classes=data.info.num_classes,
+                            in_channels=in_channels, scale=scale.model_scale,
+                            rng=np.random.default_rng(0))
+    rows.append(["0% (original)", f"{original.num_parameters():,}", "-"])
+
+    parameter_counts = []
+    epoch_times = []
+    for amount in scale.amounts:
+        config = AmalgamConfig(augmentation_amount=amount, num_subnetworks=2, seed=3)
+        amalgam = Amalgam(config)
+        model = create_model(model_name, num_classes=data.info.num_classes,
+                             in_channels=in_channels, scale=scale.model_scale,
+                             rng=np.random.default_rng(0))
+        job = amalgam.prepare_image_job(model, data)
+        trained = amalgam.train_job(job, epochs=scale.epochs, lr=0.05,
+                                    batch_size=scale.batch_size)
+        parameter_counts.append(job.augmentation.augmented_parameters)
+        epoch_times.append(trained.training.average_epoch_time)
+        rows.append([f"{amount:.0%}", f"{job.augmentation.augmented_parameters:,}",
+                     f"{trained.training.average_epoch_time:.2f}s"])
+
+    print_table(f"Table 3: {model_name} / {dataset_name}",
+                ["amount", "parameters", "epoch time"], rows)
+
+    # Timed kernel: one augmented epoch at 50%.
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=3)
+    amalgam = Amalgam(config)
+    model = create_model(model_name, num_classes=data.info.num_classes,
+                         in_channels=in_channels, scale=scale.model_scale,
+                         rng=np.random.default_rng(0))
+    job = amalgam.prepare_image_job(model, data)
+    benchmark.pedantic(lambda: amalgam.train_job(job, epochs=1, lr=0.05,
+                                                 batch_size=scale.batch_size),
+                       rounds=1, iterations=1)
+
+    # Shape assertions from the paper: parameters grow ~(1 + amount) monotonically.
+    assert parameter_counts == sorted(parameter_counts)
+    expected = [original.num_parameters() * (1 + a) for a in scale.amounts]
+    for measured, target in zip(parameter_counts, expected):
+        assert measured == pytest.approx(target, rel=0.1)

@@ -1,0 +1,77 @@
+"""Table 4: NLP model parameters and training time vs augmentation amount."""
+
+import numpy as np
+import pytest
+
+from repro.core import Amalgam, AmalgamConfig
+from repro.data import make_agnews, make_wikitext2
+from repro.models import TextClassifier, TransformerLM
+
+from .conftest import print_table
+
+
+def test_table4_transformer_wikitext2(benchmark, scale):
+    vocab_size = 300 if scale.name == "tiny" else 28_782
+    train, _, vocab = make_wikitext2(train_tokens=scale.lm_tokens,
+                                     val_tokens=scale.lm_tokens // 5,
+                                     vocab_size=vocab_size, seed=1)
+    original = TransformerLM(len(vocab), embed_dim=64, num_heads=4, num_layers=2,
+                             feedforward_dim=128, dropout=0.0, rng=np.random.default_rng(0))
+    rows = [["0% (original)", f"{original.num_parameters():,}", "-"]]
+    parameter_counts = []
+    for amount in scale.amounts:
+        config = AmalgamConfig(augmentation_amount=amount, num_subnetworks=2, seed=2)
+        amalgam = Amalgam(config)
+        model = TransformerLM(len(vocab), embed_dim=64, num_heads=4, num_layers=2,
+                              feedforward_dim=128, dropout=0.0, rng=np.random.default_rng(0))
+        job = amalgam.prepare_lm_job(model, train, batch_rows=8, seq_len=20)
+        trained = amalgam.train_job(job, epochs=scale.epochs, lr=1e-3, optimizer="adam")
+        parameter_counts.append(job.augmentation.augmented_parameters)
+        rows.append([f"{amount:.0%}", f"{job.augmentation.augmented_parameters:,}",
+                     f"{trained.training.average_epoch_time:.2f}s"])
+    print_table("Table 4: transformer / WikiText2", ["amount", "parameters", "epoch time"], rows)
+
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=2)
+    amalgam = Amalgam(config)
+    model = TransformerLM(len(vocab), embed_dim=64, num_heads=4, num_layers=2,
+                          feedforward_dim=128, dropout=0.0, rng=np.random.default_rng(0))
+    job = amalgam.prepare_lm_job(model, train, batch_rows=8, seq_len=20)
+    benchmark.pedantic(lambda: amalgam.train_job(job, epochs=1, lr=1e-3, optimizer="adam"),
+                       rounds=1, iterations=1)
+    assert parameter_counts == sorted(parameter_counts)
+
+
+def test_table4_text_classifier_agnews(benchmark, scale):
+    vocab_size = 600 if scale.name == "tiny" else 95_812
+    data, vocab = make_agnews(train_samples=scale.text_samples,
+                              val_samples=scale.text_samples // 4,
+                              vocab_size=vocab_size, seed=3)
+    original = TextClassifier(len(vocab), embed_dim=64, num_classes=4,
+                              rng=np.random.default_rng(0))
+    rows = [["0% (original)", f"{original.num_parameters():,}", "-"]]
+    parameter_counts = []
+    for amount in scale.amounts:
+        config = AmalgamConfig(augmentation_amount=amount, num_subnetworks=2, seed=4)
+        amalgam = Amalgam(config)
+        model = TextClassifier(len(vocab), embed_dim=64, num_classes=4,
+                               rng=np.random.default_rng(0))
+        job = amalgam.prepare_text_job(model, data, vocab_size=len(vocab))
+        trained = amalgam.train_job(job, epochs=scale.epochs, lr=0.2,
+                                    batch_size=scale.batch_size)
+        parameter_counts.append(job.augmentation.augmented_parameters)
+        rows.append([f"{amount:.0%}", f"{job.augmentation.augmented_parameters:,}",
+                     f"{trained.training.average_epoch_time:.2f}s"])
+    print_table("Table 4: text classifier / AGNews", ["amount", "parameters", "epoch time"], rows)
+
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=4)
+    amalgam = Amalgam(config)
+    model = TextClassifier(len(vocab), embed_dim=64, num_classes=4,
+                           rng=np.random.default_rng(0))
+    job = amalgam.prepare_text_job(model, data, vocab_size=len(vocab))
+    benchmark.pedantic(lambda: amalgam.train_job(job, epochs=1, lr=0.2,
+                                                 batch_size=scale.batch_size),
+                       rounds=1, iterations=1)
+    assert parameter_counts == sorted(parameter_counts)
+    expected = [original.num_parameters() * (1 + a) for a in scale.amounts]
+    for measured, target in zip(parameter_counts, expected):
+        assert measured == pytest.approx(target, rel=0.15)

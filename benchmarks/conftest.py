@@ -1,0 +1,59 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the reproduced rows/series.  The workload size is controlled by the
+``REPRO_SCALE`` environment variable:
+
+* ``tiny`` (default) — minutes on a laptop CPU: small synthetic datasets,
+  width-reduced models, one epoch.  The *shape* of every result (who wins, how
+  quantities scale with the augmentation amount) is preserved.
+* ``paper`` — the full dataset sizes and model widths reported in the paper.
+  Only practical on a large machine; expect hours.
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` for the heavyweight
+training workloads so the harness measures one representative run instead of
+re-training dozens of times.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    image_train: int
+    image_val: int
+    epochs: int
+    batch_size: int
+    model_scale: str
+    lm_tokens: int
+    text_samples: int
+    amounts: tuple
+
+
+TINY = BenchScale(name="tiny", image_train=96, image_val=32, epochs=1, batch_size=32,
+                  model_scale="tiny", lm_tokens=6_000, text_samples=192,
+                  amounts=(0.25, 0.5, 0.75, 1.0))
+PAPER = BenchScale(name="paper", image_train=50_000, image_val=10_000, epochs=10,
+                   batch_size=128, model_scale="paper", lm_tokens=2_000_000,
+                   text_samples=120_000, amounts=(0.25, 0.5, 0.75, 1.0))
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return PAPER if os.environ.get("REPRO_SCALE", "tiny") == "paper" else TINY
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a reproduced table in a compact fixed-width format."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(header))]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

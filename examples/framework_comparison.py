@@ -1,0 +1,45 @@
+"""Framework comparison: Amalgam vs other privacy-preserving training approaches.
+
+Reproduces Table 1 (qualitative property matrix) and Figure 14 (LeNet/MNIST
+training-time comparison) at example scale.  Frameworks that cannot run
+offline (real multi-party CrypTen, lattice-based PyCrCNN) are represented by
+their calibrated cost models; the row's ``source`` column says which numbers
+were measured and which were modelled.
+
+Run with:  python examples/framework_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FRAMEWORK_PROPERTIES, format_comparison, run_framework_comparison
+
+
+def show_table1() -> None:
+    print("=== Table 1: properties of privacy-preserving frameworks ===")
+    header = (f"{'technique':<10} {'usability':<10} {'overhead':<10} {'acc loss':<9} "
+              f"{'GPU':<5} {'compatibility':<18}")
+    print(header)
+    print("-" * len(header))
+    for row in FRAMEWORK_PROPERTIES:
+        print(f"{row.name:<10} {row.usability:<10} {row.overhead:<10} "
+              f"{'Yes' if row.accuracy_loss else 'No':<9} "
+              f"{'Yes' if row.gpu_acceleration else 'No':<5} {row.compatibility:<18}")
+    print()
+
+
+def show_figure14() -> None:
+    print("=== Figure 14: LeNet/MNIST training-time comparison ===")
+    rows = run_framework_comparison(epochs=1, train_count=128, val_count=32)
+    print(format_comparison(rows))
+    print()
+    print("'paper' column: slowdown factor reported in the paper (two RTX 3090 GPUs);")
+    print("'slowdown' column: factor measured/modelled on this machine's CPU run.")
+
+
+def main() -> None:
+    show_table1()
+    show_figure14()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline evaluation environment has no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+on machines that do have ``wheel``) installs the package from ``src/``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Reproduction of "Amalgam: A Framework for Obfuscated Neural Network Training
+on the Cloud" (MIDDLEWARE 2024).
+
+Public entry points:
+
+* :mod:`repro.nn` — numpy autograd substrate (stands in for PyTorch).
+* :mod:`repro.data` — synthetic dataset substrate (MNIST/CIFAR/Imagenette/
+  WikiText2/AGNews analogues) plus loaders.
+* :mod:`repro.models` — model zoo (LeNet, ResNet, VGG, DenseNet, MobileNetV2,
+  text classifier, transformer LM).
+* :mod:`repro.core` — the Amalgam framework itself: dataset augmenter, model
+  augmenter, extractor, trainer and the end-to-end pipeline.
+* :mod:`repro.cloud` — simulated cloud training environment.
+* :mod:`repro.privacy` — privacy-loss model and the adversarial attacks from
+  Section 6.
+* :mod:`repro.baselines` — privacy-preserving training baselines used in the
+  Figure 14 comparison.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,52 @@
+"""Privacy-preserving training baselines used in the Figure 14 / Table 1 comparison."""
+
+from .comparison import ComparisonRow, format_comparison, run_framework_comparison
+from .crypten_sim import MPCCostModel, MPCProtocol, SharedTensor, estimate_crypten_epoch
+from .disco_sim import ChannelObfuscator, DiscoWrappedModel, run_disco
+from .pycrcnn_sim import (
+    HEContext,
+    HEEncryptor,
+    MockCiphertext,
+    NoiseBudgetExhausted,
+    encrypted_linear,
+    estimate_pycrcnn_epoch,
+)
+from .registry import (
+    FRAMEWORK_PROPERTIES,
+    PAPER_LENET_EPOCH_SECONDS,
+    PAPER_SLOWDOWN_FACTORS,
+    PAPER_VALIDATION_ACCURACY,
+    FrameworkProperties,
+    framework_table,
+)
+from .tee_cpu import EnclaveCostModel, run_cpu_tee
+from .vanilla import BaselineRun, run_vanilla
+
+__all__ = [
+    "ComparisonRow",
+    "format_comparison",
+    "run_framework_comparison",
+    "MPCCostModel",
+    "MPCProtocol",
+    "SharedTensor",
+    "estimate_crypten_epoch",
+    "ChannelObfuscator",
+    "DiscoWrappedModel",
+    "run_disco",
+    "HEContext",
+    "HEEncryptor",
+    "MockCiphertext",
+    "NoiseBudgetExhausted",
+    "encrypted_linear",
+    "estimate_pycrcnn_epoch",
+    "FRAMEWORK_PROPERTIES",
+    "PAPER_LENET_EPOCH_SECONDS",
+    "PAPER_SLOWDOWN_FACTORS",
+    "PAPER_VALIDATION_ACCURACY",
+    "FrameworkProperties",
+    "framework_table",
+    "EnclaveCostModel",
+    "run_cpu_tee",
+    "BaselineRun",
+    "run_vanilla",
+]

@@ -1,0 +1,133 @@
+"""PyCrCNN-style homomorphic-encryption baseline.
+
+PyCrCNN evaluates CNNs under the BFV homomorphic encryption scheme; every
+ciphertext operation is several orders of magnitude more expensive than its
+plaintext counterpart and non-linear activations must be replaced by low-degree
+polynomials (the paper swaps LeNet's last non-linearity for a square
+function, costing ~3 accuracy points).
+
+A real lattice-based scheme is out of scope offline.  :class:`MockCiphertext`
+reproduces the *accounting* of HE evaluation: operations on "encrypted"
+values are functionally exact but each one is charged its measured BFV cost,
+and the noise budget shrinks with every multiplication, failing loudly when a
+bootstrapping-free circuit would be too deep — the behavioural constraints
+that make FHE training impractical, which is the point of Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+#: Per-operation costs (seconds) representative of BFV with polynomial modulus
+#: degree 2^11 on a desktop CPU.
+DEFAULT_OP_COSTS: Dict[str, float] = {
+    "encrypt": 2.0e-3,
+    "decrypt": 1.0e-3,
+    "add": 5.0e-5,
+    "multiply_plain": 1.5e-3,
+    "multiply_cipher": 6.0e-3,
+}
+
+
+class NoiseBudgetExhausted(RuntimeError):
+    """Raised when the ciphertext noise budget would be exhausted."""
+
+
+@dataclass
+class HEContext:
+    """Tracks simulated cost and noise budget across ciphertext operations."""
+
+    op_costs: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_OP_COSTS))
+    initial_noise_budget: int = 60
+    multiply_noise_cost: int = 18
+    total_cost_seconds: float = 0.0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, operation: str, count: int = 1) -> None:
+        self.total_cost_seconds += self.op_costs[operation] * count
+        self.op_counts[operation] = self.op_counts.get(operation, 0) + count
+
+
+@dataclass
+class MockCiphertext:
+    """Functionally transparent "ciphertext" carrying a noise budget."""
+
+    values: np.ndarray
+    context: HEContext
+    noise_budget: int
+
+    def _check(self, cost: int) -> int:
+        remaining = self.noise_budget - cost
+        if remaining <= 0:
+            raise NoiseBudgetExhausted(
+                "multiplicative depth exceeded: the circuit needs bootstrapping"
+            )
+        return remaining
+
+    def add(self, other: "MockCiphertext") -> "MockCiphertext":
+        self.context.charge("add", self.values.size)
+        return MockCiphertext(self.values + other.values, self.context,
+                              min(self.noise_budget, other.noise_budget) - 1)
+
+    def add_plain(self, plain: np.ndarray) -> "MockCiphertext":
+        self.context.charge("add", self.values.size)
+        return MockCiphertext(self.values + plain, self.context, self.noise_budget - 1)
+
+    def multiply_plain(self, plain: np.ndarray) -> "MockCiphertext":
+        self.context.charge("multiply_plain", self.values.size)
+        return MockCiphertext(self.values * plain, self.context,
+                              self._check(self.context.multiply_noise_cost // 2))
+
+    def multiply(self, other: "MockCiphertext") -> "MockCiphertext":
+        self.context.charge("multiply_cipher", self.values.size)
+        return MockCiphertext(self.values * other.values, self.context,
+                              self._check(self.context.multiply_noise_cost))
+
+    def square(self) -> "MockCiphertext":
+        """The polynomial activation PyCrCNN substitutes for non-linearities."""
+        return self.multiply(self)
+
+
+class HEEncryptor:
+    """Encrypt / decrypt entry points charging the context."""
+
+    def __init__(self, context: HEContext) -> None:
+        self.context = context
+
+    def encrypt(self, values: np.ndarray) -> MockCiphertext:
+        values = np.asarray(values, dtype=float)
+        self.context.charge("encrypt", values.size)
+        return MockCiphertext(values.copy(), self.context, self.context.initial_noise_budget)
+
+    def decrypt(self, ciphertext: MockCiphertext) -> np.ndarray:
+        self.context.charge("decrypt", ciphertext.values.size)
+        return ciphertext.values.copy()
+
+
+def encrypted_linear(ciphertext: MockCiphertext, weight: np.ndarray,
+                     bias: np.ndarray) -> MockCiphertext:
+    """A fully-connected layer evaluated on an encrypted input vector."""
+    outputs = []
+    context = ciphertext.context
+    budget = ciphertext.noise_budget
+    for row, offset in zip(weight, bias):
+        product = ciphertext.multiply_plain(row)
+        context.charge("add", product.values.size)
+        outputs.append(product.values.sum() + offset)
+        budget = min(budget, product.noise_budget)
+    return MockCiphertext(np.asarray(outputs), context, budget)
+
+
+def estimate_pycrcnn_epoch(samples_per_epoch: int, model_parameters: int,
+                           context: HEContext | None = None) -> float:
+    """Estimate one FHE training epoch from per-operation ciphertext costs.
+
+    Every parameter participates in roughly one ciphertext-plain multiply in
+    the forward pass and two in the backward pass per sample.
+    """
+    ctx = context if context is not None else HEContext()
+    per_sample_ops = 3 * model_parameters
+    return samples_per_epoch * per_sample_ops * ctx.op_costs["multiply_plain"]

@@ -1,0 +1,61 @@
+"""TEE / CPU-only baseline (TensorScone-style).
+
+TEE frameworks such as TensorScone run training inside an SGX enclave and are
+restricted to the CPU; the paper models the *best case* for such systems as
+plain CPU training with zero enclave overhead.  On top of the measured CPU
+time, :class:`EnclaveCostModel` optionally charges the enclave's paging cost
+(EPC misses force page encryption/decryption), which is what makes large
+models like the paper's Plinius reference struggle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import nn
+from ..core.trainer import ClassificationTrainer
+from ..data.dataloader import DataLoader
+from ..data.dataset import TrainValSplit
+from ..utils.rng import get_rng
+from .vanilla import BaselineRun
+
+
+@dataclass
+class EnclaveCostModel:
+    """Adds enclave paging overhead on top of a measured CPU epoch time."""
+
+    epc_bytes: int = 96 * 1024 * 1024          # usable enclave page cache
+    page_bytes: int = 4096
+    page_swap_seconds: float = 12e-6           # encrypt+evict+load one page
+    passes_per_epoch: int = 3                  # forward, backward, update
+
+    def epoch_time(self, cpu_epoch_time: float, working_set_bytes: int) -> float:
+        if working_set_bytes <= self.epc_bytes:
+            return cpu_epoch_time
+        overflow = working_set_bytes - self.epc_bytes
+        swaps = (overflow / self.page_bytes) * self.passes_per_epoch
+        return cpu_epoch_time + swaps * self.page_swap_seconds
+
+
+def run_cpu_tee(model: nn.Module, data: TrainValSplit, epochs: int = 1, lr: float = 0.01,
+                batch_size: int = 128, seed: int = 0,
+                cost_model: EnclaveCostModel | None = None) -> BaselineRun:
+    """Train on CPU (the enclave's compute substrate) and apply the enclave cost model."""
+    trainer = ClassificationTrainer(model, lr=lr)
+    train_loader = DataLoader(data.train, batch_size=batch_size, shuffle=True,
+                              rng=get_rng(seed))
+    val_loader = DataLoader(data.validation, batch_size=batch_size)
+    result = trainer.fit(train_loader, val_loader, epochs=epochs)
+
+    model_bytes = sum(p.data.nbytes for p in model.parameters())
+    dataset_bytes = data.train.nbytes()
+    cost = cost_model if cost_model is not None else EnclaveCostModel()
+    epoch_seconds = cost.epoch_time(result.average_epoch_time, model_bytes + dataset_bytes)
+    return BaselineRun(
+        framework="cpu_tee",
+        epoch_seconds=epoch_seconds,
+        total_seconds=epoch_seconds * epochs,
+        validation_accuracy=result.history.last("val_accuracy", 0.0),
+        measured=True,
+        training=result,
+    )

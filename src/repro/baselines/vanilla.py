@@ -1,0 +1,43 @@
+"""Vanilla (no privacy) training baseline — the reference point of Figure 14."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..core.trainer import ClassificationTrainer, TrainingResult
+from ..data.dataloader import DataLoader
+from ..data.dataset import TrainValSplit
+from ..utils.rng import get_rng
+
+
+@dataclass
+class BaselineRun:
+    """Outcome of one baseline framework's training run."""
+
+    framework: str
+    epoch_seconds: float
+    total_seconds: float
+    validation_accuracy: float
+    measured: bool              # True if actually executed, False if cost-modelled
+    training: Optional[TrainingResult] = None
+
+
+def run_vanilla(model: nn.Module, data: TrainValSplit, epochs: int = 1, lr: float = 0.01,
+                batch_size: int = 128, seed: int = 0) -> BaselineRun:
+    """Train the model with no privacy protection and measure wall-clock time."""
+    trainer = ClassificationTrainer(model, lr=lr)
+    train_loader = DataLoader(data.train, batch_size=batch_size, shuffle=True, rng=get_rng(seed))
+    val_loader = DataLoader(data.validation, batch_size=batch_size)
+    result = trainer.fit(train_loader, val_loader, epochs=epochs)
+    return BaselineRun(
+        framework="vanilla",
+        epoch_seconds=result.average_epoch_time,
+        total_seconds=result.total_time,
+        validation_accuracy=result.history.last("val_accuracy", 0.0),
+        measured=True,
+        training=result,
+    )

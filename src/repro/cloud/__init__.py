@@ -1,0 +1,26 @@
+"""Simulated cloud environment: serialization bundles, training service and sessions."""
+
+from .environment import CloudEnvironment, CloudObservation, CloudTrainingReceipt
+from .serialization import (
+    DatasetBundle,
+    ModelBundle,
+    bundle_manifest,
+    pack_arrays,
+    pack_model,
+    unpack_into_model,
+)
+from .session import CloudRunResult, CloudSession
+
+__all__ = [
+    "CloudEnvironment",
+    "CloudObservation",
+    "CloudTrainingReceipt",
+    "DatasetBundle",
+    "ModelBundle",
+    "bundle_manifest",
+    "pack_arrays",
+    "pack_model",
+    "unpack_into_model",
+    "CloudRunResult",
+    "CloudSession",
+]

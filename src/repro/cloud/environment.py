@@ -1,0 +1,153 @@
+"""Simulated cloud training environment.
+
+The threat model treats the cloud provider as the adversary: it sees the
+augmented model, the augmented dataset, every gradient, and the resource
+usage of the training job — but never the user's secret plans.  This module
+simulates such an environment so that (a) the end-to-end workflow of Figure 1
+can be exercised, and (b) the adversarial analyses of Section 6 have a
+realistic "what the provider observed" record to attack.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..core.model_augmenter import AugmentedModel
+from ..core.trainer import (
+    AugmentedClassificationTrainer,
+    AugmentedLanguageModelTrainer,
+    TrainingResult,
+)
+from ..data.dataloader import DataLoader
+from ..data.dataset import ArrayDataset, DatasetInfo
+from ..utils.rng import get_rng
+from .serialization import DatasetBundle, ModelBundle, pack_model, unpack_into_model
+
+
+@dataclass
+class CloudObservation:
+    """Everything the provider could record about one training job."""
+
+    model_architecture: Dict[str, object]
+    dataset_description: Dict[str, object]
+    epochs: int = 0
+    wall_clock_seconds: float = 0.0
+    peak_parameter_bytes: int = 0
+    gradient_snapshots: List[Dict[str, np.ndarray]] = field(default_factory=list)
+    batch_shapes: List[tuple] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "total_parameters": self.model_architecture.get("total_parameters"),
+            "epochs": self.epochs,
+            "wall_clock_seconds": round(self.wall_clock_seconds, 3),
+            "gradient_snapshots": len(self.gradient_snapshots),
+        }
+
+
+@dataclass
+class CloudTrainingReceipt:
+    """Returned to the user after a cloud job finishes."""
+
+    trained_model: ModelBundle
+    training: TrainingResult
+    observation: CloudObservation
+
+
+class CloudEnvironment:
+    """A Python-based cloud training service operating only on augmented artefacts.
+
+    ``record_gradients`` mimics an honest-but-curious provider that snapshots
+    gradients during training (the prerequisite of the DLG attacks in
+    Section 6.3).
+    """
+
+    def __init__(self, name: str = "simulated-cloud", record_gradients: bool = False,
+                 max_gradient_snapshots: int = 4) -> None:
+        self.name = name
+        self.record_gradients = record_gradients
+        self.max_gradient_snapshots = max_gradient_snapshots
+        self.jobs: List[CloudObservation] = []
+
+    # ------------------------------------------------------------------
+    # Classification jobs
+    # ------------------------------------------------------------------
+    def train_classification(self, model: AugmentedModel, model_bundle: ModelBundle,
+                             dataset_bundle: DatasetBundle, num_classes: int,
+                             epochs: int = 1, lr: float = 0.01, batch_size: int = 32,
+                             optimizer: str = "sgd",
+                             shuffle_seed: Optional[int] = None) -> CloudTrainingReceipt:
+        """Train an uploaded augmented classifier on an uploaded augmented dataset."""
+        arrays = dataset_bundle.arrays()
+        samples, labels = arrays["samples"], arrays["labels"]
+        info = DatasetInfo(name=str(dataset_bundle.description.get("name", "uploaded")),
+                           kind=str(dataset_bundle.description.get("kind", "image")),
+                           num_classes=num_classes, shape=tuple(samples.shape[1:]))
+        dataset = ArrayDataset(samples, labels, info)
+        unpack_into_model(model_bundle, model)
+
+        observation = CloudObservation(model_architecture=dict(model_bundle.architecture),
+                                       dataset_description=dict(dataset_bundle.description))
+        trainer = AugmentedClassificationTrainer(model, lr=lr, optimizer=optimizer)
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=True,
+                            rng=get_rng(shuffle_seed))
+        start = time.perf_counter()
+        result = trainer.fit(loader, epochs=epochs)
+        observation.wall_clock_seconds = time.perf_counter() - start
+        observation.epochs = epochs
+        observation.peak_parameter_bytes = sum(p.data.nbytes for p in model.parameters())
+        observation.batch_shapes = [samples[:batch_size].shape]
+        if self.record_gradients:
+            observation.gradient_snapshots = self._snapshot_gradients(
+                model, dataset, batch_size)
+        self.jobs.append(observation)
+        return CloudTrainingReceipt(pack_model(model, task=model.task), result, observation)
+
+    # ------------------------------------------------------------------
+    # Language-modelling jobs
+    # ------------------------------------------------------------------
+    def train_language_model(self, model: AugmentedModel, model_bundle: ModelBundle,
+                             dataset_bundle: DatasetBundle, block_length: int,
+                             epochs: int = 1, lr: float = 1e-3,
+                             optimizer: str = "adam") -> CloudTrainingReceipt:
+        arrays = dataset_bundle.arrays()
+        batches = arrays["batches"]
+        unpack_into_model(model_bundle, model)
+        observation = CloudObservation(model_architecture=dict(model_bundle.architecture),
+                                       dataset_description=dict(dataset_bundle.description))
+        trainer = AugmentedLanguageModelTrainer(model, lr=lr, optimizer=optimizer)
+        start = time.perf_counter()
+        result = trainer.fit(batches, block_length, epochs=epochs)
+        observation.wall_clock_seconds = time.perf_counter() - start
+        observation.epochs = epochs
+        observation.peak_parameter_bytes = sum(p.data.nbytes for p in model.parameters())
+        self.jobs.append(observation)
+        return CloudTrainingReceipt(pack_model(model, task=model.task), result, observation)
+
+    # ------------------------------------------------------------------
+    # Gradient snapshots (side-channel material for the DLG analysis)
+    # ------------------------------------------------------------------
+    def _snapshot_gradients(self, model: AugmentedModel, dataset: ArrayDataset,
+                            batch_size: int) -> List[Dict[str, np.ndarray]]:
+        from ..nn import Tensor
+
+        snapshots: List[Dict[str, np.ndarray]] = []
+        loader = DataLoader(dataset, batch_size=1)
+        for index, (inputs, labels) in enumerate(loader):
+            if index >= self.max_gradient_snapshots:
+                break
+            model.zero_grad()
+            batch = inputs if np.issubdtype(inputs.dtype, np.integer) else Tensor(inputs)
+            loss = model.loss(batch, labels)
+            loss.backward()
+            snapshot = {name: parameter.grad.copy()
+                        for name, parameter in model.named_parameters()
+                        if parameter.grad is not None}
+            snapshots.append(snapshot)
+        model.zero_grad()
+        return snapshots

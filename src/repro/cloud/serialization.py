@@ -1,0 +1,99 @@
+"""Bundles shipped between the user's device and the (simulated) cloud.
+
+The paper saves the augmented model as TorchScript and the augmented dataset
+as a PyTorch tensor before uploading them to a Python-based cloud service.
+The equivalent artefacts here are :class:`ModelBundle` and
+:class:`DatasetBundle`: byte payloads containing only what the cloud is
+allowed to see (augmented parameters/shapes), never the secret plans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.serialization import state_from_bytes, state_to_bytes
+
+
+@dataclass
+class ModelBundle:
+    """Serialised augmented-model parameters plus a public architecture digest."""
+
+    payload: bytes
+    architecture: Dict[str, object]
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def checksum(self) -> str:
+        return hashlib.sha256(self.payload).hexdigest()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return state_from_bytes(self.payload)
+
+
+@dataclass
+class DatasetBundle:
+    """Serialised augmented dataset (samples + labels, or an LM token matrix)."""
+
+    payload: bytes
+    description: Dict[str, object]
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def checksum(self) -> str:
+        return hashlib.sha256(self.payload).hexdigest()
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return state_from_bytes(self.payload)
+
+
+def pack_model(model: nn.Module, task: str) -> ModelBundle:
+    """Serialise a model's parameters into an uploadable bundle.
+
+    The architecture digest intentionally exposes only what a TorchScript
+    export would reveal about the *augmented* model: parameter names, shapes
+    and the task type — it contains nothing about which sub-network is
+    original.
+    """
+    state = model.state_dict()
+    architecture = {
+        "task": task,
+        "parameters": {name: list(np.asarray(value).shape) for name, value in state.items()},
+        "total_parameters": int(sum(np.asarray(v).size for v in state.values())),
+    }
+    return ModelBundle(payload=state_to_bytes(state), architecture=architecture)
+
+
+def pack_arrays(description: Dict[str, object], **arrays: np.ndarray) -> DatasetBundle:
+    """Serialise a set of named arrays (augmented samples, labels, token blocks)."""
+    return DatasetBundle(payload=state_to_bytes(dict(arrays)), description=dict(description))
+
+
+def unpack_into_model(bundle: ModelBundle, model: nn.Module) -> nn.Module:
+    """Load a bundle's parameters back into ``model`` (download direction)."""
+    model.load_state_dict(bundle.state_dict(), strict=True)
+    return model
+
+
+def bundle_manifest(model: Optional[ModelBundle] = None,
+                    dataset: Optional[DatasetBundle] = None) -> str:
+    """Human-readable JSON manifest of an upload (used by examples/logs)."""
+    manifest: Dict[str, object] = {}
+    if model is not None:
+        manifest["model"] = {"bytes": model.size_bytes, "sha256": model.checksum,
+                             "total_parameters": model.architecture["total_parameters"]}
+    if dataset is not None:
+        manifest["dataset"] = {"bytes": dataset.size_bytes, "sha256": dataset.checksum,
+                               **dataset.description}
+    return json.dumps(manifest, indent=2, default=str)

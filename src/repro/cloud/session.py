@@ -1,0 +1,89 @@
+"""User-side cloud session: upload, remote training, download, extraction.
+
+:class:`CloudSession` wires the Amalgam pipeline to a
+:class:`~repro.cloud.environment.CloudEnvironment` so that examples and tests
+can run the full Figure 1 workflow: augment locally, upload only augmented
+artefacts, train remotely, download, extract locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .. import nn
+from ..core.extractor import ExtractionReport, ModelExtractor
+from ..core.pipeline import ObfuscationJob
+from ..core.trainer import TrainingResult
+from .environment import CloudEnvironment, CloudTrainingReceipt
+from .serialization import DatasetBundle, ModelBundle, pack_arrays, pack_model, unpack_into_model
+
+
+@dataclass
+class CloudRunResult:
+    """Outcome of a full upload-train-download-extract round trip."""
+
+    receipt: CloudTrainingReceipt
+    extraction: ExtractionReport
+    uploaded_model_bytes: int
+    uploaded_dataset_bytes: int
+
+    @property
+    def training(self) -> TrainingResult:
+        return self.receipt.training
+
+
+class CloudSession:
+    """Runs an :class:`ObfuscationJob` against a cloud environment."""
+
+    def __init__(self, environment: Optional[CloudEnvironment] = None) -> None:
+        self.environment = environment if environment is not None else CloudEnvironment()
+
+    # ------------------------------------------------------------------
+    # Upload helpers (only augmented artefacts cross this boundary)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def bundle_model(job: ObfuscationJob) -> ModelBundle:
+        return pack_model(job.augmented_model, task=job.augmented_model.task)
+
+    @staticmethod
+    def bundle_dataset(job: ObfuscationJob) -> DatasetBundle:
+        task = job.metadata.get("task", "image-classification")
+        if task == "language-modelling":
+            data = job.train_data
+            return pack_arrays({"name": "augmented-lm-stream", "kind": "text",
+                                "block_length": data.block_length}, batches=data.batches)
+        dataset = job.train_data.dataset
+        return pack_arrays({"name": dataset.info.name, "kind": dataset.info.kind},
+                           samples=dataset.samples, labels=dataset.labels)
+
+    # ------------------------------------------------------------------
+    # Full round trip
+    # ------------------------------------------------------------------
+    def run(self, job: ObfuscationJob, model_factory: Callable[[], nn.Module],
+            epochs: int = 1, lr: float = 0.01, batch_size: int = 32,
+            optimizer: str = "sgd") -> CloudRunResult:
+        """Upload, train remotely, download the trained model and extract the original."""
+        model_bundle = self.bundle_model(job)
+        dataset_bundle = self.bundle_dataset(job)
+        task = job.metadata.get("task", "image-classification")
+
+        if task == "language-modelling":
+            receipt = self.environment.train_language_model(
+                job.augmented_model, model_bundle, dataset_bundle,
+                block_length=job.train_data.block_length, epochs=epochs, lr=lr,
+                optimizer=optimizer)
+        else:
+            num_classes = int(job.secrets.metadata.get("num_classes",
+                                                       job.train_data.info.num_classes))
+            receipt = self.environment.train_classification(
+                job.augmented_model, model_bundle, dataset_bundle, num_classes=num_classes,
+                epochs=epochs, lr=lr, batch_size=batch_size, optimizer=optimizer)
+
+        # Download: load the trained augmented parameters back into the local
+        # augmented model, then extract the original.
+        unpack_into_model(receipt.trained_model, job.augmented_model)
+        extraction = ModelExtractor(model_factory).extract(job.augmented_model)
+        return CloudRunResult(receipt=receipt, extraction=extraction,
+                              uploaded_model_bytes=model_bundle.size_bytes,
+                              uploaded_dataset_bytes=dataset_bundle.size_bytes)

@@ -1,0 +1,109 @@
+"""The Amalgam framework: dataset augmenter, model augmenter, extractor and pipeline."""
+
+from .augmentation_plan import (
+    ImageAugmentationPlan,
+    ObfuscationSecrets,
+    SubnetworkInputPlan,
+    TextAugmentationPlan,
+    augmented_length,
+    draw_insertion_positions,
+)
+from .config import AmalgamConfig, NoiseSpec, NoiseType
+from .dataset_augmenter import (
+    AugmentedImageDataset,
+    AugmentedSequenceDataset,
+    AugmentedTokenDataset,
+    DatasetAugmenter,
+)
+from .decoys import ImageDecoy, TokenDecoy, build_image_decoy, build_lm_decoy, build_text_decoy
+from .extractor import ExtractionReport, ModelExtractor
+from .masked_conv import InputSelector, MaskedConv2d
+from .masked_embedding import MaskedEmbedding, TokenSelector
+from .model_augmenter import (
+    AugmentationResult,
+    AugmentedModel,
+    ModelAugmenter,
+    OriginalImageSubnetwork,
+    OriginalLMSubnetwork,
+    OriginalTokenSubnetwork,
+    replace_first_conv,
+    replace_first_embedding,
+)
+from .noise import NoiseGenerator, default_noise
+from .pipeline import Amalgam, ObfuscationJob, TrainedJob
+from .search_space import (
+    SearchSpace,
+    brute_force_attempts,
+    image_search_space,
+    log10_binomial,
+    placement_search_space,
+    text_search_space,
+)
+from .trainer import (
+    AugmentedClassificationTrainer,
+    AugmentedLanguageModelTrainer,
+    ClassificationTrainer,
+    LanguageModelTrainer,
+    TrainingResult,
+)
+from .transfer import (
+    PretrainedCheck,
+    apply_pretrained,
+    freeze_parameters,
+    verify_pretrained_preserved,
+)
+
+__all__ = [
+    "ImageAugmentationPlan",
+    "ObfuscationSecrets",
+    "SubnetworkInputPlan",
+    "TextAugmentationPlan",
+    "augmented_length",
+    "draw_insertion_positions",
+    "AmalgamConfig",
+    "NoiseSpec",
+    "NoiseType",
+    "AugmentedImageDataset",
+    "AugmentedSequenceDataset",
+    "AugmentedTokenDataset",
+    "DatasetAugmenter",
+    "ImageDecoy",
+    "TokenDecoy",
+    "build_image_decoy",
+    "build_lm_decoy",
+    "build_text_decoy",
+    "ExtractionReport",
+    "ModelExtractor",
+    "InputSelector",
+    "MaskedConv2d",
+    "MaskedEmbedding",
+    "TokenSelector",
+    "AugmentationResult",
+    "AugmentedModel",
+    "ModelAugmenter",
+    "OriginalImageSubnetwork",
+    "OriginalLMSubnetwork",
+    "OriginalTokenSubnetwork",
+    "replace_first_conv",
+    "replace_first_embedding",
+    "NoiseGenerator",
+    "default_noise",
+    "Amalgam",
+    "ObfuscationJob",
+    "TrainedJob",
+    "SearchSpace",
+    "brute_force_attempts",
+    "image_search_space",
+    "log10_binomial",
+    "placement_search_space",
+    "text_search_space",
+    "AugmentedClassificationTrainer",
+    "AugmentedLanguageModelTrainer",
+    "ClassificationTrainer",
+    "LanguageModelTrainer",
+    "TrainingResult",
+    "PretrainedCheck",
+    "apply_pretrained",
+    "freeze_parameters",
+    "verify_pretrained_preserved",
+]

@@ -1,0 +1,178 @@
+"""Augmentation plans: the user-side secret describing where original data lives.
+
+When the dataset augmenter inserts synthetic pixels/tokens it records *where*
+the original values ended up inside the augmented tensors.  That mapping — the
+"plan" — never leaves the user's device; the cloud only ever sees the
+augmented tensors.  The model augmenter consumes the same plan to configure
+the custom convolution / embedding layers so that the original sub-network
+reads exactly the original values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+def augmented_length(original: int, amount: float) -> int:
+    """Length of a dimension after augmenting by ``amount`` (paper: X + X*A)."""
+    return int(round(original * (1.0 + amount)))
+
+
+@dataclass
+class ImageAugmentationPlan:
+    """Secret index map for an augmented image dataset.
+
+    Attributes
+    ----------
+    original_shape / augmented_shape:
+        Per-sample ``(channels, height, width)`` before and after augmentation.
+    channel_positions:
+        Integer array of shape ``(channels, original_height * original_width)``.
+        Entry ``[c, i]`` is the flat position inside the augmented channel
+        vector where original pixel ``i`` (raster order) of channel ``c``
+        lives.  Positions are strictly increasing per channel so the original
+        raster order is preserved, exactly like the vectorise-and-insert
+        procedure in Figure 2.
+    amount:
+        The augmentation amount ``A_d`` that produced this plan.
+    """
+
+    original_shape: Tuple[int, int, int]
+    augmented_shape: Tuple[int, int, int]
+    channel_positions: np.ndarray
+    amount: float
+
+    @property
+    def channels(self) -> int:
+        return self.original_shape[0]
+
+    @property
+    def original_pixels(self) -> int:
+        return self.original_shape[1] * self.original_shape[2]
+
+    @property
+    def augmented_pixels(self) -> int:
+        return self.augmented_shape[1] * self.augmented_shape[2]
+
+    @property
+    def noise_pixels(self) -> int:
+        return self.augmented_pixels - self.original_pixels
+
+    def noise_positions(self) -> np.ndarray:
+        """Flat positions of synthetic pixels, shape ``(channels, noise_pixels)``."""
+        positions = []
+        all_positions = np.arange(self.augmented_pixels)
+        for channel in range(self.channels):
+            mask = np.ones(self.augmented_pixels, dtype=bool)
+            mask[self.channel_positions[channel]] = False
+            positions.append(all_positions[mask])
+        return np.stack(positions)
+
+    def validate(self) -> None:
+        """Sanity-check the plan's internal consistency."""
+        channels, height, width = self.original_shape
+        aug_channels, aug_height, aug_width = self.augmented_shape
+        if channels != aug_channels:
+            raise ValueError("augmentation must not change the channel count")
+        if self.channel_positions.shape != (channels, height * width):
+            raise ValueError("channel_positions has the wrong shape")
+        if (self.channel_positions < 0).any() or (self.channel_positions >= aug_height * aug_width).any():
+            raise ValueError("channel positions out of range")
+        for channel in range(channels):
+            row = self.channel_positions[channel]
+            if not np.all(np.diff(row) > 0):
+                raise ValueError("channel positions must be strictly increasing")
+
+
+@dataclass
+class TextAugmentationPlan:
+    """Secret index map for an augmented token sequence/batch.
+
+    ``positions`` holds, for each (batch) row, the strictly increasing indices
+    inside the augmented row where the original tokens live.  For a plain 1-D
+    stream there is a single row.
+    """
+
+    original_length: int
+    augmented_length: int
+    positions: np.ndarray  # shape (rows, original_length)
+    amount: float
+
+    @property
+    def rows(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def noise_tokens(self) -> int:
+        return self.augmented_length - self.original_length
+
+    def noise_positions(self) -> np.ndarray:
+        all_positions = np.arange(self.augmented_length)
+        out = []
+        for row in range(self.rows):
+            mask = np.ones(self.augmented_length, dtype=bool)
+            mask[self.positions[row]] = False
+            out.append(all_positions[mask])
+        return np.stack(out)
+
+    def validate(self) -> None:
+        if self.positions.shape[1] != self.original_length:
+            raise ValueError("positions row length must equal the original length")
+        if (self.positions < 0).any() or (self.positions >= self.augmented_length).any():
+            raise ValueError("positions out of range")
+        for row in range(self.rows):
+            if not np.all(np.diff(self.positions[row]) > 0):
+                raise ValueError("positions must be strictly increasing per row")
+
+
+@dataclass
+class SubnetworkInputPlan:
+    """Which augmented positions each sub-network reads (Section 4.2).
+
+    Every sub-network receives the full augmented input but processes only a
+    subset of it.  The original sub-network's subset is exactly the original
+    positions; decoy subsets are random (possibly overlapping) selections of
+    the same size.
+    """
+
+    name: str
+    is_original: bool
+    image_positions: Optional[np.ndarray] = None  # (channels, original_pixels)
+    token_positions: Optional[np.ndarray] = None  # (original_length,)
+
+
+@dataclass
+class ObfuscationSecrets:
+    """Everything the user keeps local: plans, seeds and sub-network identity."""
+
+    config_seed: int
+    dataset_plan: Optional[ImageAugmentationPlan | TextAugmentationPlan] = None
+    subnetwork_plans: List[SubnetworkInputPlan] = field(default_factory=list)
+    original_subnetwork_index: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> Dict[str, object]:
+        """A redacted, human-readable summary (safe to print in examples)."""
+        return {
+            "subnetworks": len(self.subnetwork_plans),
+            "original_subnetwork_hidden": True,
+            "dataset_plan": type(self.dataset_plan).__name__ if self.dataset_plan else None,
+        }
+
+
+def draw_insertion_positions(original: int, augmented: int,
+                             rng: np.random.Generator) -> np.ndarray:
+    """Choose where the original values live inside the augmented vector.
+
+    Returns a strictly increasing array of ``original`` positions drawn
+    uniformly from ``range(augmented)`` — equivalent to inserting the noise
+    values at uniformly random indices while preserving the original order.
+    """
+    if augmented < original:
+        raise ValueError("augmented length must be >= original length")
+    positions = rng.choice(augmented, size=original, replace=False)
+    positions.sort()
+    return positions.astype(np.int64)

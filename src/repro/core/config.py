@@ -1,0 +1,105 @@
+"""Configuration objects for the Amalgam framework.
+
+Users of the paper's prototype choose an *augmentation amount* (a percentage),
+a *noise type* and optionally the number of decoy sub-networks.  The
+:class:`AmalgamConfig` dataclass captures those choices for both the dataset
+augmenter and the model augmenter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+
+class NoiseType(str, Enum):
+    """Noise categories supported by the dataset augmenter (Section 4.1)."""
+
+    RANDOM = "random"          # uniform over the data's value range (default)
+    GAUSSIAN = "gaussian"      # drawn from a Gaussian with user-selected sigma
+    LAPLACE = "laplace"        # drawn from a Laplace distribution
+    USER = "user"              # values supplied by the user (e.g. real pixels)
+
+
+@dataclass
+class NoiseSpec:
+    """Parameters of the noise distribution used for augmentation."""
+
+    noise_type: NoiseType = NoiseType.RANDOM
+    sigma: float = 1.0
+    mean: float = 0.0
+    user_pool: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.noise_type, str):
+            self.noise_type = NoiseType(self.noise_type)
+        if self.noise_type is NoiseType.USER and self.user_pool is None:
+            raise ValueError("user-provided noise requires a non-empty 'user_pool'")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+
+@dataclass
+class AmalgamConfig:
+    """Top-level configuration for an obfuscated training job.
+
+    Attributes
+    ----------
+    augmentation_amount:
+        Fraction ``A_d`` of synthetic content added per dimension.  ``0.5``
+        means a 32x32 image becomes 48x48 and a batch of 20 tokens becomes 30.
+    model_augmentation_amount:
+        Fraction of synthetic parameters added to the model.  Defaults to the
+        dataset amount when ``None`` (the setting used throughout the paper's
+        evaluation).
+    noise:
+        Distribution of the synthetic values.
+    num_subnetworks:
+        Number of decoy sub-networks.  ``None`` (default) picks a random
+        number between 2 and 4, as the paper's augmenter does by default.
+    seed:
+        Seed for every random draw of the augmentation (noise values, noise
+        positions, decoy architecture).  The seed is part of the user's
+        secret: without it the cloud cannot reconstruct which positions are
+        original.
+    shared_channel_positions:
+        If ``True`` all channels of an image share the same noise positions;
+        if ``False`` (paper default) each channel is augmented independently.
+    decoy_style:
+        Architecture family used for decoy sub-networks: ``"mlp"`` (budget
+        controlled multilayer perceptrons) or ``"conv"`` (small CNN branches).
+    """
+
+    augmentation_amount: float = 0.5
+    model_augmentation_amount: Optional[float] = None
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    num_subnetworks: Optional[int] = None
+    seed: int = 0
+    shared_channel_positions: bool = False
+    decoy_style: str = "mlp"
+
+    def __post_init__(self) -> None:
+        if self.augmentation_amount < 0:
+            raise ValueError("augmentation_amount must be non-negative")
+        if self.model_augmentation_amount is not None and self.model_augmentation_amount < 0:
+            raise ValueError("model_augmentation_amount must be non-negative")
+        if self.decoy_style not in ("mlp", "conv"):
+            raise ValueError("decoy_style must be 'mlp' or 'conv'")
+
+    @property
+    def model_amount(self) -> float:
+        """Effective model augmentation amount (falls back to the dataset amount)."""
+        if self.model_augmentation_amount is None:
+            return self.augmentation_amount
+        return self.model_augmentation_amount
+
+    def resolve_subnetworks(self, rng: np.random.Generator) -> int:
+        """Number of decoy sub-networks, drawing a random default when unset."""
+        if self.num_subnetworks is not None:
+            if self.num_subnetworks < 1:
+                raise ValueError("num_subnetworks must be at least 1")
+            return self.num_subnetworks
+        return int(rng.integers(2, 5))

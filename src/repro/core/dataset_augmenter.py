@@ -1,0 +1,289 @@
+"""Dataset Augmenter (Section 4.1).
+
+Obfuscates a dataset by inserting synthetic values at random positions:
+
+* **Images** — every channel of every sample is vectorised, synthetic pixels
+  are inserted at random indices, and the vector is reshaped to the larger
+  augmented resolution ``(X + X*A) x (Y + Y*A)`` (Figure 2).
+* **Text** — the tokenised 1-D tensor (or each row of a batched/classification
+  dataset) receives synthetic token ids at random indices so each row grows
+  from ``X`` to ``X + X*A`` tokens (Figure 3).
+
+The augmenter returns the augmented dataset together with the secret
+:class:`~repro.core.augmentation_plan.ImageAugmentationPlan` /
+:class:`~repro.core.augmentation_plan.TextAugmentationPlan` needed to build
+the custom first layers and, later, to validate extraction.  All samples share
+one plan — the custom convolution/embedding of the trained model must skip the
+same positions for every sample.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, DatasetInfo, SequenceDataset
+from ..utils.rng import get_rng
+from .augmentation_plan import (
+    ImageAugmentationPlan,
+    TextAugmentationPlan,
+    augmented_length,
+    draw_insertion_positions,
+)
+from .config import AmalgamConfig
+from .noise import NoiseGenerator
+from .search_space import SearchSpace, image_search_space, text_search_space
+
+
+@dataclass
+class AugmentedImageDataset:
+    """An obfuscated image dataset plus its secret plan and provenance stats."""
+
+    dataset: ArrayDataset
+    plan: ImageAugmentationPlan
+    augmentation_time: float
+    search_space: SearchSpace
+
+    @property
+    def info(self) -> DatasetInfo:
+        return self.dataset.info
+
+
+@dataclass
+class AugmentedTokenDataset:
+    """An obfuscated token-sequence classification dataset (AGNews-style)."""
+
+    dataset: ArrayDataset
+    plan: TextAugmentationPlan
+    augmentation_time: float
+    search_space: SearchSpace
+
+    @property
+    def info(self) -> DatasetInfo:
+        return self.dataset.info
+
+
+@dataclass
+class AugmentedSequenceDataset:
+    """An obfuscated language-modelling stream (WikiText2-style), already batchified.
+
+    ``batches`` has shape ``(batch_rows, num_blocks * plan.augmented_length)``:
+    the stream was batchified, split into blocks of ``plan.original_length``
+    tokens (the LM sequence length) and every block was augmented with the
+    same secret plan — matching the paper's "each batch grows from X to
+    X + X*A" description.
+    """
+
+    batches: np.ndarray  # (batch_rows, num_blocks * augmented_block_length)
+    plan: TextAugmentationPlan
+    augmentation_time: float
+    search_space: SearchSpace
+    vocab_size: int
+
+    @property
+    def block_length(self) -> int:
+        return self.plan.augmented_length
+
+    @property
+    def num_blocks(self) -> int:
+        return self.batches.shape[1] // self.plan.augmented_length
+
+
+class DatasetAugmenter:
+    """Implements the paper's dataset obfuscation for image and text data."""
+
+    def __init__(self, config: AmalgamConfig) -> None:
+        self.config = config
+        self.noise = NoiseGenerator(config.noise)
+
+    # ------------------------------------------------------------------
+    # Images
+    # ------------------------------------------------------------------
+    def plan_image(self, shape: Tuple[int, int, int],
+                   rng: Optional[np.random.Generator] = None) -> ImageAugmentationPlan:
+        """Draw the secret insertion positions for an image dataset of ``shape``."""
+        generator = rng if rng is not None else get_rng(self.config.seed)
+        channels, height, width = shape
+        amount = self.config.augmentation_amount
+        aug_height = augmented_length(height, amount)
+        aug_width = augmented_length(width, amount)
+        original_pixels = height * width
+        augmented_pixels = aug_height * aug_width
+
+        if self.config.shared_channel_positions:
+            shared = draw_insertion_positions(original_pixels, augmented_pixels, generator)
+            positions = np.tile(shared, (channels, 1))
+        else:
+            positions = np.stack([
+                draw_insertion_positions(original_pixels, augmented_pixels, generator)
+                for _ in range(channels)
+            ])
+        plan = ImageAugmentationPlan(
+            original_shape=(channels, height, width),
+            augmented_shape=(channels, aug_height, aug_width),
+            channel_positions=positions,
+            amount=amount,
+        )
+        plan.validate()
+        return plan
+
+    def augment_images(self, dataset: ArrayDataset,
+                       plan: Optional[ImageAugmentationPlan] = None) -> AugmentedImageDataset:
+        """Obfuscate an image dataset, returning the augmented copy and its plan."""
+        if not dataset.info.is_image:
+            raise ValueError("augment_images expects an image dataset")
+        rng = get_rng(self.config.seed)
+        if plan is None:
+            plan = self.plan_image(dataset.info.shape, rng)
+
+        start = time.perf_counter()
+        samples = dataset.samples
+        count = len(samples)
+        channels, height, width = plan.original_shape
+        _, aug_height, aug_width = plan.augmented_shape
+        value_range = dataset.info.extra.get("value_range", (float(samples.min()),
+                                                             float(samples.max())))
+
+        flat_original = samples.reshape(count, channels, height * width)
+        augmented = np.empty((count, channels, aug_height * aug_width), dtype=samples.dtype)
+        noise_positions = plan.noise_positions()
+        for channel in range(channels):
+            noise_count = noise_positions.shape[1]
+            noise_values = self.noise.sample_pixels(count * noise_count, rng, value_range)
+            noise_values = noise_values.reshape(count, noise_count).astype(samples.dtype)
+            augmented[:, channel, plan.channel_positions[channel]] = flat_original[:, channel]
+            augmented[:, channel, noise_positions[channel]] = noise_values
+        augmented = augmented.reshape(count, channels, aug_height, aug_width)
+        elapsed = time.perf_counter() - start
+
+        info = DatasetInfo(
+            name=f"{dataset.info.name}+aug{int(plan.amount * 100)}",
+            kind="image",
+            num_classes=dataset.info.num_classes,
+            shape=(channels, aug_height, aug_width),
+            extra=dict(dataset.info.extra),
+        )
+        augmented_dataset = ArrayDataset(augmented, dataset.labels.copy(), info)
+        space = image_search_space(height, width, plan.amount, channels=channels)
+        return AugmentedImageDataset(augmented_dataset, plan, elapsed, space)
+
+    def restore_images(self, augmented: AugmentedImageDataset) -> np.ndarray:
+        """Recover the original pixel data from an augmented image dataset."""
+        plan = augmented.plan
+        samples = augmented.dataset.samples
+        count = len(samples)
+        channels, height, width = plan.original_shape
+        flat = samples.reshape(count, channels, -1)
+        restored = np.empty((count, channels, height * width), dtype=samples.dtype)
+        for channel in range(channels):
+            restored[:, channel] = flat[:, channel][:, plan.channel_positions[channel]]
+        return restored.reshape(count, channels, height, width)
+
+    # ------------------------------------------------------------------
+    # Text: per-sample token sequences (classification, AGNews-style)
+    # ------------------------------------------------------------------
+    def plan_text(self, original_length: int, rows: int = 1,
+                  rng: Optional[np.random.Generator] = None) -> TextAugmentationPlan:
+        generator = rng if rng is not None else get_rng(self.config.seed)
+        amount = self.config.augmentation_amount
+        augmented = augmented_length(original_length, amount)
+        positions = np.stack([
+            draw_insertion_positions(original_length, augmented, generator)
+            for _ in range(rows)
+        ])
+        plan = TextAugmentationPlan(original_length, augmented, positions, amount)
+        plan.validate()
+        return plan
+
+    def augment_token_dataset(self, dataset: ArrayDataset,
+                              plan: Optional[TextAugmentationPlan] = None) -> AugmentedTokenDataset:
+        """Obfuscate a token-sequence classification dataset (one plan shared by all rows)."""
+        if not dataset.info.is_text:
+            raise ValueError("augment_token_dataset expects a text dataset")
+        if dataset.info.vocab_size is None:
+            raise ValueError("text dataset must declare a vocab_size")
+        rng = get_rng(self.config.seed)
+        sequence_length = dataset.samples.shape[1]
+        if plan is None:
+            plan = self.plan_text(sequence_length, rows=1, rng=rng)
+
+        start = time.perf_counter()
+        count = len(dataset.samples)
+        augmented = np.empty((count, plan.augmented_length), dtype=np.int64)
+        noise_positions = plan.noise_positions()[0]
+        noise_values = self.noise.sample_tokens(count * len(noise_positions), rng,
+                                                dataset.info.vocab_size)
+        augmented[:, plan.positions[0]] = dataset.samples
+        augmented[:, noise_positions] = noise_values.reshape(count, len(noise_positions))
+        elapsed = time.perf_counter() - start
+
+        info = DatasetInfo(
+            name=f"{dataset.info.name}+aug{int(plan.amount * 100)}",
+            kind="text",
+            num_classes=dataset.info.num_classes,
+            shape=(plan.augmented_length,),
+            vocab_size=dataset.info.vocab_size,
+            extra=dict(dataset.info.extra),
+        )
+        augmented_dataset = ArrayDataset(augmented, dataset.labels.copy(), info)
+        space = text_search_space(sequence_length, plan.amount)
+        return AugmentedTokenDataset(augmented_dataset, plan, elapsed, space)
+
+    def restore_token_dataset(self, augmented: AugmentedTokenDataset) -> np.ndarray:
+        return augmented.dataset.samples[:, augmented.plan.positions[0]]
+
+    # ------------------------------------------------------------------
+    # Text: language-modelling stream (WikiText2-style)
+    # ------------------------------------------------------------------
+    def augment_sequence(self, dataset: SequenceDataset, batch_rows: int, seq_len: int = 20,
+                         plan: Optional[TextAugmentationPlan] = None) -> AugmentedSequenceDataset:
+        """Batchify a token stream and insert synthetic tokens into every LM block.
+
+        The stream is arranged into ``batch_rows`` rows (the standard LM
+        batchify step), split into blocks of ``seq_len`` tokens, and every
+        block is augmented with the same secret plan so the custom embedding
+        skips identical positions in every block (Figure 3: each batch grows
+        from ``X`` to ``X + X*A`` tokens).
+        """
+        if dataset.info.vocab_size is None:
+            raise ValueError("sequence dataset must declare a vocab_size")
+        from ..data.text import batchify
+
+        rng = get_rng(self.config.seed)
+        rows = batchify(dataset.tokens, batch_rows)
+        steps = rows.shape[1]
+        num_blocks = steps // seq_len
+        if num_blocks == 0:
+            raise ValueError("token stream too short for the requested seq_len")
+        rows = rows[:, : num_blocks * seq_len]
+        if plan is None:
+            plan = self.plan_text(seq_len, rows=1, rng=rng)
+
+        start = time.perf_counter()
+        blocks = rows.reshape(batch_rows, num_blocks, seq_len)
+        augmented = np.empty((batch_rows, num_blocks, plan.augmented_length), dtype=np.int64)
+        noise_positions = plan.noise_positions()[0]
+        noise_count = len(noise_positions)
+        noise_values = self.noise.sample_tokens(batch_rows * num_blocks * noise_count, rng,
+                                                dataset.info.vocab_size)
+        augmented[:, :, plan.positions[0]] = blocks
+        augmented[:, :, noise_positions] = noise_values.reshape(batch_rows, num_blocks,
+                                                                noise_count)
+        augmented = augmented.reshape(batch_rows, num_blocks * plan.augmented_length)
+        elapsed = time.perf_counter() - start
+
+        space = text_search_space(seq_len, plan.amount)
+        return AugmentedSequenceDataset(augmented, plan, elapsed, space,
+                                        vocab_size=dataset.info.vocab_size)
+
+    def restore_sequence(self, augmented: AugmentedSequenceDataset) -> np.ndarray:
+        """Recover the original batchified rows from an augmented LM stream."""
+        plan = augmented.plan
+        rows, total = augmented.batches.shape
+        num_blocks = total // plan.augmented_length
+        blocks = augmented.batches.reshape(rows, num_blocks, plan.augmented_length)
+        original = blocks[:, :, plan.positions[0]]
+        return original.reshape(rows, num_blocks * plan.original_length)

@@ -1,0 +1,239 @@
+"""Decoy sub-network generators (Section 4.2).
+
+The model augmenter hides the original architecture by surrounding it with
+``n_s`` decoy sub-networks made of synthetic parameters.  Decoys receive the
+full augmented input but process a random subset of it, and their parameter
+count is budgeted so the augmented model's total size follows the paper's
+``(1 + A)`` scaling (Tables 3 and 4).
+
+Two families are provided:
+
+* ``"mlp"`` decoys — selector + bottleneck MLP.  The hidden width is solved
+  from the parameter budget, which lets the augmenter hit the target total
+  parameter count accurately for any original model.
+* ``"conv"`` decoys — selector + small convolutional branch, structurally
+  closer to the CNN branches sketched in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .masked_conv import InputSelector
+from .masked_embedding import TokenSelector
+
+
+def _synthetic_padding(count: int, rng: np.random.Generator) -> Optional[nn.Parameter]:
+    """Extra synthetic parameters so a decoy's size hits its budget exactly.
+
+    Decoys exist purely to add synthetic parameters (Section 4.2); padding the
+    remainder keeps the augmented model's total parameter count on the paper's
+    ``(1 + A)`` scaling without changing the decoy's behaviour.
+    """
+    if count <= 0:
+        return None
+    return nn.Parameter(rng.normal(0.0, 0.01, size=count))
+
+
+class ImageDecoy(nn.Module):
+    """A decoy branch operating on a random pixel subset of the augmented image."""
+
+    def __init__(self, selector: InputSelector, body: nn.Module,
+                 cross_adapter: Optional[nn.Module] = None,
+                 synthetic_padding: Optional[nn.Parameter] = None) -> None:
+        super().__init__()
+        self.selector = selector
+        self.body = body
+        self.cross_adapter = cross_adapter
+        if synthetic_padding is not None:
+            self.synthetic_padding = synthetic_padding
+
+    def forward(self, augmented_input: Tensor,
+                cross_features: Optional[Tensor] = None) -> Tensor:
+        logits = self.body(self.selector(augmented_input))
+        if self.cross_adapter is not None and cross_features is not None:
+            # Cross-connection from the original layers (detached by the
+            # caller): the decoy consumes original activations, the original
+            # never consumes decoy activations.
+            logits = logits + self.cross_adapter(cross_features)
+        return logits
+
+
+class TokenDecoy(nn.Module):
+    """A decoy branch operating on a random token subset of the augmented sequence."""
+
+    def __init__(self, selector: TokenSelector, body: nn.Module,
+                 cross_adapter: Optional[nn.Module] = None,
+                 synthetic_padding: Optional[nn.Parameter] = None) -> None:
+        super().__init__()
+        self.selector = selector
+        self.body = body
+        self.cross_adapter = cross_adapter
+        if synthetic_padding is not None:
+            self.synthetic_padding = synthetic_padding
+
+    def forward(self, augmented_tokens, cross_features: Optional[Tensor] = None) -> Tensor:
+        logits = self.body(self.selector(augmented_tokens))
+        if self.cross_adapter is not None and cross_features is not None:
+            logits = logits + self.cross_adapter(cross_features)
+        return logits
+
+
+class _MLPBody(nn.Module):
+    """Flatten -> bottleneck MLP -> logits."""
+
+    def __init__(self, in_features: int, hidden: int, num_classes: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.flatten = nn.Flatten()
+        self.hidden = nn.Linear(in_features, hidden, rng=rng)
+        self.output = nn.Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.output(self.hidden(self.flatten(inputs)).relu())
+
+
+class _PooledLinearBody(nn.Module):
+    """Global-average-pool -> linear; used when the parameter budget is smaller
+    than a single fully-connected layer over the selected pixels."""
+
+    def __init__(self, in_channels: int, num_classes: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.pool = nn.GlobalAvgPool2d()
+        self.output = nn.Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.output(self.pool(inputs))
+
+
+class _ConvBody(nn.Module):
+    """Small convolutional branch: two 3x3 convs -> global pool -> linear.
+
+    Structurally closer to the CNN branches of Figure 4; the second conv
+    downsamples (stride 2) so the branch's compute, like a real sub-network,
+    scales with both its channel count and the input resolution.
+    """
+
+    def __init__(self, in_channels: int, conv_channels: int, num_classes: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, conv_channels, 3, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(conv_channels, conv_channels, 3, stride=2, padding=1, rng=rng)
+        self.pool = nn.GlobalAvgPool2d()
+        self.output = nn.Linear(conv_channels, num_classes, rng=rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = self.conv1(inputs).relu()
+        hidden = self.conv2(hidden).relu()
+        return self.output(self.pool(hidden))
+
+
+class _EmbeddingBody(nn.Module):
+    """Embedding -> mean pool -> linear (text classification decoys)."""
+
+    def __init__(self, vocab_size: int, embed_dim: int, num_classes: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.output = nn.Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, token_ids) -> Tensor:
+        return self.output(self.embedding(token_ids).mean(axis=1))
+
+
+class _LMBody(nn.Module):
+    """Embedding -> linear head over the vocabulary (language-model decoys)."""
+
+    def __init__(self, vocab_size: int, embed_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.head = nn.Linear(embed_dim, vocab_size, rng=rng)
+
+    def forward(self, token_ids) -> Tensor:
+        return self.head(self.embedding(token_ids))
+
+
+def random_pixel_positions(channels: int, original_pixels: int, augmented_pixels: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Random per-channel subsets of the augmented positions (decoy inputs)."""
+    return np.stack([
+        np.sort(rng.choice(augmented_pixels, size=original_pixels, replace=False))
+        for _ in range(channels)
+    ]).astype(np.int64)
+
+
+def random_token_positions(original_length: int, augmented_length: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    return np.sort(rng.choice(augmented_length, size=original_length,
+                              replace=False)).astype(np.int64)
+
+
+def build_image_decoy(parameter_budget: int, channels: int,
+                      original_shape: Tuple[int, int], augmented_shape: Tuple[int, int],
+                      num_classes: int, style: str, rng: np.random.Generator,
+                      cross_dim: Optional[int] = None) -> ImageDecoy:
+    """Build one image decoy whose parameter count approximates ``parameter_budget``."""
+    original_h, original_w = original_shape
+    augmented_h, augmented_w = augmented_shape
+    original_pixels = original_h * original_w
+    positions = random_pixel_positions(channels, original_pixels,
+                                       augmented_h * augmented_w, rng)
+    selector = InputSelector(positions, (original_h, original_w))
+    cross_adapter = None
+    budget = max(parameter_budget, 1)
+    if cross_dim is not None:
+        cross_adapter = nn.Linear(cross_dim, num_classes, rng=rng)
+        budget = max(budget - cross_adapter.num_parameters(), 1)
+
+    if style == "conv":
+        # Parameters of the branch: 9*C*k (conv1) + 9*k^2 (conv2) + k*classes.
+        # Solve the quadratic for k and cap it so decoy compute stays bounded.
+        a, b, c = 9.0, 9.0 * channels + num_classes + 2.0, -float(budget)
+        conv_channels = int((-b + np.sqrt(b * b - 4 * a * c)) / (2 * a))
+        conv_channels = int(np.clip(conv_channels, 4, 96))
+        body: nn.Module = _ConvBody(channels, conv_channels, num_classes, rng)
+    else:
+        in_features = channels * original_pixels
+        if budget < in_features + num_classes + 1:
+            # Budget too small for even a width-1 MLP over the selected pixels;
+            # fall back to a pooled linear head so tiny models stay on budget.
+            body = _PooledLinearBody(channels, num_classes, rng)
+        else:
+            hidden = max(budget // (in_features + num_classes + 1), 1)
+            body = _MLPBody(in_features, hidden, num_classes, rng)
+    used = body.num_parameters() + (cross_adapter.num_parameters() if cross_adapter else 0)
+    padding = _synthetic_padding(parameter_budget - used, rng)
+    return ImageDecoy(selector, body, cross_adapter, synthetic_padding=padding)
+
+
+def build_text_decoy(parameter_budget: int, vocab_size: int, original_length: int,
+                     augmented_length: int, num_classes: int, rng: np.random.Generator,
+                     cross_dim: Optional[int] = None) -> TokenDecoy:
+    """Build one text-classification decoy within ``parameter_budget`` parameters."""
+    positions = random_token_positions(original_length, augmented_length, rng)
+    selector = TokenSelector(positions)
+    cross_adapter = None
+    budget = max(parameter_budget, 1)
+    if cross_dim is not None:
+        cross_adapter = nn.Linear(cross_dim, num_classes, rng=rng)
+        budget = max(budget - cross_adapter.num_parameters(), 1)
+    embed_dim = max(budget // (vocab_size + num_classes + 1), 1)
+    body = _EmbeddingBody(vocab_size, embed_dim, num_classes, rng)
+    used = body.num_parameters() + (cross_adapter.num_parameters() if cross_adapter else 0)
+    padding = _synthetic_padding(parameter_budget - used, rng)
+    return TokenDecoy(selector, body, cross_adapter, synthetic_padding=padding)
+
+
+def build_lm_decoy(parameter_budget: int, vocab_size: int, original_length: int,
+                   augmented_length: int, rng: np.random.Generator) -> TokenDecoy:
+    """Build one language-model decoy within ``parameter_budget`` parameters."""
+    positions = random_token_positions(original_length, augmented_length, rng)
+    selector = TokenSelector(positions)
+    embed_dim = max(parameter_budget // (2 * vocab_size + 1), 1)
+    body = _LMBody(vocab_size, embed_dim, rng)
+    padding = _synthetic_padding(parameter_budget - body.num_parameters(), rng)
+    return TokenDecoy(selector, body, cross_adapter=None, synthetic_padding=padding)

@@ -1,0 +1,75 @@
+"""NN Model Extractor (Section 4.3).
+
+After the augmented model returns from the cloud, the extractor builds a fresh
+instance of the original architecture (from the user's model definition),
+copies the trained original-layer weights out of the augmented model's state
+dict, and loads them into the fresh instance.  The result contains no custom
+convolution/embedding layer and therefore works directly on the original
+dataset.
+
+Extraction is a pure state-dict copy: its cost is independent of the
+augmentation amount (the paper's "constant time, a few milliseconds"
+observation, Section 5.4), which ``ExtractionReport.elapsed`` lets the
+benchmarks confirm.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from .. import nn
+from .model_augmenter import AugmentedModel
+
+
+@dataclass
+class ExtractionReport:
+    """The extracted model plus provenance information."""
+
+    model: nn.Module
+    elapsed: float
+    copied_parameters: int
+
+
+class ModelExtractor:
+    """Extracts the original model from a trained augmented model."""
+
+    def __init__(self, model_factory: Callable[[], nn.Module]) -> None:
+        """``model_factory`` re-creates the original architecture (the "model
+        definition provided by the user")."""
+        self.model_factory = model_factory
+
+    def extract(self, augmented_model: AugmentedModel) -> ExtractionReport:
+        """Copy the trained original weights out of ``augmented_model``."""
+        start = time.perf_counter()
+        original_state = self.extract_state(augmented_model)
+        model = self.model_factory()
+        model.load_state_dict(original_state, strict=True)
+        elapsed = time.perf_counter() - start
+        copied = int(sum(np.asarray(value).size for value in original_state.values()))
+        return ExtractionReport(model=model, elapsed=elapsed, copied_parameters=copied)
+
+    @staticmethod
+    def extract_state(augmented_model: AugmentedModel) -> Dict[str, np.ndarray]:
+        """Return the original sub-network body's state dict with clean names."""
+        prefix = augmented_model.original_parameter_prefix()
+        state = augmented_model.state_dict()
+        extracted = {
+            name[len(prefix):]: value
+            for name, value in state.items()
+            if name.startswith(prefix)
+        }
+        if not extracted:
+            raise ValueError(
+                "augmented model contains no parameters under the original prefix "
+                f"'{prefix}' — was it built by ModelAugmenter?"
+            )
+        return extracted
+
+    def extract_into(self, augmented_model: AugmentedModel, target: nn.Module) -> nn.Module:
+        """Load the original trained weights into an existing model instance."""
+        target.load_state_dict(self.extract_state(augmented_model), strict=True)
+        return target

@@ -1,0 +1,122 @@
+"""Custom convolution layer for augmented inputs (Section 4.2, Equation 1).
+
+The augmented model's first convolution must skip the synthetic pixel
+positions ``(x_a, y_a)`` so that the original sub-network convolves over
+exactly the original image.  Operationally, skipping the noise positions of a
+vectorised channel and convolving over what remains is identical to gathering
+the kept positions back into the original ``H x W`` grid and applying a
+standard convolution — which is how :class:`MaskedConv2d` implements
+Equation 1 on top of the autograd substrate.
+
+Decoy sub-networks use the same layer with *random* position sets, so from the
+cloud's point of view every sub-network starts with an identical-looking
+custom layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class InputSelector(nn.Module):
+    """Gathers a per-channel subset of an augmented image into a dense grid.
+
+    ``positions`` has shape ``(channels, target_h * target_w)`` and indexes the
+    flattened spatial dimension of the augmented input.
+    """
+
+    def __init__(self, positions: np.ndarray, target_shape: Tuple[int, int]) -> None:
+        super().__init__()
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.ndim != 2:
+            raise ValueError("positions must have shape (channels, target_pixels)")
+        target_h, target_w = target_shape
+        if positions.shape[1] != target_h * target_w:
+            raise ValueError("positions row length must equal target_h * target_w")
+        self.register_buffer("positions", positions)
+        self.target_shape = (target_h, target_w)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        batch, channels, height, width = inputs.shape
+        if channels != self.positions.shape[0]:
+            raise ValueError(
+                f"input has {channels} channels but selector was built for "
+                f"{self.positions.shape[0]}"
+            )
+        flat = inputs.reshape(batch, channels, height * width)
+        channel_index = np.arange(channels)[:, None]
+        gathered = flat[:, channel_index, self.positions]
+        target_h, target_w = self.target_shape
+        return gathered.reshape(batch, channels, target_h, target_w)
+
+
+class MaskedConv2d(nn.Module):
+    """Convolution that skips a set of augmented input positions (Equation 1).
+
+    Parameters
+    ----------
+    positions:
+        ``(in_channels, original_h * original_w)`` flat indices of the inputs
+        the layer *keeps* (i.e. the complement of the skipped ``x_a, y_a``).
+    original_shape:
+        ``(original_h, original_w)`` grid the kept positions map back onto.
+    Remaining arguments match :class:`repro.nn.Conv2d`.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        positions: np.ndarray,
+        original_shape: Tuple[int, int],
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.selector = InputSelector(positions, original_shape)
+        self.conv = nn.Conv2d(in_channels, out_channels, kernel_size,
+                              stride=stride, padding=padding, bias=bias, rng=rng)
+
+    @classmethod
+    def from_conv(cls, conv: nn.Conv2d, positions: np.ndarray,
+                  original_shape: Tuple[int, int]) -> "MaskedConv2d":
+        """Wrap an existing convolution, *sharing* its weight/bias parameters.
+
+        This is the surgery the model augmenter applies to the original
+        model's first convolution: the trained parameters remain the very same
+        objects, so extraction after training is a pure copy.
+        """
+        masked = cls(conv.in_channels, conv.out_channels, conv.kernel_size,
+                     positions, original_shape, stride=conv.stride,
+                     padding=conv.padding, bias=conv.bias is not None)
+        masked.conv = conv
+        return masked
+
+    @property
+    def skipped_positions(self) -> np.ndarray:
+        """Flat indices the layer ignores (the ``x_a, y_a`` of Equation 1)."""
+        channels, kept = self.selector.positions.shape
+        total = None
+        skipped = []
+        for channel in range(channels):
+            keep = self.selector.positions[channel]
+            if total is None:
+                total = int(keep.max()) + 1 if kept else 0
+            mask = np.ones(max(total, int(keep.max()) + 1), dtype=bool)
+            mask[keep] = False
+            skipped.append(np.nonzero(mask)[0])
+        return np.stack([np.pad(s, (0, max(map(len, skipped)) - len(s)), constant_values=-1)
+                         for s in skipped])
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.conv(self.selector(inputs))

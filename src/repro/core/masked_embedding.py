@@ -1,0 +1,64 @@
+"""Custom embedding layer for augmented token sequences (Section 4.2, Equation 2).
+
+The augmented NLP model's first embedding layer ignores the token positions
+``x_a`` that the dataset augmenter filled with synthetic tokens: only the kept
+positions are embedded, so the original sub-network sees exactly the original
+token sequence.  Decoy sub-networks use the same layer with random kept-index
+sets and their own synthetic vocabularies/dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+class TokenSelector(nn.Module):
+    """Selects a fixed subset of positions from ``(batch, augmented_len)`` token ids."""
+
+    def __init__(self, positions: np.ndarray) -> None:
+        super().__init__()
+        positions = np.asarray(positions, dtype=np.int64).reshape(-1)
+        self.register_buffer("positions", positions)
+
+    def forward(self, token_ids) -> np.ndarray:
+        ids = token_ids.data if isinstance(token_ids, Tensor) else np.asarray(token_ids)
+        return ids[:, self.positions]
+
+
+class MaskedEmbedding(nn.Module):
+    """Embedding that skips augmented token positions (Equation 2).
+
+    Parameters
+    ----------
+    positions:
+        Indices (into the augmented sequence) of the tokens this sub-network
+        embeds; for the original sub-network these are the original token
+        positions recorded in the dataset plan.
+    num_embeddings / embedding_dim:
+        Vocabulary and embedding sizes of the underlying lookup table.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, positions: np.ndarray,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.selector = TokenSelector(positions)
+        self.embedding = nn.Embedding(num_embeddings, embedding_dim, rng=rng)
+
+    @classmethod
+    def from_embedding(cls, embedding: nn.Embedding, positions: np.ndarray) -> "MaskedEmbedding":
+        """Wrap an existing embedding, sharing its weight parameter."""
+        masked = cls(embedding.num_embeddings, embedding.embedding_dim, positions)
+        masked.embedding = embedding
+        return masked
+
+    @property
+    def kept_positions(self) -> np.ndarray:
+        return self.selector.positions
+
+    def forward(self, token_ids) -> Tensor:
+        return self.embedding(self.selector(token_ids))

@@ -1,0 +1,399 @@
+"""NN Model Augmenter (Section 4.2).
+
+Given the user's original model and the dataset plan produced by the dataset
+augmenter, this module builds an *augmented model* containing:
+
+* the **original sub-network** — an input selector configured with the secret
+  original positions feeding the user's model (weights are the very same
+  parameter objects the user handed in, so training them trains the original
+  model); and
+* ``n_s`` **decoy sub-networks** with synthetic parameters, each reading a
+  random subset of the augmented input.
+
+Cross-connections follow the paper's rule: original layers may feed decoy
+layers, but never the other way around.  The original activations flowing into
+decoys are detached from the autograd graph, so decoy losses cannot perturb
+the original parameters — which is exactly why the original model's training
+dynamics (loss and accuracy curves) are untouched.
+
+The sub-network order inside the augmented model is shuffled and the index of
+the original sub-network is stored only in the returned
+:class:`~repro.core.augmentation_plan.ObfuscationSecrets`.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+from ..utils.rng import get_rng
+from .augmentation_plan import (
+    ImageAugmentationPlan,
+    ObfuscationSecrets,
+    SubnetworkInputPlan,
+    TextAugmentationPlan,
+)
+from .config import AmalgamConfig
+from .decoys import (
+    ImageDecoy,
+    TokenDecoy,
+    build_image_decoy,
+    build_lm_decoy,
+    build_text_decoy,
+)
+from .masked_conv import InputSelector, MaskedConv2d
+from .masked_embedding import MaskedEmbedding, TokenSelector
+
+
+class OriginalImageSubnetwork(nn.Module):
+    """Input selector (original positions) followed by the user's model."""
+
+    def __init__(self, selector: InputSelector, body: nn.Module) -> None:
+        super().__init__()
+        self.selector = selector
+        self.body = body
+
+    def forward(self, augmented_input: Tensor) -> Tensor:
+        return self.body(self.selector(augmented_input))
+
+
+class OriginalTokenSubnetwork(nn.Module):
+    """Token selector (original positions) followed by the user's model."""
+
+    def __init__(self, selector: TokenSelector, body: nn.Module) -> None:
+        super().__init__()
+        self.selector = selector
+        self.body = body
+
+    def forward(self, augmented_tokens) -> Tensor:
+        return self.body(self.selector(augmented_tokens))
+
+
+class AugmentedModel(nn.Module):
+    """Container holding all sub-networks of an obfuscated model.
+
+    ``forward`` returns the list of every sub-network's output on the full
+    augmented input.  ``loss`` implements Algorithm 1: every sub-network's
+    parameters are updated from its own loss term; summing the per-subnetwork
+    losses and calling ``backward`` once achieves the same updates because the
+    terms share no trainable parameters (original-to-decoy activations are
+    detached).
+    """
+
+    def __init__(self, subnetworks: Sequence[nn.Module], original_index: int,
+                 task: str = "classification") -> None:
+        super().__init__()
+        if task not in ("classification", "lm"):
+            raise ValueError("task must be 'classification' or 'lm'")
+        self.subnetworks = nn.ModuleList(list(subnetworks))
+        self._route_index = original_index
+        self.task = task
+
+    # -- structure -----------------------------------------------------
+    @property
+    def num_subnetworks(self) -> int:
+        return len(self.subnetworks)
+
+    @property
+    def original_index(self) -> int:
+        """Index of the original sub-network (part of the user's secret)."""
+        return self._route_index
+
+    def original_subnetwork(self) -> nn.Module:
+        return self.subnetworks[self._route_index]
+
+    def original_parameter_prefix(self) -> str:
+        """State-dict prefix under which the original body's weights live."""
+        return f"subnetworks.{self._route_index}.body."
+
+    # -- forward / loss ------------------------------------------------
+    def forward(self, augmented_input) -> List[Tensor]:
+        original_output = self.subnetworks[self._route_index](augmented_input)
+        cross_features = original_output.detach()
+        outputs: List[Optional[Tensor]] = [None] * self.num_subnetworks
+        outputs[self._route_index] = original_output
+        for index, subnetwork in enumerate(self.subnetworks):
+            if index == self._route_index:
+                continue
+            if isinstance(subnetwork, (ImageDecoy, TokenDecoy)):
+                outputs[index] = subnetwork(augmented_input, cross_features)
+            else:
+                outputs[index] = subnetwork(augmented_input)
+        return outputs  # type: ignore[return-value]
+
+    def original_output(self, augmented_input) -> Tensor:
+        """Run only the original sub-network (used for validation curves)."""
+        return self.subnetworks[self._route_index](augmented_input)
+
+    def loss(self, augmented_input, targets: Optional[np.ndarray] = None) -> Tensor:
+        """Combined training loss over all sub-networks (Algorithm 1).
+
+        For classification, ``targets`` are the (original) labels shared by
+        every sub-network.  For language modelling each sub-network predicts
+        the next token of *its own* selected sequence, so targets are derived
+        internally and ``targets`` must be ``None``.
+        """
+        if self.task == "classification":
+            outputs = self.forward(augmented_input)
+            terms = [F.cross_entropy(output, targets) for output in outputs]
+        else:
+            terms = [subnetwork.lm_loss(augmented_input) for subnetwork in self.subnetworks]
+        total = terms[0]
+        for term in terms[1:]:
+            total = total + term
+        return total
+
+    def original_loss(self, augmented_input, targets: Optional[np.ndarray] = None) -> Tensor:
+        """Loss of the original sub-network alone (reported in the figures)."""
+        if self.task == "classification":
+            return F.cross_entropy(self.original_output(augmented_input), targets)
+        return self.subnetworks[self._route_index].lm_loss(augmented_input)
+
+
+class OriginalLMSubnetwork(nn.Module):
+    """Selector + the user's language model, predicting the *original* next token.
+
+    The selected original tokens form a ``(batch, L)`` block; the sub-network
+    returns logits for positions ``0..L-2`` so the matching targets are the
+    original tokens at ``1..L-1`` (handled by the trainer).
+    """
+
+    def __init__(self, selector: TokenSelector, body: nn.Module) -> None:
+        super().__init__()
+        self.selector = selector
+        self.body = body
+
+    def forward(self, augmented_tokens) -> Tensor:
+        selected = self.selector(augmented_tokens)
+        return self.body(selected[:, :-1])
+
+    def lm_loss(self, augmented_tokens) -> Tensor:
+        """Next-token loss over the sub-network's own (original) token selection."""
+        selected = self.selector(augmented_tokens)
+        logits = self.body(selected[:, :-1])
+        return _flat_lm_loss(logits, selected[:, 1:])
+
+
+@dataclass
+class AugmentationResult:
+    """What the model augmenter hands back to the user."""
+
+    augmented_model: AugmentedModel
+    secrets: ObfuscationSecrets
+    original_parameters: int
+    augmented_parameters: int
+
+    @property
+    def parameter_overhead(self) -> float:
+        """Relative growth in parameter count, ~``model_amount`` by construction."""
+        if self.original_parameters == 0:
+            return 0.0
+        return (self.augmented_parameters - self.original_parameters) / self.original_parameters
+
+
+class ModelAugmenter:
+    """Builds augmented models for image classification, text classification and LM tasks."""
+
+    def __init__(self, config: AmalgamConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Image classification
+    # ------------------------------------------------------------------
+    def augment_image_model(self, model: nn.Module, plan: ImageAugmentationPlan,
+                            num_classes: int, copy_model: bool = True) -> AugmentationResult:
+        """Augment a CNN classifier using the dataset plan's secret positions."""
+        rng = get_rng(self.config.seed + 1)
+        body = copy.deepcopy(model) if copy_model else model
+        original_params = body.num_parameters()
+
+        channels, height, width = plan.original_shape
+        _, aug_height, aug_width = plan.augmented_shape
+        selector = InputSelector(plan.channel_positions, (height, width))
+        original_subnetwork = OriginalImageSubnetwork(selector, body)
+
+        count = self.config.resolve_subnetworks(rng)
+        budget_total = int(round(original_params * self.config.model_amount))
+        budget_each = max(budget_total // max(count, 1), 1)
+        decoys = [
+            build_image_decoy(budget_each, channels, (height, width),
+                              (aug_height, aug_width), num_classes,
+                              self.config.decoy_style, rng, cross_dim=num_classes)
+            for _ in range(count)
+        ]
+        subnetworks, original_index, subnet_plans = self._assemble(
+            original_subnetwork, decoys, rng,
+            original_plan=SubnetworkInputPlan("original", True,
+                                              image_positions=plan.channel_positions),
+            decoy_plan_builder=lambda decoy, name: SubnetworkInputPlan(
+                name, False, image_positions=decoy.selector.positions),
+        )
+        augmented = AugmentedModel(subnetworks, original_index, task="classification")
+        secrets = ObfuscationSecrets(
+            config_seed=self.config.seed,
+            dataset_plan=plan,
+            subnetwork_plans=subnet_plans,
+            original_subnetwork_index=original_index,
+            metadata={"kind": "image-classification", "num_classes": num_classes},
+        )
+        return AugmentationResult(augmented, secrets, original_params,
+                                  augmented.num_parameters())
+
+    # ------------------------------------------------------------------
+    # Text classification
+    # ------------------------------------------------------------------
+    def augment_text_model(self, model: nn.Module, plan: TextAugmentationPlan,
+                           vocab_size: int, num_classes: int,
+                           copy_model: bool = True) -> AugmentationResult:
+        rng = get_rng(self.config.seed + 1)
+        body = copy.deepcopy(model) if copy_model else model
+        original_params = body.num_parameters()
+
+        selector = TokenSelector(plan.positions[0])
+        original_subnetwork = OriginalTokenSubnetwork(selector, body)
+
+        count = self.config.resolve_subnetworks(rng)
+        budget_total = int(round(original_params * self.config.model_amount))
+        budget_each = max(budget_total // max(count, 1), 1)
+        decoys = [
+            build_text_decoy(budget_each, vocab_size, plan.original_length,
+                             plan.augmented_length, num_classes, rng, cross_dim=num_classes)
+            for _ in range(count)
+        ]
+        subnetworks, original_index, subnet_plans = self._assemble(
+            original_subnetwork, decoys, rng,
+            original_plan=SubnetworkInputPlan("original", True,
+                                              token_positions=plan.positions[0]),
+            decoy_plan_builder=lambda decoy, name: SubnetworkInputPlan(
+                name, False, token_positions=decoy.selector.positions),
+        )
+        augmented = AugmentedModel(subnetworks, original_index, task="classification")
+        secrets = ObfuscationSecrets(
+            config_seed=self.config.seed,
+            dataset_plan=plan,
+            subnetwork_plans=subnet_plans,
+            original_subnetwork_index=original_index,
+            metadata={"kind": "text-classification", "num_classes": num_classes,
+                      "vocab_size": vocab_size},
+        )
+        return AugmentationResult(augmented, secrets, original_params,
+                                  augmented.num_parameters())
+
+    # ------------------------------------------------------------------
+    # Language modelling
+    # ------------------------------------------------------------------
+    def augment_language_model(self, model: nn.Module, plan: TextAugmentationPlan,
+                               vocab_size: int, copy_model: bool = True) -> AugmentationResult:
+        rng = get_rng(self.config.seed + 1)
+        body = copy.deepcopy(model) if copy_model else model
+        original_params = body.num_parameters()
+
+        selector = TokenSelector(plan.positions[0])
+        original_subnetwork = OriginalLMSubnetwork(selector, body)
+
+        count = self.config.resolve_subnetworks(rng)
+        budget_total = int(round(original_params * self.config.model_amount))
+        budget_each = max(budget_total // max(count, 1), 1)
+        decoys = []
+        for _ in range(count):
+            decoy = build_lm_decoy(budget_each, vocab_size, plan.original_length,
+                                   plan.augmented_length, rng)
+            decoys.append(_LMDecoyAdapter(decoy))
+        subnetworks, original_index, subnet_plans = self._assemble(
+            original_subnetwork, decoys, rng,
+            original_plan=SubnetworkInputPlan("original", True,
+                                              token_positions=plan.positions[0]),
+            decoy_plan_builder=lambda decoy, name: SubnetworkInputPlan(
+                name, False, token_positions=decoy.decoy.selector.positions),
+        )
+        augmented = AugmentedModel(subnetworks, original_index, task="lm")
+        secrets = ObfuscationSecrets(
+            config_seed=self.config.seed,
+            dataset_plan=plan,
+            subnetwork_plans=subnet_plans,
+            original_subnetwork_index=original_index,
+            metadata={"kind": "language-modelling", "vocab_size": vocab_size},
+        )
+        return AugmentationResult(augmented, secrets, original_params,
+                                  augmented.num_parameters())
+
+    # ------------------------------------------------------------------
+    # Shared assembly: shuffle sub-network order so position leaks nothing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _assemble(original_subnetwork: nn.Module, decoys: Sequence[nn.Module],
+                  rng: np.random.Generator, original_plan: SubnetworkInputPlan,
+                  decoy_plan_builder) -> tuple[List[nn.Module], int, List[SubnetworkInputPlan]]:
+        entries: List[tuple[nn.Module, SubnetworkInputPlan]] = [
+            (original_subnetwork, original_plan)
+        ]
+        for decoy_index, decoy in enumerate(decoys):
+            entries.append((decoy, decoy_plan_builder(decoy, f"decoy-{decoy_index}")))
+        order = rng.permutation(len(entries))
+        subnetworks = [entries[i][0] for i in order]
+        plans = [entries[i][1] for i in order]
+        original_index = int(np.nonzero(order == 0)[0][0])
+        return subnetworks, original_index, plans
+
+
+class _LMDecoyAdapter(nn.Module):
+    """Adapts a :class:`TokenDecoy` to the LM convention (predict positions 1..L-1)."""
+
+    def __init__(self, decoy: TokenDecoy) -> None:
+        super().__init__()
+        self.decoy = decoy
+
+    def forward(self, augmented_tokens, cross_features=None) -> Tensor:
+        selected = self.decoy.selector(augmented_tokens)
+        return self.decoy.body(selected[:, :-1])
+
+    def lm_loss(self, augmented_tokens) -> Tensor:
+        """Next-token loss over the decoy's own random token selection."""
+        selected = self.decoy.selector(augmented_tokens)
+        logits = self.decoy.body(selected[:, :-1])
+        return _flat_lm_loss(logits, selected[:, 1:])
+
+
+def _flat_lm_loss(logits: Tensor, targets: np.ndarray) -> Tensor:
+    batch, seq_len, vocab = logits.shape
+    flat_logits = logits.reshape(batch * seq_len, vocab)
+    return F.cross_entropy(flat_logits, np.asarray(targets).reshape(-1))
+
+
+# ---------------------------------------------------------------------------
+# First-layer surgery helpers (the fused MaskedConv2d / MaskedEmbedding path)
+# ---------------------------------------------------------------------------
+def replace_first_conv(model: nn.Module, positions: np.ndarray,
+                       original_shape: tuple[int, int]) -> nn.Module:
+    """Replace the first convolution of ``model`` with a parameter-sharing
+    :class:`MaskedConv2d` (Equation 1).  Returns the module that was wrapped.
+
+    This is the literal surgery described in the paper; the default augmenter
+    path (selector in front of the untouched model) is mathematically
+    identical because ``MaskedConv2d = InputSelector -> Conv2d``.
+    """
+    for parent_name, parent in model.named_modules():
+        for child_name, child in list(parent._modules.items()):
+            if isinstance(child, nn.Conv2d):
+                masked = MaskedConv2d.from_conv(child, positions, original_shape)
+                parent.register_module(child_name, masked)
+                return child
+    raise ValueError("model contains no Conv2d layer to replace")
+
+
+def replace_first_embedding(model: nn.Module, positions: np.ndarray) -> nn.Module:
+    """Replace the first embedding of ``model`` with a parameter-sharing
+    :class:`MaskedEmbedding` (Equation 2).  Returns the module that was wrapped."""
+    for parent_name, parent in model.named_modules():
+        for child_name, child in list(parent._modules.items()):
+            if isinstance(child, nn.Embedding):
+                masked = MaskedEmbedding.from_embedding(child, positions)
+                parent.register_module(child_name, masked)
+                return child
+    raise ValueError("model contains no Embedding layer to replace")

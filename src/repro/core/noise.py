@@ -1,0 +1,71 @@
+"""Noise generators used by the dataset augmenter (Section 4.1).
+
+Three categories are supported, mirroring the paper: uniform random noise over
+the data's value range (default), Gaussian/Laplace noise, and user-provided
+noise values (e.g. pixels taken from real but unrelated images).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .config import NoiseSpec, NoiseType
+
+
+class NoiseGenerator:
+    """Samples synthetic values for image pixels or text tokens."""
+
+    def __init__(self, spec: NoiseSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Continuous (image) noise
+    # ------------------------------------------------------------------
+    def sample_pixels(self, count: int, rng: np.random.Generator,
+                      value_range: Tuple[float, float] = (0.0, 1.0)) -> np.ndarray:
+        """Sample ``count`` synthetic pixel values."""
+        low, high = value_range
+        noise_type = self.spec.noise_type
+        if noise_type is NoiseType.RANDOM:
+            return rng.uniform(low, high, size=count)
+        if noise_type is NoiseType.GAUSSIAN:
+            values = rng.normal(self.spec.mean, self.spec.sigma, size=count)
+            return np.clip(values, low, high)
+        if noise_type is NoiseType.LAPLACE:
+            values = rng.laplace(self.spec.mean, self.spec.sigma, size=count)
+            return np.clip(values, low, high)
+        if noise_type is NoiseType.USER:
+            pool = np.asarray(self.spec.user_pool).reshape(-1)
+            index = rng.integers(0, len(pool), size=count)
+            return pool[index].astype(float)
+        raise ValueError(f"unsupported noise type {noise_type}")
+
+    # ------------------------------------------------------------------
+    # Discrete (token) noise
+    # ------------------------------------------------------------------
+    def sample_tokens(self, count: int, rng: np.random.Generator, vocab_size: int) -> np.ndarray:
+        """Sample ``count`` synthetic token ids from ``[0, vocab_size)``."""
+        noise_type = self.spec.noise_type
+        if noise_type is NoiseType.RANDOM:
+            return rng.integers(0, vocab_size, size=count)
+        if noise_type in (NoiseType.GAUSSIAN, NoiseType.LAPLACE):
+            center = vocab_size / 2.0 if self.spec.mean == 0.0 else self.spec.mean
+            scale = self.spec.sigma * vocab_size / 6.0
+            if noise_type is NoiseType.GAUSSIAN:
+                values = rng.normal(center, scale, size=count)
+            else:
+                values = rng.laplace(center, scale, size=count)
+            return np.clip(np.round(values), 0, vocab_size - 1).astype(np.int64)
+        if noise_type is NoiseType.USER:
+            pool = np.asarray(self.spec.user_pool).reshape(-1).astype(np.int64)
+            index = rng.integers(0, len(pool), size=count)
+            return pool[index]
+        raise ValueError(f"unsupported noise type {noise_type}")
+
+
+def default_noise(sigma: float = 1.0, noise_type: NoiseType = NoiseType.RANDOM,
+                  user_pool: Optional[np.ndarray] = None) -> NoiseGenerator:
+    """Convenience constructor used by examples and tests."""
+    return NoiseGenerator(NoiseSpec(noise_type=noise_type, sigma=sigma, user_pool=user_pool))

@@ -1,0 +1,158 @@
+"""End-to-end Amalgam pipeline (Figure 1).
+
+:class:`Amalgam` is the user-facing façade tying the three components
+together:
+
+1. :class:`~repro.core.dataset_augmenter.DatasetAugmenter` obfuscates the
+   dataset and records the secret plan;
+2. :class:`~repro.core.model_augmenter.ModelAugmenter` builds the augmented
+   model around the user's original model;
+3. the augmented artefacts are trained (locally or through the simulated
+   cloud in :mod:`repro.cloud`);
+4. :class:`~repro.core.extractor.ModelExtractor` recovers the trained
+   original model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import ArrayDataset, SequenceDataset, TrainValSplit
+from ..data.dataloader import DataLoader
+from ..utils.rng import get_rng
+from .config import AmalgamConfig
+from .dataset_augmenter import (
+    AugmentedImageDataset,
+    AugmentedSequenceDataset,
+    AugmentedTokenDataset,
+    DatasetAugmenter,
+)
+from .extractor import ExtractionReport, ModelExtractor
+from .model_augmenter import AugmentationResult, AugmentedModel, ModelAugmenter
+from .trainer import (
+    AugmentedClassificationTrainer,
+    AugmentedLanguageModelTrainer,
+    TrainingResult,
+)
+
+
+@dataclass
+class ObfuscationJob:
+    """Everything produced by the augmentation phase, ready for cloud upload.
+
+    ``augmented_model`` and the augmented dataset(s) are what the cloud sees;
+    ``augmentation`` (which embeds the secrets) stays on the user's device.
+    """
+
+    config: AmalgamConfig
+    augmentation: AugmentationResult
+    train_data: object
+    val_data: Optional[object] = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def augmented_model(self) -> AugmentedModel:
+        return self.augmentation.augmented_model
+
+    @property
+    def secrets(self):
+        return self.augmentation.secrets
+
+
+@dataclass
+class TrainedJob:
+    """An :class:`ObfuscationJob` after training, plus its metric curves."""
+
+    job: ObfuscationJob
+    training: TrainingResult
+
+
+class Amalgam:
+    """User-facing façade for obfuscated training."""
+
+    def __init__(self, config: Optional[AmalgamConfig] = None) -> None:
+        self.config = config if config is not None else AmalgamConfig()
+        self.dataset_augmenter = DatasetAugmenter(self.config)
+        self.model_augmenter = ModelAugmenter(self.config)
+
+    # ------------------------------------------------------------------
+    # Preparation (runs on the user's device)
+    # ------------------------------------------------------------------
+    def prepare_image_job(self, model: nn.Module, data: TrainValSplit) -> ObfuscationJob:
+        """Augment an image-classification dataset and model."""
+        augmented_train = self.dataset_augmenter.augment_images(data.train)
+        augmented_val = self.dataset_augmenter.augment_images(data.validation,
+                                                              plan=augmented_train.plan)
+        augmentation = self.model_augmenter.augment_image_model(
+            model, augmented_train.plan, num_classes=data.info.num_classes)
+        return ObfuscationJob(self.config, augmentation, augmented_train, augmented_val,
+                              metadata={"task": "image-classification"})
+
+    def prepare_text_job(self, model: nn.Module, data: TrainValSplit,
+                         vocab_size: int) -> ObfuscationJob:
+        """Augment a token-sequence classification dataset and model."""
+        augmented_train = self.dataset_augmenter.augment_token_dataset(data.train)
+        augmented_val = self.dataset_augmenter.augment_token_dataset(data.validation,
+                                                                     plan=augmented_train.plan)
+        augmentation = self.model_augmenter.augment_text_model(
+            model, augmented_train.plan, vocab_size=vocab_size,
+            num_classes=data.info.num_classes)
+        return ObfuscationJob(self.config, augmentation, augmented_train, augmented_val,
+                              metadata={"task": "text-classification"})
+
+    def prepare_lm_job(self, model: nn.Module, train: SequenceDataset,
+                       validation: Optional[SequenceDataset] = None,
+                       batch_rows: int = 8, seq_len: int = 20) -> ObfuscationJob:
+        """Augment a language-modelling stream and model."""
+        augmented_train = self.dataset_augmenter.augment_sequence(train, batch_rows, seq_len)
+        augmented_val = None
+        if validation is not None:
+            augmented_val = self.dataset_augmenter.augment_sequence(
+                validation, batch_rows, seq_len, plan=augmented_train.plan)
+        augmentation = self.model_augmenter.augment_language_model(
+            model, augmented_train.plan, vocab_size=train.info.vocab_size)
+        return ObfuscationJob(self.config, augmentation, augmented_train, augmented_val,
+                              metadata={"task": "language-modelling",
+                                        "seq_len": seq_len, "batch_rows": batch_rows})
+
+    # ------------------------------------------------------------------
+    # Training (what the cloud would execute)
+    # ------------------------------------------------------------------
+    def train_job(self, job: ObfuscationJob, epochs: int = 1, lr: float = 0.01,
+                  batch_size: int = 32, optimizer: str = "sgd",
+                  shuffle_seed: Optional[int] = None, verbose: bool = False) -> TrainedJob:
+        """Train the augmented model locally (the same code the cloud runs)."""
+        task = job.metadata.get("task", "image-classification")
+        if task == "language-modelling":
+            trainer = AugmentedLanguageModelTrainer(job.augmented_model, lr=lr,
+                                                    optimizer=optimizer)
+            train_data: AugmentedSequenceDataset = job.train_data
+            val_batches = job.val_data.batches if job.val_data is not None else None
+            training = trainer.fit(train_data.batches, train_data.block_length,
+                                   epochs=epochs, val_batches=val_batches, verbose=verbose)
+            return TrainedJob(job, training)
+
+        trainer = AugmentedClassificationTrainer(job.augmented_model, lr=lr,
+                                                 optimizer=optimizer)
+        train_data = job.train_data.dataset
+        rng = get_rng(shuffle_seed if shuffle_seed is not None else self.config.seed + 99)
+        train_loader = DataLoader(train_data, batch_size=batch_size, shuffle=True, rng=rng)
+        val_loader = None
+        if job.val_data is not None:
+            val_loader = DataLoader(job.val_data.dataset, batch_size=batch_size)
+        training = trainer.fit(train_loader, val_loader, epochs=epochs, verbose=verbose)
+        return TrainedJob(job, training)
+
+    # ------------------------------------------------------------------
+    # Extraction (back on the user's device)
+    # ------------------------------------------------------------------
+    def extract(self, trained: TrainedJob | ObfuscationJob,
+                model_factory: Callable[[], nn.Module]) -> ExtractionReport:
+        """Recover the trained original model from an augmented model."""
+        job = trained.job if isinstance(trained, TrainedJob) else trained
+        extractor = ModelExtractor(model_factory)
+        return extractor.extract(job.augmented_model)

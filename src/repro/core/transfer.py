@@ -1,0 +1,89 @@
+"""Transfer learning / fine-tuning support (Section 4.4).
+
+A user can load pre-trained weights into (part of) a model *before* handing
+it to the model augmenter.  Augmentation only adds decoy sub-networks next to
+the model, so pre-trained values pass through augmentation unchanged; after
+cloud fine-tuning the extractor recovers the fine-tuned weights exactly as in
+the from-scratch case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .. import nn
+from .model_augmenter import AugmentedModel
+
+
+def apply_pretrained(model: nn.Module, pretrained_state: Dict[str, np.ndarray],
+                     strict: bool = False) -> List[str]:
+    """Load pre-trained weights into ``model`` and return the parameter names loaded.
+
+    ``strict=False`` (default) mirrors the usual fine-tuning workflow where the
+    user adds new modules (e.g. CBAM blocks) whose weights are not in the
+    pre-trained checkpoint.
+    """
+    own = dict(model.named_parameters())
+    buffers = dict(model.named_buffers())
+    loaded: List[str] = []
+    for name, value in pretrained_state.items():
+        value = np.asarray(value)
+        if name in own and own[name].shape == value.shape:
+            own[name].data[...] = value
+            loaded.append(name)
+        elif name in buffers and buffers[name].shape == value.shape:
+            buffers[name][...] = value
+            loaded.append(name)
+        elif strict:
+            raise KeyError(f"pre-trained parameter '{name}' does not match the model")
+    return loaded
+
+
+@dataclass
+class PretrainedCheck:
+    """Result of verifying pre-trained weights survived augmentation untouched."""
+
+    checked: int
+    unchanged: int
+
+    @property
+    def intact(self) -> bool:
+        return self.checked == self.unchanged
+
+
+def verify_pretrained_preserved(augmented_model: AugmentedModel,
+                                pretrained_state: Dict[str, np.ndarray],
+                                parameter_names: Optional[Iterable[str]] = None) -> PretrainedCheck:
+    """Check that the pre-trained values are bit-identical inside the augmented model."""
+    prefix = augmented_model.original_parameter_prefix()
+    augmented_state = augmented_model.state_dict()
+    names = list(parameter_names) if parameter_names is not None else list(pretrained_state)
+    checked = 0
+    unchanged = 0
+    for name in names:
+        full_name = prefix + name
+        if full_name not in augmented_state or name not in pretrained_state:
+            continue
+        checked += 1
+        if np.array_equal(augmented_state[full_name], np.asarray(pretrained_state[name])):
+            unchanged += 1
+    return PretrainedCheck(checked=checked, unchanged=unchanged)
+
+
+def freeze_parameters(model: nn.Module, parameter_names: Iterable[str]) -> int:
+    """Disable gradients for the named parameters (classic fine-tuning freeze)."""
+    frozen = 0
+    names = set(parameter_names)
+    for name, parameter in model.named_parameters():
+        if name in names:
+            parameter.requires_grad = False
+            frozen += 1
+    return frozen
+
+
+def trainable_parameters(model: nn.Module):
+    """Iterate over parameters that still require gradients."""
+    return (p for p in model.parameters() if p.requires_grad)

@@ -1,0 +1,56 @@
+"""Dataset substrate: synthetic analogues of the paper's datasets plus loaders."""
+
+from .dataloader import DataLoader
+from .dataset import ArrayDataset, Dataset, DatasetInfo, SequenceDataset, TrainValSplit
+from .synthetic import (
+    CIFAR10_SPEC,
+    CIFAR100_SPEC,
+    IMAGENETTE_SPEC,
+    MNIST_SPEC,
+    SPECS,
+    ImageSpec,
+    make_cifar10,
+    make_cifar100,
+    make_image_dataset,
+    make_imagenette,
+    make_mnist,
+)
+from .text import (
+    Vocabulary,
+    batchify,
+    build_vocabulary,
+    lm_batches,
+    make_agnews,
+    make_wikitext2,
+)
+from .transforms import channel_statistics, flatten_images, normalize, to_float
+
+__all__ = [
+    "DataLoader",
+    "ArrayDataset",
+    "Dataset",
+    "DatasetInfo",
+    "SequenceDataset",
+    "TrainValSplit",
+    "CIFAR10_SPEC",
+    "CIFAR100_SPEC",
+    "IMAGENETTE_SPEC",
+    "MNIST_SPEC",
+    "SPECS",
+    "ImageSpec",
+    "make_cifar10",
+    "make_cifar100",
+    "make_image_dataset",
+    "make_imagenette",
+    "make_mnist",
+    "Vocabulary",
+    "batchify",
+    "build_vocabulary",
+    "lm_batches",
+    "make_agnews",
+    "make_wikitext2",
+    "channel_statistics",
+    "flatten_images",
+    "normalize",
+    "to_float",
+]

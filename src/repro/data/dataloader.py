@@ -1,0 +1,45 @@
+"""Mini-batch loader with deterministic shuffling."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+
+class DataLoader:
+    """Iterates over an :class:`ArrayDataset` in mini-batches.
+
+    Shuffling is controlled by an explicit RNG so that the original and the
+    augmented training runs can consume samples in exactly the same order —
+    the property the training-equivalence tests rely on.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int, shuffle: bool = False,
+                 rng: Optional[np.random.Generator] = None, drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        count = len(self.dataset)
+        order = np.arange(count)
+        if self.shuffle:
+            order = self.rng.permutation(count)
+        for start in range(0, count, self.batch_size):
+            index = order[start : start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                break
+            yield self.dataset.samples[index], self.dataset.labels[index]

@@ -1,0 +1,110 @@
+"""Dataset abstractions.
+
+The paper feeds PyTorch tensor datasets to the dataset augmenter.  Here the
+equivalent is :class:`ArrayDataset`: a pair of numpy arrays (samples, labels)
+plus lightweight metadata describing the dataset geometry, which the
+augmenter and the search-space accounting need (Section 5.2, Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class DatasetInfo:
+    """Static description of a dataset used throughout the framework."""
+
+    name: str
+    kind: str  # "image" or "text"
+    num_classes: int
+    shape: Tuple[int, ...]  # per-sample shape, e.g. (3, 32, 32) or (seq_len,)
+    vocab_size: Optional[int] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_image(self) -> bool:
+        return self.kind == "image"
+
+    @property
+    def is_text(self) -> bool:
+        return self.kind == "text"
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """A dataset backed by in-memory numpy arrays."""
+
+    def __init__(self, samples: np.ndarray, labels: np.ndarray, info: DatasetInfo) -> None:
+        if len(samples) != len(labels):
+            raise ValueError(
+                f"samples ({len(samples)}) and labels ({len(labels)}) must have equal length"
+            )
+        self.samples = samples
+        self.labels = labels
+        self.info = info
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.samples[index], self.labels[index]
+
+    def subset(self, count: int) -> "ArrayDataset":
+        """Return a dataset containing the first ``count`` samples."""
+        count = min(count, len(self))
+        return ArrayDataset(self.samples[:count], self.labels[:count], self.info)
+
+    def nbytes(self) -> int:
+        """In-memory size of the sample array (used for Table 2's size column)."""
+        return int(self.samples.nbytes)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for index in range(len(self)):
+            yield self[index]
+
+
+@dataclass
+class TrainValSplit:
+    """A train/validation pair sharing one :class:`DatasetInfo`."""
+
+    train: ArrayDataset
+    validation: ArrayDataset
+
+    @property
+    def info(self) -> DatasetInfo:
+        return self.train.info
+
+
+class SequenceDataset(Dataset):
+    """A tokenised text stream for language modelling (WikiText2-style).
+
+    The stream is a 1-D integer array; batching into ``(batch, seq_len)``
+    blocks is done by :func:`repro.data.text.batchify`, matching the paper's
+    pre-processing pipeline ("tokenize and batchify", Figure 3).
+    """
+
+    def __init__(self, tokens: np.ndarray, info: DatasetInfo) -> None:
+        self.tokens = np.asarray(tokens, dtype=np.int64)
+        self.info = info
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __getitem__(self, index: int) -> np.int64:
+        return self.tokens[index]
+
+    def nbytes(self) -> int:
+        return int(self.tokens.nbytes)

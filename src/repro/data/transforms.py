@@ -1,0 +1,33 @@
+"""Simple dataset transforms (normalisation, flattening, channel statistics)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def normalize(images: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarray:
+    """Channel-wise normalisation of a ``(batch, channels, H, W)`` array."""
+    mean = np.asarray(mean).reshape(1, -1, 1, 1)
+    std = np.asarray(std).reshape(1, -1, 1, 1)
+    return (images - mean) / std
+
+
+def channel_statistics(images: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean and standard deviation of an image batch."""
+    mean = images.mean(axis=(0, 2, 3))
+    std = images.std(axis=(0, 2, 3))
+    return mean, np.where(std > 0, std, 1.0)
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """Flatten image samples to ``(batch, features)``."""
+    return images.reshape(len(images), -1)
+
+
+def to_float(images: np.ndarray) -> np.ndarray:
+    """Convert integer pixel data in [0, 255] to float32 in [0, 1]."""
+    if np.issubdtype(images.dtype, np.integer):
+        return images.astype(np.float32) / 255.0
+    return images.astype(np.float32)

@@ -1,0 +1,40 @@
+"""Model zoo: the architectures evaluated in the paper."""
+
+from .cbam import CBAM, ChannelAttention, SpatialAttention, VGG16WithCBAM
+from .densenet import DenseLayer, DenseNet, TransitionLayer, densenet121, densenet_small
+from .lenet import LeNet
+from .mobilenet import InvertedResidual, MobileNetV2, mobilenet_v2, mobilenet_v2_small
+from .registry import CV_MODEL_NAMES, available_models, create_model
+from .resnet import BasicBlock, ResNet, resnet18, resnet34
+from .text_classifier import TextClassifier
+from .transformer import TransformerLM
+from .vgg import VGG, vgg11, vgg16
+
+__all__ = [
+    "CBAM",
+    "ChannelAttention",
+    "SpatialAttention",
+    "VGG16WithCBAM",
+    "DenseLayer",
+    "DenseNet",
+    "TransitionLayer",
+    "densenet121",
+    "densenet_small",
+    "LeNet",
+    "InvertedResidual",
+    "MobileNetV2",
+    "mobilenet_v2",
+    "mobilenet_v2_small",
+    "CV_MODEL_NAMES",
+    "available_models",
+    "create_model",
+    "BasicBlock",
+    "ResNet",
+    "resnet18",
+    "resnet34",
+    "TextClassifier",
+    "TransformerLM",
+    "VGG",
+    "vgg11",
+    "vgg16",
+]

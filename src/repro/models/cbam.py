@@ -1,0 +1,98 @@
+"""Convolutional Block Attention Module (CBAM).
+
+The paper's transfer-learning experiment (Section 5.3, Figure 13) inserts
+CBAM modules into a pre-trained VGG16 before augmenting and fine-tuning it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor, concatenate
+from .vgg import VGG, _CONFIGS
+
+
+class ChannelAttention(nn.Module):
+    """Channel attention: shared MLP over global average- and max-pooled descriptors."""
+
+    def __init__(self, channels: int, reduction: int = 8,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        hidden = max(channels // reduction, 4)
+        self.fc1 = nn.Linear(channels, hidden, rng=gen)
+        self.fc2 = nn.Linear(hidden, channels, rng=gen)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        avg_desc = inputs.mean(axis=(2, 3))
+        max_desc = inputs.max(axis=3).max(axis=2)
+        attention = (self.fc2(self.fc1(avg_desc).relu())
+                     + self.fc2(self.fc1(max_desc).relu())).sigmoid()
+        batch, channels = attention.shape
+        return inputs * attention.reshape(batch, channels, 1, 1)
+
+
+class SpatialAttention(nn.Module):
+    """Spatial attention: a convolution over channel-pooled maps."""
+
+    def __init__(self, kernel_size: int = 7, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.conv = nn.Conv2d(2, 1, kernel_size, padding=kernel_size // 2, rng=gen)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        avg_map = inputs.mean(axis=1, keepdims=True)
+        max_map = inputs.max(axis=1, keepdims=True)
+        attention = self.conv(concatenate([avg_map, max_map], axis=1)).sigmoid()
+        return inputs * attention
+
+
+class CBAM(nn.Module):
+    """Sequential channel then spatial attention."""
+
+    def __init__(self, channels: int, reduction: int = 8, kernel_size: int = 7,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.channel_attention = ChannelAttention(channels, reduction=reduction, rng=gen)
+        self.spatial_attention = SpatialAttention(kernel_size=kernel_size, rng=gen)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.spatial_attention(self.channel_attention(inputs))
+
+
+class VGG16WithCBAM(nn.Module):
+    """VGG16 backbone with a CBAM module inserted after every pooling stage.
+
+    Mirrors the custom model the paper fine-tunes on Imagenette: the VGG
+    backbone carries the (conceptually pre-trained) weights and the CBAM
+    modules are the newly added, trainable-from-scratch parts.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 width_multiplier: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.backbone = VGG(_CONFIGS["vgg16"], num_classes=num_classes,
+                            in_channels=in_channels, width_multiplier=width_multiplier,
+                            rng=gen)
+        # One CBAM per pooling stage; channels follow the VGG16 stage widths.
+        stage_channels = [max(int(c * width_multiplier), 8) for c in (64, 128, 256, 512, 512)]
+        self.attention_modules = nn.ModuleList(
+            [CBAM(channels, rng=gen) for channels in stage_channels]
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = inputs
+        stage_index = 0
+        for layer in self.backbone.features:
+            hidden = layer(hidden)
+            if isinstance(layer, nn.MaxPool2d) and stage_index < len(self.attention_modules):
+                hidden = self.attention_modules[stage_index](hidden)
+                stage_index += 1
+        hidden = self.backbone.flatten(self.backbone.pool(hidden))
+        return self.backbone.classifier(hidden)

@@ -1,0 +1,92 @@
+"""DenseNet family (DenseNet-121 style dense blocks with transition layers)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor, concatenate
+
+
+class DenseLayer(nn.Module):
+    """BN -> ReLU -> 1x1 conv -> BN -> ReLU -> 3x3 conv producing ``growth_rate`` channels."""
+
+    def __init__(self, in_channels: int, growth_rate: int, bottleneck: int = 4,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        inner = bottleneck * growth_rate
+        self.bn1 = nn.BatchNorm2d(in_channels)
+        self.conv1 = nn.Conv2d(in_channels, inner, 1, bias=False, rng=gen)
+        self.bn2 = nn.BatchNorm2d(inner)
+        self.conv2 = nn.Conv2d(inner, growth_rate, 3, padding=1, bias=False, rng=gen)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = self.conv1(self.bn1(inputs).relu())
+        new_features = self.conv2(self.bn2(hidden).relu())
+        return concatenate([inputs, new_features], axis=1)
+
+
+class TransitionLayer(nn.Module):
+    """1x1 conv halving the channels followed by 2x2 average pooling."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.conv = nn.Conv2d(in_channels, out_channels, 1, bias=False, rng=gen)
+        self.pool = nn.AvgPool2d(2)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.pool(self.conv(self.bn(inputs).relu()))
+
+
+class DenseNet(nn.Module):
+    """DenseNet with configurable block depths and growth rate."""
+
+    def __init__(self, block_config: Sequence[int] = (6, 12, 24, 16), growth_rate: int = 12,
+                 num_classes: int = 10, in_channels: int = 3, initial_channels: int = 24,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.stem = nn.Conv2d(in_channels, initial_channels, 3, padding=1, bias=False, rng=gen)
+        channels = initial_channels
+        blocks: List[nn.Module] = []
+        for block_index, layer_count in enumerate(block_config):
+            dense_layers = []
+            for _ in range(layer_count):
+                dense_layers.append(DenseLayer(channels, growth_rate, rng=gen))
+                channels += growth_rate
+            blocks.append(nn.Sequential(*dense_layers))
+            if block_index != len(block_config) - 1:
+                out_channels = channels // 2
+                blocks.append(TransitionLayer(channels, out_channels, rng=gen))
+                channels = out_channels
+        self.blocks = nn.ModuleList(blocks)
+        self.final_bn = nn.BatchNorm2d(channels)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(channels, num_classes, rng=gen)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = self.stem(inputs)
+        for block in self.blocks:
+            hidden = block(hidden)
+        hidden = self.final_bn(hidden).relu()
+        return self.classifier(self.pool(hidden))
+
+
+def densenet121(num_classes: int = 10, in_channels: int = 3, growth_rate: int = 12,
+                rng: Optional[np.random.Generator] = None) -> DenseNet:
+    """DenseNet-121 block configuration (6, 12, 24, 16)."""
+    return DenseNet((6, 12, 24, 16), growth_rate=growth_rate, num_classes=num_classes,
+                    in_channels=in_channels, rng=rng)
+
+
+def densenet_small(num_classes: int = 10, in_channels: int = 3, growth_rate: int = 8,
+                   rng: Optional[np.random.Generator] = None) -> DenseNet:
+    """A shallow DenseNet used by the fast CPU test suite."""
+    return DenseNet((2, 2, 2), growth_rate=growth_rate, num_classes=num_classes,
+                    in_channels=in_channels, initial_channels=16, rng=rng)

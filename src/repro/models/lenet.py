@@ -1,0 +1,49 @@
+"""LeNet-5, used for the Figure 14 framework comparison and the attacks in Section 6.3."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+class LeNet(nn.Module):
+    """Classic LeNet-5 with ReLU activations.
+
+    ``image_size`` must match the (square) input resolution so the flattened
+    feature size of the classifier can be computed analytically.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 1, image_size: int = 28,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.conv1 = nn.Conv2d(in_channels, 6, kernel_size=5, padding=2, rng=gen)
+        self.pool1 = nn.MaxPool2d(2)
+        self.conv2 = nn.Conv2d(6, 16, kernel_size=5, rng=gen)
+        self.pool2 = nn.MaxPool2d(2)
+        feature_size = self._feature_size(image_size)
+        self.flatten = nn.Flatten()
+        self.fc1 = nn.Linear(16 * feature_size * feature_size, 120, rng=gen)
+        self.fc2 = nn.Linear(120, 84, rng=gen)
+        self.fc3 = nn.Linear(84, num_classes, rng=gen)
+
+    @staticmethod
+    def _feature_size(image_size: int) -> int:
+        after_conv1 = image_size  # padding=2 keeps the size with a 5x5 kernel
+        after_pool1 = after_conv1 // 2
+        after_conv2 = after_pool1 - 4
+        return after_conv2 // 2
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = self.pool1(self.conv1(inputs).relu())
+        hidden = self.pool2(self.conv2(hidden).relu())
+        hidden = self.flatten(hidden)
+        hidden = self.fc1(hidden).relu()
+        hidden = self.fc2(hidden).relu()
+        return self.fc3(hidden)

@@ -1,0 +1,112 @@
+"""MobileNetV2 with inverted residual blocks and depthwise separable convolutions."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+class InvertedResidual(nn.Module):
+    """Expansion -> depthwise 3x3 -> projection, with a skip when shapes match."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int, expansion: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        hidden = in_channels * expansion
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers: List[nn.Module] = []
+        if expansion != 1:
+            layers += [
+                nn.Conv2d(in_channels, hidden, 1, bias=False, rng=gen),
+                nn.BatchNorm2d(hidden),
+                nn.ReLU6(),
+            ]
+        layers += [
+            nn.Conv2d(hidden, hidden, 3, stride=stride, padding=1, groups=hidden,
+                      bias=False, rng=gen),
+            nn.BatchNorm2d(hidden),
+            nn.ReLU6(),
+            nn.Conv2d(hidden, out_channels, 1, bias=False, rng=gen),
+            nn.BatchNorm2d(out_channels),
+        ]
+        self.block = nn.Sequential(*layers)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = self.block(inputs)
+        if self.use_residual:
+            return output + inputs
+        return output
+
+
+#: (expansion, out_channels, repeats, stride) for the full MobileNetV2 recipe.
+_FULL_RECIPE: Sequence[Tuple[int, int, int, int]] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 1),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+#: Reduced recipe for the fast CPU test suite.
+_SMALL_RECIPE: Sequence[Tuple[int, int, int, int]] = (
+    (1, 16, 1, 1),
+    (4, 24, 1, 2),
+    (4, 32, 1, 2),
+    (4, 64, 1, 2),
+)
+
+
+class MobileNetV2(nn.Module):
+    def __init__(self, recipe: Sequence[Tuple[int, int, int, int]] = _FULL_RECIPE,
+                 num_classes: int = 10, in_channels: int = 3, width_multiplier: float = 1.0,
+                 last_channels: int = 1280, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        stem_channels = max(int(32 * width_multiplier), 8)
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, stem_channels, 3, stride=1, padding=1, bias=False, rng=gen),
+            nn.BatchNorm2d(stem_channels),
+            nn.ReLU6(),
+        )
+        blocks: List[nn.Module] = []
+        channels = stem_channels
+        for expansion, out_channels, repeats, stride in recipe:
+            scaled = max(int(out_channels * width_multiplier), 8)
+            for repeat_index in range(repeats):
+                blocks.append(InvertedResidual(channels, scaled,
+                                               stride=stride if repeat_index == 0 else 1,
+                                               expansion=expansion, rng=gen))
+                channels = scaled
+        self.blocks = nn.Sequential(*blocks)
+        head_channels = max(int(last_channels * width_multiplier), 32)
+        self.head = nn.Sequential(
+            nn.Conv2d(channels, head_channels, 1, bias=False, rng=gen),
+            nn.BatchNorm2d(head_channels),
+            nn.ReLU6(),
+        )
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(head_channels, num_classes, rng=gen)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = self.head(self.blocks(self.stem(inputs)))
+        return self.classifier(self.pool(hidden))
+
+
+def mobilenet_v2(num_classes: int = 10, in_channels: int = 3, width_multiplier: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> MobileNetV2:
+    return MobileNetV2(_FULL_RECIPE, num_classes=num_classes, in_channels=in_channels,
+                       width_multiplier=width_multiplier, rng=rng)
+
+
+def mobilenet_v2_small(num_classes: int = 10, in_channels: int = 3,
+                       rng: Optional[np.random.Generator] = None) -> MobileNetV2:
+    """Reduced MobileNetV2 used by the fast CPU test suite."""
+    return MobileNetV2(_SMALL_RECIPE, num_classes=num_classes, in_channels=in_channels,
+                       width_multiplier=0.5, last_channels=256, rng=rng)

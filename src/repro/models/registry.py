@@ -1,0 +1,89 @@
+"""Model registry mapping the paper's model names to constructors.
+
+The benchmark harness selects models by name (e.g. ``"resnet18"``) and by
+scale profile (``"tiny"`` for CPU-friendly widths, ``"paper"`` for the full
+configurations used in the paper's tables).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn import Module
+from .densenet import densenet121, densenet_small
+from .lenet import LeNet
+from .mobilenet import mobilenet_v2, mobilenet_v2_small
+from .resnet import resnet18, resnet34
+from .vgg import vgg11, vgg16
+from .cbam import VGG16WithCBAM
+
+ModelFactory = Callable[..., Module]
+
+
+def _tiny_resnet18(num_classes: int, in_channels: int, rng) -> Module:
+    return resnet18(num_classes=num_classes, in_channels=in_channels, width=8, rng=rng)
+
+
+def _tiny_vgg16(num_classes: int, in_channels: int, rng) -> Module:
+    return vgg16(num_classes=num_classes, in_channels=in_channels, width_multiplier=0.125, rng=rng)
+
+
+def _tiny_densenet(num_classes: int, in_channels: int, rng) -> Module:
+    return densenet_small(num_classes=num_classes, in_channels=in_channels, rng=rng)
+
+
+def _tiny_mobilenet(num_classes: int, in_channels: int, rng) -> Module:
+    return mobilenet_v2_small(num_classes=num_classes, in_channels=in_channels, rng=rng)
+
+
+def _tiny_vgg16_cbam(num_classes: int, in_channels: int, rng) -> Module:
+    return VGG16WithCBAM(num_classes=num_classes, in_channels=in_channels,
+                         width_multiplier=0.125, rng=rng)
+
+
+_PAPER_FACTORIES: Dict[str, ModelFactory] = {
+    "lenet": lambda num_classes, in_channels, rng: LeNet(num_classes, in_channels, rng=rng),
+    "resnet18": lambda num_classes, in_channels, rng: resnet18(num_classes, in_channels, rng=rng),
+    "resnet34": lambda num_classes, in_channels, rng: resnet34(num_classes, in_channels, rng=rng),
+    "vgg11": lambda num_classes, in_channels, rng: vgg11(num_classes, in_channels, rng=rng),
+    "vgg16": lambda num_classes, in_channels, rng: vgg16(num_classes, in_channels, rng=rng),
+    "densenet121": lambda num_classes, in_channels, rng: densenet121(num_classes, in_channels, rng=rng),
+    "mobilenetv2": lambda num_classes, in_channels, rng: mobilenet_v2(num_classes, in_channels, rng=rng),
+    "vgg16_cbam": lambda num_classes, in_channels, rng: VGG16WithCBAM(num_classes, in_channels, rng=rng),
+}
+
+_TINY_FACTORIES: Dict[str, ModelFactory] = {
+    "lenet": lambda num_classes, in_channels, rng: LeNet(num_classes, in_channels, rng=rng),
+    "resnet18": _tiny_resnet18,
+    "resnet34": _tiny_resnet18,
+    "vgg11": _tiny_vgg16,
+    "vgg16": _tiny_vgg16,
+    "densenet121": _tiny_densenet,
+    "mobilenetv2": _tiny_mobilenet,
+    "vgg16_cbam": _tiny_vgg16_cbam,
+}
+
+CV_MODEL_NAMES = ("resnet18", "vgg16", "densenet121", "mobilenetv2")
+
+
+def available_models() -> list[str]:
+    return sorted(_PAPER_FACTORIES)
+
+
+def create_model(name: str, num_classes: int = 10, in_channels: int = 3,
+                 scale: str = "tiny", rng: Optional[np.random.Generator] = None,
+                 image_size: int = 28) -> Module:
+    """Instantiate a model by name.
+
+    ``image_size`` only matters for LeNet, whose classifier width depends on
+    the input resolution.
+    """
+    factories = _TINY_FACTORIES if scale == "tiny" else _PAPER_FACTORIES
+    if name not in factories:
+        raise KeyError(f"unknown model '{name}'; options: {available_models()}")
+    if name == "lenet":
+        return LeNet(num_classes=num_classes, in_channels=in_channels,
+                     image_size=image_size, rng=rng)
+    return factories[name](num_classes, in_channels, rng)

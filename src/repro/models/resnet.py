@@ -1,0 +1,87 @@
+"""ResNet family (ResNet-18/34 style basic blocks).
+
+The paper evaluates ResNet-18; a ``width`` knob lets the CPU-only test suite
+shrink the channel counts while keeping the residual structure (blocks, skip
+connections, batch norm) intact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with a residual (optionally projected) skip connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                               bias=False, rng=gen)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=gen)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=gen),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = self.bn1(self.conv1(inputs)).relu()
+        hidden = self.bn2(self.conv2(hidden))
+        return (hidden + self.shortcut(inputs)).relu()
+
+
+class ResNet(nn.Module):
+    """CIFAR-style ResNet: 3x3 stem followed by four stages of basic blocks."""
+
+    def __init__(self, blocks_per_stage: Sequence[int], num_classes: int = 10,
+                 in_channels: int = 3, width: int = 64,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        widths = [width, width * 2, width * 4, width * 8]
+        self.stem = nn.Conv2d(in_channels, width, 3, padding=1, bias=False, rng=gen)
+        self.stem_bn = nn.BatchNorm2d(width)
+        stages: List[nn.Module] = []
+        current = width
+        for stage_index, (block_count, stage_width) in enumerate(zip(blocks_per_stage, widths)):
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(block_count):
+                blocks.append(BasicBlock(current, stage_width,
+                                         stride=stride if block_index == 0 else 1, rng=gen))
+                current = stage_width
+            stages.append(nn.Sequential(*blocks))
+        self.stages = nn.ModuleList(stages)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(current, num_classes, rng=gen)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = self.stem_bn(self.stem(inputs)).relu()
+        for stage in self.stages:
+            hidden = stage(hidden)
+        return self.classifier(self.pool(hidden))
+
+
+def resnet18(num_classes: int = 10, in_channels: int = 3, width: int = 64,
+             rng: Optional[np.random.Generator] = None) -> ResNet:
+    """ResNet-18: four stages of two basic blocks each."""
+    return ResNet([2, 2, 2, 2], num_classes=num_classes, in_channels=in_channels,
+                  width=width, rng=rng)
+
+
+def resnet34(num_classes: int = 10, in_channels: int = 3, width: int = 64,
+             rng: Optional[np.random.Generator] = None) -> ResNet:
+    """ResNet-34: stage depths (3, 4, 6, 3)."""
+    return ResNet([3, 4, 6, 3], num_classes=num_classes, in_channels=in_channels,
+                  width=width, rng=rng)

@@ -1,0 +1,30 @@
+"""Text classification model: embedding bag followed by a fully connected layer.
+
+Matches the paper's AGNews model, described as "consisting of an embedding
+layer and a fully connected layer" (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+class TextClassifier(nn.Module):
+    def __init__(self, vocab_size: int, embed_dim: int = 64, num_classes: int = 4,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.embedding = nn.Embedding(vocab_size, embed_dim, rng=gen)
+        self.classifier = nn.Linear(embed_dim, num_classes, rng=gen)
+
+    def forward(self, token_ids) -> Tensor:
+        embedded = self.embedding(token_ids)  # (batch, seq_len, embed_dim)
+        pooled = embedded.mean(axis=1)
+        return self.classifier(pooled)

@@ -1,0 +1,45 @@
+"""Transformer language model used for the WikiText2 experiments (Figure 11, Table 4)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+class TransformerLM(nn.Module):
+    """Decoder-only transformer predicting the next token at every position."""
+
+    def __init__(self, vocab_size: int, embed_dim: int = 64, num_heads: int = 4,
+                 num_layers: int = 2, feedforward_dim: int = 128, dropout: float = 0.1,
+                 max_len: int = 1024, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.embedding = nn.Embedding(vocab_size, embed_dim, rng=gen)
+        self.positional = nn.PositionalEncoding(embed_dim, max_len=max_len)
+        self.layers = nn.ModuleList([
+            nn.TransformerEncoderLayer(embed_dim, num_heads, feedforward_dim,
+                                       dropout=dropout, rng=gen)
+            for _ in range(num_layers)
+        ])
+        self.final_norm = nn.LayerNorm(embed_dim)
+        self.lm_head = nn.Linear(embed_dim, vocab_size, rng=gen)
+
+    def forward(self, token_ids) -> Tensor:
+        hidden = self.positional(self.embedding(token_ids))
+        for layer in self.layers:
+            hidden = layer(hidden, causal=True)
+        return self.lm_head(self.final_norm(hidden))
+
+    def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Convenience next-token cross-entropy over a ``(batch, seq_len)`` block."""
+        logits = self.forward(token_ids)
+        batch, seq_len, vocab = logits.shape
+        flat_logits = logits.reshape(batch * seq_len, vocab)
+        flat_targets = np.asarray(targets).reshape(-1)
+        return nn.functional.cross_entropy(flat_logits, flat_targets)

@@ -1,0 +1,70 @@
+"""VGG family (VGG-11 and VGG-16 configurations).
+
+An adaptive average pool in front of the classifier makes the models
+resolution-agnostic, which keeps them usable at both the paper's 32x32/224x224
+resolutions and the shrunken sizes used by the CPU-only benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+_CONFIGS: Dict[str, List[Union[int, str]]] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+}
+
+
+class VGG(nn.Module):
+    """VGG backbone: stacked 3x3 convolutions with max-pool downsampling."""
+
+    def __init__(self, config: Sequence[Union[int, str]], num_classes: int = 10,
+                 in_channels: int = 3, width_multiplier: float = 1.0,
+                 classifier_width: int = 512,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        layers: List[nn.Module] = []
+        channels = in_channels
+        last_width = channels
+        for item in config:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+                continue
+            width = max(int(item * width_multiplier), 8)
+            layers.append(nn.Conv2d(channels, width, 3, padding=1, rng=gen))
+            layers.append(nn.BatchNorm2d(width))
+            layers.append(nn.ReLU())
+            channels = width
+            last_width = width
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.classifier = nn.Sequential(
+            nn.Linear(last_width, classifier_width, rng=gen),
+            nn.ReLU(),
+            nn.Linear(classifier_width, num_classes, rng=gen),
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = self.features(inputs)
+        hidden = self.flatten(self.pool(hidden))
+        return self.classifier(hidden)
+
+
+def vgg11(num_classes: int = 10, in_channels: int = 3, width_multiplier: float = 1.0,
+          rng: Optional[np.random.Generator] = None) -> VGG:
+    return VGG(_CONFIGS["vgg11"], num_classes=num_classes, in_channels=in_channels,
+               width_multiplier=width_multiplier, rng=rng)
+
+
+def vgg16(num_classes: int = 10, in_channels: int = 3, width_multiplier: float = 1.0,
+          rng: Optional[np.random.Generator] = None) -> VGG:
+    return VGG(_CONFIGS["vgg16"], num_classes=num_classes, in_channels=in_channels,
+               width_multiplier=width_multiplier, rng=rng)

@@ -1,0 +1,365 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+The functions here mirror the subset of ``torch.nn.functional`` that the
+Amalgam reproduction requires: 2-D convolution (via im2col), pooling,
+normalisation, activations, embedding lookup, dropout and the classification
+losses.  All functions are differentiable unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im
+# ---------------------------------------------------------------------------
+def im2col(
+    images: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower a batch of images to column form for convolution.
+
+    Returns ``(columns, (out_h, out_w))`` where ``columns`` has shape
+    ``(batch, out_h * out_w, channels * kh * kw)``.
+    """
+    batch, channels, height, width = images.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+
+    padded = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+
+    strides = padded.strides
+    shape = (batch, channels, out_h, out_w, kh, kw)
+    window_strides = (
+        strides[0],
+        strides[1],
+        strides[2] * sh,
+        strides[3] * sw,
+        strides[2],
+        strides[3],
+    )
+    windows = np.lib.stride_tricks.as_strided(padded, shape=shape, strides=window_strides)
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, channels * kh * kw)
+    return np.ascontiguousarray(columns), (out_h, out_w)
+
+
+def col2im(
+    columns: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col`, scattering column gradients back to image space."""
+    batch, channels, height, width = image_shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+
+    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw), dtype=columns.dtype)
+    cols = columns.reshape(batch, out_h, out_w, channels, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols[:, :, :, :, i, j]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + height, pw : pw + width]
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+def conv2d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution over a ``(batch, channels, height, width)`` input."""
+    stride = _pair(stride)
+    padding = _pair(padding)
+    batch, in_channels, _, _ = inputs.shape
+    out_channels, in_per_group, kh, kw = weight.shape
+    if in_channels != in_per_group * groups:
+        raise ValueError(
+            f"conv2d: input has {in_channels} channels but weight expects "
+            f"{in_per_group * groups} (groups={groups})"
+        )
+
+    if groups == 1:
+        columns, (out_h, out_w) = im2col(inputs.data, (kh, kw), stride, padding)
+        flat_weight = weight.data.reshape(out_channels, -1)
+        out_data = columns @ flat_weight.T
+        out_data = out_data.transpose(0, 2, 1).reshape(batch, out_channels, out_h, out_w)
+        if bias is not None:
+            out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+        parents = [inputs, weight] + ([bias] if bias is not None else [])
+
+        def backward(grad: np.ndarray) -> None:
+            grad_cols = grad.reshape(batch, out_channels, out_h * out_w).transpose(0, 2, 1)
+            if weight.requires_grad:
+                grad_weight = np.einsum("bpk,bpc->kc", grad_cols, columns)
+                weight._accumulate(grad_weight.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if inputs.requires_grad:
+                grad_columns = grad_cols @ flat_weight
+                grad_inputs = col2im(grad_columns, inputs.shape, (kh, kw), stride, padding)
+                inputs._accumulate(grad_inputs)
+
+        return inputs._make_child(out_data, parents, backward)
+
+    # Grouped convolution (used by MobileNetV2 depthwise layers): run each group
+    # through the dense path and concatenate along the channel axis.
+    group_in = in_channels // groups
+    group_out = out_channels // groups
+    outputs = []
+    for g in range(groups):
+        in_slice = inputs[:, g * group_in : (g + 1) * group_in]
+        w_slice = weight[g * group_out : (g + 1) * group_out]
+        b_slice = bias[g * group_out : (g + 1) * group_out] if bias is not None else None
+        outputs.append(conv2d(in_slice, w_slice, b_slice, stride=stride, padding=padding))
+    from .tensor import concatenate
+
+    return concatenate(outputs, axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+def max_pool2d(inputs: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    kernel = _pair(kernel_size)
+    if inputs.shape[2] < kernel[0] or inputs.shape[3] < kernel[1]:
+        # Feature map already smaller than the window (e.g. VGG on 28x28 MNIST):
+        # pooling further would produce an empty map, so pass through unchanged.
+        return inputs
+    stride_pair = _pair(stride) if stride is not None else kernel
+    columns, (out_h, out_w) = im2col(inputs.data, kernel, stride_pair, (0, 0))
+    batch, channels = inputs.shape[0], inputs.shape[1]
+    kh, kw = kernel
+    cols = columns.reshape(batch, out_h * out_w, channels, kh * kw)
+    max_idx = cols.argmax(axis=-1)
+    out_data = np.take_along_axis(cols, max_idx[..., None], axis=-1)[..., 0]
+    out_data = out_data.transpose(0, 2, 1).reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not inputs.requires_grad:
+            return
+        grad_flat = grad.reshape(batch, channels, out_h * out_w).transpose(0, 2, 1)
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(grad_cols, max_idx[..., None], grad_flat[..., None], axis=-1)
+        grad_columns = grad_cols.reshape(batch, out_h * out_w, channels * kh * kw)
+        inputs._accumulate(col2im(grad_columns, inputs.shape, kernel, stride_pair, (0, 0)))
+
+    return inputs._make_child(out_data, (inputs,), backward)
+
+
+def avg_pool2d(inputs: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    kernel = _pair(kernel_size)
+    if inputs.shape[2] < kernel[0] or inputs.shape[3] < kernel[1]:
+        return inputs
+    stride_pair = _pair(stride) if stride is not None else kernel
+    columns, (out_h, out_w) = im2col(inputs.data, kernel, stride_pair, (0, 0))
+    batch, channels = inputs.shape[0], inputs.shape[1]
+    kh, kw = kernel
+    cols = columns.reshape(batch, out_h * out_w, channels, kh * kw)
+    out_data = cols.mean(axis=-1).transpose(0, 2, 1).reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not inputs.requires_grad:
+            return
+        grad_flat = grad.reshape(batch, channels, out_h * out_w).transpose(0, 2, 1)
+        grad_cols = np.repeat(grad_flat[..., None] / (kh * kw), kh * kw, axis=-1)
+        grad_columns = grad_cols.reshape(batch, out_h * out_w, channels * kh * kw)
+        inputs._accumulate(col2im(grad_columns, inputs.shape, kernel, stride_pair, (0, 0)))
+
+    return inputs._make_child(out_data, (inputs,), backward)
+
+
+def adaptive_avg_pool2d(inputs: Tensor, output_size: IntPair = 1) -> Tensor:
+    """Adaptive average pooling; only exact divisors or global pooling are supported."""
+    target_h, target_w = _pair(output_size)
+    _, _, height, width = inputs.shape
+    if target_h == 1 and target_w == 1:
+        return inputs.mean(axis=(2, 3), keepdims=True)
+    if height % target_h or width % target_w:
+        raise ValueError("adaptive_avg_pool2d requires the input size to be divisible by the target")
+    return avg_pool2d(inputs, (height // target_h, width // target_w))
+
+
+# ---------------------------------------------------------------------------
+# Normalisation
+# ---------------------------------------------------------------------------
+def batch_norm(
+    inputs: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over the channel axis of 2-D or 4-D inputs.
+
+    ``running_mean``/``running_var`` are plain numpy buffers updated in place
+    when ``training`` is true.
+    """
+    if inputs.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif inputs.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise ValueError("batch_norm supports 2-D or 4-D inputs")
+
+    if training:
+        batch_mean = inputs.data.mean(axis=axes)
+        batch_var = inputs.data.var(axis=axes)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * batch_mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * batch_var
+        mean_used, var_used = batch_mean, batch_var
+    else:
+        mean_used, var_used = running_mean, running_var
+
+    mean_t = Tensor(mean_used.reshape(shape))
+    std_t = Tensor(np.sqrt(var_used.reshape(shape) + eps))
+    normalised = (inputs - mean_t) / std_t
+    return normalised * gamma.reshape(*shape) + beta.reshape(*shape)
+
+
+def layer_norm(inputs: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = inputs.mean(axis=-1, keepdims=True)
+    variance = inputs.var(axis=-1, keepdims=True)
+    normalised = (inputs - mean) / ((variance + eps) ** 0.5)
+    return normalised * gamma + beta
+
+
+# ---------------------------------------------------------------------------
+# Activations and probability transforms
+# ---------------------------------------------------------------------------
+def relu(inputs: Tensor) -> Tensor:
+    return inputs.relu()
+
+
+def gelu(inputs: Tensor) -> Tensor:
+    """Tanh-approximated GELU activation."""
+    scaled = (inputs + inputs * inputs * inputs * 0.044715) * 0.7978845608028654
+    return inputs * (scaled.tanh() + 1.0) * 0.5
+
+
+def relu6(inputs: Tensor) -> Tensor:
+    return inputs.clip(0.0, 6.0)
+
+
+def softmax(inputs: Tensor, axis: int = -1) -> Tensor:
+    shifted = inputs - Tensor(inputs.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(inputs: Tensor, axis: int = -1) -> Tensor:
+    shifted = inputs - Tensor(inputs.data.max(axis=axis, keepdims=True))
+    logsum = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - logsum
+
+
+def dropout(inputs: Tensor, probability: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    if not training or probability <= 0.0:
+        return inputs
+    gen = rng if rng is not None else np.random.default_rng()
+    mask = (gen.random(inputs.shape) >= probability) / (1.0 - probability)
+    return inputs * Tensor(mask)
+
+
+# ---------------------------------------------------------------------------
+# Embedding lookup
+# ---------------------------------------------------------------------------
+def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Look up rows of ``weight`` for integer ``indices`` (any shape)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if not weight.requires_grad:
+            return
+        grad_weight = np.zeros_like(weight.data)
+        np.add.at(grad_weight, indices.reshape(-1), grad.reshape(-1, weight.shape[1]))
+        weight._accumulate(grad_weight)
+
+    return weight._make_child(data, (weight,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` ``(batch, classes)`` and integer targets."""
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    targets_t = targets if isinstance(targets, Tensor) else Tensor(targets)
+    diff = predictions - targets_t
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Classification accuracy (not differentiable)."""
+    predictions = logits.data.argmax(axis=-1)
+    targets = np.asarray(targets).reshape(predictions.shape)
+    return float((predictions == targets).mean())
+
+
+def linear(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``inputs @ weight.T + bias`` (weight stored as (out, in))."""
+    out = inputs.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+    encoded = np.zeros((indices.size, num_classes))
+    encoded[np.arange(indices.size), indices] = 1.0
+    return encoded

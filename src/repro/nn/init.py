@@ -1,0 +1,62 @@
+"""Weight initialisation helpers (Kaiming / Xavier / uniform schemes)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        out_channels, in_channels, kh, kw = shape
+        receptive = kh * kw
+        fan_in = in_channels * receptive
+        fan_out = out_channels * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-uniform initialisation, the default for conv and linear layers."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator, bound: float) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator,
+           mean: float = 0.0, std: float = 0.02) -> np.ndarray:
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)
+
+
+def constant_(tensor: Tensor, value: float) -> None:
+    tensor.data[...] = value

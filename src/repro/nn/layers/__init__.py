@@ -1,0 +1,43 @@
+"""Layer library for the numpy autograd substrate."""
+
+from .activations import GELU, LogSoftmax, ReLU, ReLU6, Sigmoid, Softmax, Tanh
+from .attention import MultiHeadSelfAttention, PositionalEncoding, TransformerEncoderLayer
+from .containers import ModuleList, Sequential
+from .conv import Conv2d
+from .dropout import Dropout
+from .embedding import Embedding
+from .flatten import Flatten, Identity
+from .linear import Linear
+from .module import Module, Parameter
+from .normalization import BatchNorm1d, BatchNorm2d, LayerNorm
+from .pooling import AdaptiveAvgPool2d, AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "GELU",
+    "LogSoftmax",
+    "ReLU",
+    "ReLU6",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "MultiHeadSelfAttention",
+    "PositionalEncoding",
+    "TransformerEncoderLayer",
+    "ModuleList",
+    "Sequential",
+    "Conv2d",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "Identity",
+    "Linear",
+    "Module",
+    "Parameter",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "AdaptiveAvgPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "MaxPool2d",
+]

@@ -1,0 +1,50 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module
+
+
+class ReLU(Module):
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class ReLU6(Module):
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.relu6(inputs)
+
+
+class GELU(Module):
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.gelu(inputs)
+
+
+class Tanh(Module):
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.softmax(inputs, axis=self.axis)
+
+
+class LogSoftmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.log_softmax(inputs, axis=self.axis)

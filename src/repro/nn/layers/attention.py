@@ -1,0 +1,95 @@
+"""Multi-head self-attention and transformer encoder blocks.
+
+These layers back the transformer language model used for the WikiText2
+experiments (Figure 11, Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from .dropout import Dropout
+from .linear import Linear
+from .module import Module
+from .normalization import LayerNorm
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads."""
+
+    def __init__(self, embed_dim: int, num_heads: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        gen = rng if rng is not None else np.random.default_rng()
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.query = Linear(embed_dim, embed_dim, rng=gen)
+        self.key = Linear(embed_dim, embed_dim, rng=gen)
+        self.value = Linear(embed_dim, embed_dim, rng=gen)
+        self.output = Linear(embed_dim, embed_dim, rng=gen)
+
+    def forward(self, inputs: Tensor, causal: bool = True) -> Tensor:
+        batch, seq_len, _ = inputs.shape
+        queries = self._split_heads(self.query(inputs), batch, seq_len)
+        keys = self._split_heads(self.key(inputs), batch, seq_len)
+        values = self._split_heads(self.value(inputs), batch, seq_len)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = queries.matmul(keys.swapaxes(-1, -2)) * scale
+        if causal:
+            mask = np.triu(np.full((seq_len, seq_len), -1e9), k=1)
+            scores = scores + Tensor(mask)
+        weights = F.softmax(scores, axis=-1)
+        attended = weights.matmul(values)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.embed_dim)
+        return self.output(merged)
+
+    def _split_heads(self, projected: Tensor, batch: int, seq_len: int) -> Tensor:
+        reshaped = projected.reshape(batch, seq_len, self.num_heads, self.head_dim)
+        return reshaped.transpose(0, 2, 1, 3)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer block: attention + position-wise feed-forward."""
+
+    def __init__(self, embed_dim: int, num_heads: int, feedforward_dim: int,
+                 dropout: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.attention = MultiHeadSelfAttention(embed_dim, num_heads, rng=gen)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+        self.feedforward_in = Linear(embed_dim, feedforward_dim, rng=gen)
+        self.feedforward_out = Linear(feedforward_dim, embed_dim, rng=gen)
+        self.dropout = Dropout(dropout, rng=gen)
+
+    def forward(self, inputs: Tensor, causal: bool = True) -> Tensor:
+        attended = self.attention(self.norm1(inputs), causal=causal)
+        hidden = inputs + self.dropout(attended)
+        transformed = self.feedforward_out(F.gelu(self.feedforward_in(self.norm2(hidden))))
+        return hidden + self.dropout(transformed)
+
+
+class PositionalEncoding(Module):
+    """Fixed sinusoidal positional encoding added to token embeddings."""
+
+    def __init__(self, embed_dim: int, max_len: int = 4096) -> None:
+        super().__init__()
+        positions = np.arange(max_len)[:, None]
+        dims = np.arange(0, embed_dim, 2)[None, :]
+        angles = positions / np.power(10000.0, dims / embed_dim)
+        encoding = np.zeros((max_len, embed_dim))
+        encoding[:, 0::2] = np.sin(angles)
+        encoding[:, 1::2] = np.cos(angles[:, : embed_dim // 2])
+        self.register_buffer("encoding", encoding)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        seq_len = inputs.shape[1]
+        return inputs + Tensor(self.encoding[:seq_len])

@@ -1,0 +1,64 @@
+"""Container modules: Sequential and ModuleList."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Sequential(Module):
+    """Applies child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.register_module(str(index), module)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for module in self._modules.values():
+            output = module(output)
+        return output
+
+    def append(self, module: Module) -> "Sequential":
+        self.register_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+
+class ModuleList(Module):
+    """Holds an ordered list of modules without defining a forward pass."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.register_module(str(index), module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.register_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def to_list(self) -> List[Module]:
+        return list(self._modules.values())
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList has no forward(); iterate over its children instead")

@@ -1,0 +1,64 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution with optional grouping (depthwise support)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        kh, kw = F._pair(kernel_size)
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in_channels and out_channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = F._pair(stride)
+        self.padding = F._pair(padding)
+        self.groups = groups
+        weight_shape = (out_channels, in_channels // groups, kh, kw)
+        self.weight = Parameter(init.kaiming_uniform(weight_shape, gen))
+        if bias:
+            fan_in = (in_channels // groups) * kh * kw
+            bound = 1.0 / np.sqrt(max(fan_in, 1))
+            self.bias: Optional[Parameter] = Parameter(init.uniform((out_channels,), gen, bound))
+        else:
+            self.bias = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.conv2d(inputs, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding, groups=self.groups)
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output size for an input of ``height x width``."""
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        return ((height + 2 * ph - kh) // sh + 1, (width + 2 * pw - kw) // sw + 1)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel={self.kernel_size}, stride={self.stride}, padding={self.padding})")

@@ -1,0 +1,24 @@
+"""Dropout layer with deterministic RNG support."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module
+
+
+class Dropout(Module):
+    def __init__(self, probability: float = 0.5,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.probability = probability
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.dropout(inputs, self.probability, training=self.training, rng=self.rng)

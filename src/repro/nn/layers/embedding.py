@@ -1,0 +1,31 @@
+"""Embedding (lookup-table) layer used by the NLP models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class Embedding(Module):
+    """Maps integer token ids to dense vectors of size ``embedding_dim``."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), gen, std=0.1))
+
+    def forward(self, indices) -> Tensor:
+        ids = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        return F.embedding(ids.astype(np.int64), self.weight)
+
+    def __repr__(self) -> str:
+        return f"Embedding(vocab={self.num_embeddings}, dim={self.embedding_dim})"

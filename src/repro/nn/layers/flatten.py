@@ -1,0 +1,22 @@
+"""Flatten layer converting feature maps to vectors."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.flatten(start_dim=self.start_dim)
+
+
+class Identity(Module):
+    """No-op module, handy as a placeholder during model surgery."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs

@@ -1,0 +1,35 @@
+"""Fully-connected (affine) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b`` with weight shape ``(out, in)``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), gen))
+        if bias:
+            bound = 1.0 / np.sqrt(max(in_features, 1))
+            self.bias: Optional[Parameter] = Parameter(init.uniform((out_features,), gen, bound))
+        else:
+            self.bias = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.linear(inputs, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"

@@ -1,0 +1,148 @@
+"""Base class for neural-network modules.
+
+:class:`Module` mirrors the role of ``torch.nn.Module``: it owns named
+parameters and buffers, tracks submodules, and exposes ``state_dict`` /
+``load_state_dict`` so that the Amalgam extractor can perform the weight
+surgery described in the paper (copying original-layer parameters out of an
+augmented model).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. running statistics)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, parameter in self.named_parameters():
+            yield parameter
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{module_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for module_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{module_name}.")
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (used for Table 3 / Table 4)."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Training-mode switches
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat ``name -> array`` mapping of parameters and buffers."""
+        state: Dict[str, np.ndarray] = {}
+        for name, parameter in self.named_parameters():
+            state[name] = parameter.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = np.array(buffer, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers from ``state`` (copies values in place)."""
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        missing = []
+        for name, parameter in own_params.items():
+            if name in state:
+                value = np.asarray(state[name])
+                if value.shape != parameter.shape:
+                    raise ValueError(
+                        f"shape mismatch for parameter '{name}': "
+                        f"{value.shape} vs {parameter.shape}"
+                    )
+                parameter.data[...] = value
+            elif strict:
+                missing.append(name)
+        for name, buffer in own_buffers.items():
+            if name in state:
+                value = np.asarray(state[name])
+                buffer[...] = value
+        if strict and missing:
+            raise KeyError(f"missing parameters in state dict: {missing}")
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_repr = ", ".join(self._modules.keys())
+        return f"{type(self).__name__}({child_repr})"

@@ -1,0 +1,46 @@
+"""Normalisation layers (batch norm and layer norm)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel axis of 4-D inputs."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.batch_norm(inputs, self.weight, self.bias,
+                            self.running_mean, self.running_var,
+                            training=self.training, momentum=self.momentum, eps=self.eps)
+
+
+class BatchNorm1d(BatchNorm2d):
+    """Batch normalisation for 2-D ``(batch, features)`` inputs."""
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.layer_norm(inputs, self.weight, self.bias, eps=self.eps)

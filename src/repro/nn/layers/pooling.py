@@ -1,0 +1,47 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.max_pool2d(inputs, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.avg_pool2d(inputs, self.kernel_size, self.stride)
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size: IntPair = 1) -> None:
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(inputs, self.output_size)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling producing a ``(batch, channels)`` tensor."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.mean(axis=(2, 3))

@@ -1,0 +1,26 @@
+"""Loss modules wrapping the functional losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers.module import Module
+from .tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over integer class targets."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)
+
+
+class NLLLoss(Module):
+    def forward(self, log_probs: Tensor, targets: np.ndarray) -> Tensor:
+        return F.nll_loss(log_probs, targets)
+
+
+class MSELoss(Module):
+    def forward(self, predictions: Tensor, targets) -> Tensor:
+        return F.mse_loss(predictions, targets)

@@ -1,0 +1,8 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .adam import Adam
+from .lr_scheduler import CosineAnnealingLR, StepLR
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = ["Adam", "CosineAnnealingLR", "StepLR", "Optimizer", "SGD"]

@@ -1,0 +1,39 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+
+class StepLR:
+    """Multiplies the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        exponent = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma ** exponent)
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the base learning rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        self.optimizer = optimizer
+        self.total_epochs = max(total_epochs, 1)
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * self.epoch / self.total_epochs))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cosine

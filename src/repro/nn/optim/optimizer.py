@@ -1,0 +1,26 @@
+"""Base optimizer class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..layers.module import Parameter
+
+
+class Optimizer:
+    """Holds a list of parameters and applies gradient-based updates."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,60 @@
+"""Model and tensor serialisation.
+
+The paper saves augmented models as TorchScript and augmented datasets as
+PyTorch tensors before uploading them to the cloud environment.  Here the
+equivalent artefacts are ``.npz`` bundles: a flat mapping of parameter and
+buffer arrays plus a small JSON header describing the architecture, which the
+simulated cloud session ships back and forth.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .layers.module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_state(module: Module, path: PathLike, metadata: Dict[str, object] | None = None) -> None:
+    """Save a module's state dict (and optional metadata) to an ``.npz`` file."""
+    state = module.state_dict()
+    header = json.dumps(metadata or {})
+    np.savez(path, __metadata__=np.frombuffer(header.encode("utf-8"), dtype=np.uint8), **state)
+
+
+def load_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a state dict saved by :func:`save_state` (metadata key stripped)."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files if name != "__metadata__"}
+
+
+def load_metadata(path: PathLike) -> Dict[str, object]:
+    with np.load(path) as archive:
+        if "__metadata__" not in archive.files:
+            return {}
+        raw = archive["__metadata__"].tobytes().decode("utf-8")
+        return json.loads(raw) if raw else {}
+
+
+def state_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
+    """Serialise a state dict to bytes (used by the simulated cloud transport)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **state)
+    return buffer.getvalue()
+
+
+def state_from_bytes(payload: bytes) -> Dict[str, np.ndarray]:
+    buffer = io.BytesIO(payload)
+    with np.load(buffer) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def state_size_bytes(state: Dict[str, np.ndarray]) -> int:
+    """Total in-memory size of a state dict, used for overhead reporting."""
+    return int(sum(array.nbytes for array in state.values()))

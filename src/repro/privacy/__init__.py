@@ -1,0 +1,27 @@
+"""Privacy analysis: loss model (Section 6.1-6.2) and adversarial attacks (6.3)."""
+
+from . import attacks
+from .loss_model import (
+    TradeoffPoint,
+    amount_for_privacy_budget,
+    computing_performance_loss,
+    empirical_performance_loss,
+    model_vs_empirical,
+    privacy_loss,
+    tradeoff_curve,
+)
+from .report import PrivacyReport, build_image_report, build_text_report
+
+__all__ = [
+    "attacks",
+    "TradeoffPoint",
+    "amount_for_privacy_budget",
+    "computing_performance_loss",
+    "empirical_performance_loss",
+    "model_vs_empirical",
+    "privacy_loss",
+    "tradeoff_curve",
+    "PrivacyReport",
+    "build_image_report",
+    "build_text_report",
+]

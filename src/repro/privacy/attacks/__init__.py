@@ -1,0 +1,55 @@
+"""Adversarial attacks evaluated against Amalgam (Section 6.3)."""
+
+from .brute_force import (
+    BruteForceCost,
+    BruteForceOutcome,
+    SmallScaleBruteForce,
+    attack_cost,
+)
+from .denoising import (
+    DenoisingAttackResult,
+    LearnedDenoiser,
+    denoising_attack,
+    gaussian_denoise,
+    median_denoise,
+    psnr,
+    resize_nearest,
+)
+from .dlg import (
+    DLGAttack,
+    DLGResult,
+    capture_gradients,
+    infer_label_idlg,
+    linear_layer_leakage,
+)
+from .model_inversion import (
+    InversionAttackResult,
+    attribution_correlation,
+    model_inversion_attack,
+    occlusion_attribution,
+    shapley_sampling_attribution,
+)
+
+__all__ = [
+    "BruteForceCost",
+    "BruteForceOutcome",
+    "SmallScaleBruteForce",
+    "attack_cost",
+    "DenoisingAttackResult",
+    "LearnedDenoiser",
+    "denoising_attack",
+    "gaussian_denoise",
+    "median_denoise",
+    "psnr",
+    "resize_nearest",
+    "DLGAttack",
+    "DLGResult",
+    "capture_gradients",
+    "infer_label_idlg",
+    "linear_layer_leakage",
+    "InversionAttackResult",
+    "attribution_correlation",
+    "model_inversion_attack",
+    "occlusion_attribution",
+    "shapley_sampling_attribution",
+]

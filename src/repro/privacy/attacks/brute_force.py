@@ -1,0 +1,100 @@
+"""Brute-force attack analysis (Section 6.3).
+
+Two complementary views:
+
+* :func:`attack_cost` — the asymptotic view used in the paper: the number of
+  candidate noise placements (the search space of Table 2) converted into an
+  expected attack duration for a given guessing rate.
+* :class:`SmallScaleBruteForce` — an *actual* enumeration on deliberately tiny
+  augmented samples.  It demonstrates why the attack is hopeless even when
+  enumeration is feasible: a large fraction of candidate placements produce
+  equally plausible "originals", so the adversary cannot tell which one is
+  real without outside knowledge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Optional
+
+import numpy as np
+
+from ...core.search_space import SearchSpace
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class BruteForceCost:
+    """Expected cost of brute-forcing one augmented sample."""
+
+    search_space_log10: float
+    guesses_per_second: float
+    expected_years_log10: float
+
+    @property
+    def feasible(self) -> bool:
+        """Feasible if the expected duration is under a century."""
+        return self.expected_years_log10 < 2.0
+
+    def __str__(self) -> str:
+        return f"~1e{self.expected_years_log10:.1f} years at {self.guesses_per_second:.0e} guesses/s"
+
+
+def attack_cost(search_space: SearchSpace, guesses_per_second: float = 1e12) -> BruteForceCost:
+    """Expected brute-force duration for a search space (testing half the placements)."""
+    if guesses_per_second <= 0:
+        raise ValueError("guesses_per_second must be positive")
+    expected_guesses_log10 = search_space.log10 + math.log10(0.5)
+    expected_seconds_log10 = expected_guesses_log10 - math.log10(guesses_per_second)
+    expected_years_log10 = expected_seconds_log10 - math.log10(SECONDS_PER_YEAR)
+    return BruteForceCost(search_space.log10, guesses_per_second, expected_years_log10)
+
+
+@dataclass
+class BruteForceOutcome:
+    """Result of a small-scale exhaustive enumeration."""
+
+    candidates_tested: int
+    plausible_candidates: int
+    found_exact: bool
+
+    @property
+    def ambiguity(self) -> float:
+        """Fraction of candidates the adversary cannot rule out."""
+        if self.candidates_tested == 0:
+            return 0.0
+        return self.plausible_candidates / self.candidates_tested
+
+
+class SmallScaleBruteForce:
+    """Exhaustively test noise placements on a tiny augmented vector."""
+
+    def __init__(self, plausibility: Optional[Callable[[np.ndarray], bool]] = None,
+                 max_candidates: int = 200_000) -> None:
+        self.plausibility = plausibility if plausibility is not None else (lambda _: True)
+        self.max_candidates = max_candidates
+
+    def run(self, augmented: np.ndarray, original: np.ndarray) -> BruteForceOutcome:
+        """Enumerate every way of deleting ``len(augmented) - len(original)`` entries."""
+        augmented = np.asarray(augmented).reshape(-1)
+        original = np.asarray(original).reshape(-1)
+        total, keep = len(augmented), len(original)
+        if keep > total:
+            raise ValueError("original cannot be longer than the augmented vector")
+        tested = 0
+        plausible = 0
+        found = False
+        for kept_positions in combinations(range(total), keep):
+            if tested >= self.max_candidates:
+                break
+            candidate = augmented[list(kept_positions)]
+            tested += 1
+            if self.plausibility(candidate):
+                plausible += 1
+                if np.array_equal(candidate, original):
+                    found = True
+        return BruteForceOutcome(candidates_tested=tested, plausible_candidates=plausible,
+                                 found_exact=found)

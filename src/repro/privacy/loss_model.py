@@ -1,0 +1,74 @@
+"""Privacy-loss and computing-performance-loss model (Section 6.1, 6.2, Figure 15).
+
+The paper quantifies the trade-off between obfuscation and overhead with two
+closed-form quantities of the augmentation amount ``alpha``:
+
+* privacy loss  ``epsilon(alpha) = 1 / (1 + alpha)``  — the smaller, the less an
+  adversary learns about any original feature;
+* computing performance loss  ``rho(alpha) = 1 - 1 / (1 + alpha)`` — the share
+  of compute spent on synthetic content.
+
+The two always sum to one.  :func:`tradeoff_curve` evaluates them over a grid
+of amounts (Figure 15) and :func:`empirical_performance_loss` lets the
+benchmarks cross-check the model against measured training times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def privacy_loss(amount: float) -> float:
+    """Privacy loss ``epsilon = 1 / (1 + alpha)`` for augmentation amount ``alpha``."""
+    if amount < 0:
+        raise ValueError("augmentation amount must be non-negative")
+    return 1.0 / (1.0 + amount)
+
+
+def computing_performance_loss(amount: float) -> float:
+    """Computing performance loss ``rho = 1 - 1 / (1 + alpha)``."""
+    if amount < 0:
+        raise ValueError("augmentation amount must be non-negative")
+    return 1.0 - 1.0 / (1.0 + amount)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the Figure 15 curve."""
+
+    amount: float
+    privacy_loss: float
+    computing_loss: float
+
+
+def tradeoff_curve(amounts: Iterable[float]) -> List[TradeoffPoint]:
+    """Evaluate the privacy / computing trade-off over a grid of amounts."""
+    return [TradeoffPoint(a, privacy_loss(a), computing_performance_loss(a)) for a in amounts]
+
+
+def amount_for_privacy_budget(epsilon: float) -> float:
+    """Invert ``epsilon(alpha)``: the augmentation amount achieving a target privacy loss."""
+    if not 0 < epsilon <= 1:
+        raise ValueError("epsilon must lie in (0, 1]")
+    return 1.0 / epsilon - 1.0
+
+
+def empirical_performance_loss(baseline_time: float, augmented_time: float) -> float:
+    """Measured share of compute spent on augmentation: ``1 - t_base / t_aug``."""
+    if baseline_time <= 0 or augmented_time <= 0:
+        raise ValueError("times must be positive")
+    return max(0.0, 1.0 - baseline_time / augmented_time)
+
+
+def model_vs_empirical(amounts: Sequence[float], baseline_time: float,
+                       augmented_times: Sequence[float]) -> List[dict]:
+    """Pair the analytic ``rho`` with the measured overhead for each amount."""
+    rows = []
+    for amount, augmented_time in zip(amounts, augmented_times):
+        rows.append({
+            "amount": amount,
+            "rho_model": computing_performance_loss(amount),
+            "rho_measured": empirical_performance_loss(baseline_time, augmented_time),
+        })
+    return rows

@@ -1,0 +1,74 @@
+"""Aggregated privacy report for an obfuscation configuration.
+
+Combines the analytic privacy/computing loss model, the search-space
+accounting and (optionally) attack outcomes into one structure that examples
+and benchmarks can print, mirroring the narrative of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.config import AmalgamConfig
+from ..core.search_space import SearchSpace, image_search_space, text_search_space
+from .attacks.brute_force import BruteForceCost, attack_cost
+from .loss_model import computing_performance_loss, privacy_loss
+
+
+@dataclass
+class PrivacyReport:
+    """Summary of the privacy guarantees of one configuration."""
+
+    augmentation_amount: float
+    epsilon: float
+    rho: float
+    search_space: Optional[SearchSpace] = None
+    brute_force: Optional[BruteForceCost] = None
+    attack_results: Dict[str, object] = field(default_factory=dict)
+
+    def rows(self) -> List[str]:
+        lines = [
+            f"augmentation amount : {self.augmentation_amount:.0%}",
+            f"privacy loss eps    : {self.epsilon:.3f}",
+            f"computing loss rho  : {self.rho:.3f}",
+        ]
+        if self.search_space is not None:
+            lines.append(f"search space        : {self.search_space}")
+        if self.brute_force is not None:
+            lines.append(f"brute force         : {self.brute_force}")
+        for name, outcome in self.attack_results.items():
+            lines.append(f"attack[{name}]: {outcome}")
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.rows())
+
+
+def build_image_report(config: AmalgamConfig, height: int, width: int,
+                       channels: int = 3,
+                       guesses_per_second: float = 1e12) -> PrivacyReport:
+    """Privacy report for an image dataset obfuscated with ``config``."""
+    amount = config.augmentation_amount
+    space = image_search_space(height, width, amount, channels=channels)
+    return PrivacyReport(
+        augmentation_amount=amount,
+        epsilon=privacy_loss(amount),
+        rho=computing_performance_loss(amount),
+        search_space=space,
+        brute_force=attack_cost(space, guesses_per_second),
+    )
+
+
+def build_text_report(config: AmalgamConfig, batch_length: int,
+                      guesses_per_second: float = 1e12) -> PrivacyReport:
+    """Privacy report for a text dataset obfuscated with ``config``."""
+    amount = config.augmentation_amount
+    space = text_search_space(batch_length, amount)
+    return PrivacyReport(
+        augmentation_amount=amount,
+        epsilon=privacy_loss(amount),
+        rho=computing_performance_loss(amount),
+        search_space=space,
+        brute_force=attack_cost(space, guesses_per_second),
+    )

@@ -1,0 +1,50 @@
+"""Training/validation metric accumulators used by the trainer and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class MetricHistory:
+    """Stores per-epoch metric series, mirroring the curves in Figures 5-13."""
+
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, value: float) -> None:
+        self.series.setdefault(name, []).append(float(value))
+
+    def last(self, name: str, default: float = float("nan")) -> float:
+        values = self.series.get(name, [])
+        return values[-1] if values else default
+
+    def get(self, name: str) -> List[float]:
+        return list(self.series.get(name, []))
+
+    def merge(self, other: "MetricHistory") -> None:
+        for name, values in other.series.items():
+            self.series.setdefault(name, []).extend(values)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {name: list(values) for name, values in self.series.items()}
+
+
+class RunningAverage:
+    """Numerically simple running mean used inside training loops."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def update(self, value: float, count: int = 1) -> None:
+        self._total += float(value) * count
+        self._count += count
+
+    @property
+    def value(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def reset(self) -> None:
+        self._total = 0.0
+        self._count = 0

@@ -1,0 +1,42 @@
+"""Deterministic random-number management.
+
+Reproducing the paper's training-equivalence claim (the augmented model's
+original sub-network trains exactly like the original model) requires careful
+control of every random draw: weight initialisation, data order, noise pixels
+and decoy parameters.  All randomness in the repository flows through
+:func:`get_rng` / :func:`spawn` so experiments are replayable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+_GLOBAL_SEED = 1234
+
+
+def set_global_seed(seed: int) -> None:
+    """Set the process-wide default seed used by :func:`get_rng`."""
+    global _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+
+
+def get_global_seed() -> int:
+    return _GLOBAL_SEED
+
+
+def get_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Return a new generator seeded by ``seed`` (or the global seed)."""
+    return np.random.default_rng(_GLOBAL_SEED if seed is None else seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**31 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 31-bit seed from ``rng``."""
+    return int(rng.integers(0, 2**31 - 1))

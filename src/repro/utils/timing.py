@@ -1,0 +1,45 @@
+"""Lightweight wall-clock timing utilities used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock measurements."""
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.records.setdefault(name, []).append(elapsed)
+
+    def total(self, name: str) -> float:
+        return sum(self.records.get(name, []))
+
+    def mean(self, name: str) -> float:
+        values = self.records.get(name, [])
+        return sum(values) / len(values) if values else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {name: self.total(name) for name in self.records}
+
+
+@contextmanager
+def stopwatch() -> Iterator[List[float]]:
+    """Context manager yielding a one-element list filled with elapsed seconds."""
+    holder: List[float] = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

@@ -1,0 +1,144 @@
+"""Tests for the simulated cloud: bundles, environment and round-trip sessions."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CloudEnvironment,
+    CloudSession,
+    bundle_manifest,
+    pack_arrays,
+    pack_model,
+    unpack_into_model,
+)
+from repro.core import Amalgam, AmalgamConfig
+from repro.models import LeNet, TextClassifier, TransformerLM
+
+
+@pytest.fixture
+def image_job(mnist_tiny, amalgam_config):
+    amalgam = Amalgam(amalgam_config)
+    model = LeNet(10, 1, 28, rng=np.random.default_rng(3))
+    return amalgam.prepare_image_job(model, mnist_tiny)
+
+
+class TestBundles:
+    def test_pack_model_architecture_digest(self, image_job):
+        bundle = pack_model(image_job.augmented_model, task="classification")
+        assert bundle.size_bytes > 0
+        assert bundle.architecture["task"] == "classification"
+        assert bundle.architecture["total_parameters"] == sum(
+            np.asarray(v).size for v in image_job.augmented_model.state_dict().values())
+
+    def test_model_bundle_does_not_reveal_original_index(self, image_job):
+        bundle = pack_model(image_job.augmented_model, task="classification")
+        assert "original" not in str(bundle.architecture).lower()
+
+    def test_bundle_roundtrip_restores_parameters(self, image_job):
+        bundle = pack_model(image_job.augmented_model, task="classification")
+        # Perturb, then unpack the bundle back in.
+        for parameter in image_job.augmented_model.parameters():
+            parameter.data += 1.0
+        unpack_into_model(bundle, image_job.augmented_model)
+        restored = pack_model(image_job.augmented_model, task="classification")
+        assert restored.checksum == bundle.checksum
+
+    def test_pack_arrays_and_manifest(self, mnist_tiny):
+        bundle = pack_arrays({"name": "x", "kind": "image"},
+                             samples=mnist_tiny.train.samples,
+                             labels=mnist_tiny.train.labels)
+        arrays = bundle.arrays()
+        assert np.array_equal(arrays["samples"], mnist_tiny.train.samples)
+        manifest = bundle_manifest(dataset=bundle)
+        assert "sha256" in manifest
+
+    def test_checksums_differ_for_different_content(self, mnist_tiny):
+        a = pack_arrays({"name": "a"}, labels=mnist_tiny.train.labels)
+        b = pack_arrays({"name": "b"}, labels=mnist_tiny.train.labels + 1)
+        assert a.checksum != b.checksum
+
+
+class TestCloudEnvironment:
+    def test_classification_job_records_observation(self, image_job):
+        environment = CloudEnvironment(record_gradients=True, max_gradient_snapshots=1)
+        session = CloudSession(environment)
+        receipt = environment.train_classification(
+            image_job.augmented_model,
+            session.bundle_model(image_job),
+            session.bundle_dataset(image_job),
+            num_classes=10, epochs=1, lr=0.05, batch_size=16)
+        assert receipt.observation.epochs == 1
+        assert receipt.observation.wall_clock_seconds > 0
+        assert len(receipt.observation.gradient_snapshots) == 1
+        assert environment.jobs
+
+    def test_observation_summary_fields(self, image_job):
+        environment = CloudEnvironment()
+        session = CloudSession(environment)
+        receipt = environment.train_classification(
+            image_job.augmented_model, session.bundle_model(image_job),
+            session.bundle_dataset(image_job), num_classes=10, epochs=1, batch_size=16)
+        summary = receipt.observation.summary()
+        assert set(summary) == {"total_parameters", "epochs", "wall_clock_seconds",
+                                "gradient_snapshots"}
+
+
+class TestCloudSession:
+    def test_image_round_trip(self, image_job, mnist_tiny):
+        session = CloudSession(CloudEnvironment())
+        result = session.run(image_job, lambda: LeNet(10, 1, 28), epochs=1, lr=0.05,
+                             batch_size=16)
+        assert result.uploaded_model_bytes > 0
+        assert result.uploaded_dataset_bytes > 0
+        assert result.extraction.model.num_parameters() == 61_706
+        assert result.training.history.get("train_loss")
+
+    def test_round_trip_extraction_matches_local_augmented_model(self, image_job):
+        session = CloudSession(CloudEnvironment())
+        result = session.run(image_job, lambda: LeNet(10, 1, 28), epochs=1, lr=0.05,
+                             batch_size=16)
+        prefix = image_job.augmented_model.original_parameter_prefix()
+        augmented_state = image_job.augmented_model.state_dict()
+        for name, value in result.extraction.model.state_dict().items():
+            assert np.array_equal(augmented_state[prefix + name], value)
+
+    def test_text_round_trip(self, agnews_tiny, amalgam_config):
+        split, vocab = agnews_tiny
+        amalgam = Amalgam(amalgam_config)
+        model = TextClassifier(len(vocab), 16, 4, rng=np.random.default_rng(1))
+        job = amalgam.prepare_text_job(model, split, vocab_size=len(vocab))
+        session = CloudSession(CloudEnvironment())
+        result = session.run(job, lambda: TextClassifier(len(vocab), 16, 4),
+                             epochs=1, lr=0.2, batch_size=16)
+        assert result.extraction.model.num_parameters() == model.num_parameters()
+
+    def test_lm_round_trip(self, wikitext_tiny, amalgam_config):
+        train, validation, vocab = wikitext_tiny
+        amalgam = Amalgam(amalgam_config)
+        model = TransformerLM(len(vocab), 16, 2, 1, 32, dropout=0.0,
+                              rng=np.random.default_rng(2))
+        job = amalgam.prepare_lm_job(model, train, validation, batch_rows=2, seq_len=10)
+        session = CloudSession(CloudEnvironment())
+        result = session.run(job, lambda: TransformerLM(len(vocab), 16, 2, 1, 32, dropout=0.0),
+                             epochs=1, lr=0.005, optimizer="adam")
+        assert result.extraction.model.num_parameters() == model.num_parameters()
+
+    def test_dataset_bundle_does_not_contain_plan_positions(self, image_job):
+        """The uploaded dataset holds only augmented pixels and labels."""
+        session = CloudSession(CloudEnvironment())
+        dataset_bundle = session.bundle_dataset(image_job)
+        positions = image_job.secrets.dataset_plan.channel_positions
+        for value in dataset_bundle.arrays().values():
+            if value.shape == positions.shape and value.dtype == positions.dtype:
+                assert not np.array_equal(value, positions)
+
+    def test_all_subnetworks_expose_indistinguishable_selectors(self, image_job):
+        """Every sub-network in the uploaded model carries a selector buffer of
+        the same shape, so the original one cannot be identified structurally —
+        the property the paper's obfuscation relies on."""
+        session = CloudSession(CloudEnvironment())
+        state = session.bundle_model(image_job).state_dict()
+        selector_shapes = {name: value.shape for name, value in state.items()
+                           if name.endswith("selector.positions")}
+        assert len(selector_shapes) == image_job.augmented_model.num_subnetworks
+        assert len(set(selector_shapes.values())) == 1

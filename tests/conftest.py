@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Everything is intentionally tiny so the whole suite runs on CPU in a couple of
+minutes; the heavier, paper-scale configurations live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AmalgamConfig
+from repro.data import make_agnews, make_cifar10, make_mnist, make_wikitext2
+from repro.models import LeNet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def mnist_tiny():
+    """A 32-sample MNIST analogue shared across tests (read-only)."""
+    return make_mnist(train_count=32, val_count=16, seed=1)
+
+
+@pytest.fixture(scope="session")
+def cifar10_tiny():
+    return make_cifar10(train_count=16, val_count=8, seed=2)
+
+
+@pytest.fixture(scope="session")
+def agnews_tiny():
+    return make_agnews(train_samples=48, val_samples=16, vocab_size=120, seed=3)
+
+
+@pytest.fixture(scope="session")
+def wikitext_tiny():
+    return make_wikitext2(train_tokens=2_400, val_tokens=600, vocab_size=60, seed=4)
+
+
+@pytest.fixture
+def amalgam_config() -> AmalgamConfig:
+    return AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=7)
+
+
+@pytest.fixture
+def lenet(rng) -> LeNet:
+    return LeNet(num_classes=10, in_channels=1, image_size=28, rng=rng)
+
+
+def finite_difference(fn, array: np.ndarray, index, eps: float = 1e-6) -> float:
+    """Central finite-difference derivative of ``fn`` w.r.t. ``array[index]``."""
+    original = array[index]
+    array[index] = original + eps
+    upper = fn()
+    array[index] = original - eps
+    lower = fn()
+    array[index] = original
+    return (upper - lower) / (2.0 * eps)

@@ -1,0 +1,161 @@
+"""Tests for augmentation plans and the search-space accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ImageAugmentationPlan,
+    TextAugmentationPlan,
+    augmented_length,
+    draw_insertion_positions,
+    image_search_space,
+    log10_binomial,
+    placement_search_space,
+    text_search_space,
+)
+from repro.core.search_space import SearchSpace, brute_force_attempts
+
+
+class TestAugmentedLength:
+    @pytest.mark.parametrize("original,amount,expected", [
+        (32, 0.5, 48), (28, 0.25, 35), (28, 1.0, 56), (224, 0.25, 280),
+        (20, 0.25, 25), (10, 0.1, 11), (32, 0.0, 32),
+    ])
+    def test_matches_paper_resolutions(self, original, amount, expected):
+        assert augmented_length(original, amount) == expected
+
+
+class TestDrawInsertionPositions:
+    def test_positions_sorted_unique_in_range(self, rng):
+        positions = draw_insertion_positions(10, 16, rng)
+        assert len(positions) == 10
+        assert np.all(np.diff(positions) > 0)
+        assert positions.min() >= 0 and positions.max() < 16
+
+    def test_rejects_shrinking(self, rng):
+        with pytest.raises(ValueError):
+            draw_insertion_positions(10, 5, rng)
+
+    @given(st.integers(1, 40), st.integers(0, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_strictly_increasing(self, original, extra):
+        positions = draw_insertion_positions(original, original + extra,
+                                             np.random.default_rng(original * 7 + extra))
+        assert len(positions) == original
+        assert np.all(np.diff(positions) > 0)
+
+
+class TestPlans:
+    def test_image_plan_validation_passes(self, rng):
+        positions = np.stack([draw_insertion_positions(16, 25, rng) for _ in range(3)])
+        plan = ImageAugmentationPlan((3, 4, 4), (3, 5, 5), positions, 0.25)
+        plan.validate()
+        assert plan.original_pixels == 16
+        assert plan.augmented_pixels == 25
+        assert plan.noise_pixels == 9
+
+    def test_image_plan_noise_positions_are_complement(self, rng):
+        positions = np.stack([draw_insertion_positions(4, 9, rng)])
+        plan = ImageAugmentationPlan((1, 2, 2), (1, 3, 3), positions, 0.5)
+        noise = plan.noise_positions()
+        combined = np.sort(np.concatenate([positions[0], noise[0]]))
+        assert np.array_equal(combined, np.arange(9))
+
+    def test_image_plan_rejects_channel_change(self, rng):
+        positions = np.stack([draw_insertion_positions(4, 9, rng)])
+        plan = ImageAugmentationPlan((1, 2, 2), (2, 3, 3), positions, 0.5)
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_image_plan_rejects_unsorted_positions(self):
+        plan = ImageAugmentationPlan((1, 2, 2), (1, 3, 3),
+                                     np.array([[3, 1, 2, 5]]), 0.5)
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_image_plan_rejects_out_of_range(self):
+        plan = ImageAugmentationPlan((1, 2, 2), (1, 3, 3),
+                                     np.array([[0, 1, 2, 99]]), 0.5)
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_text_plan_validation(self, rng):
+        positions = draw_insertion_positions(20, 30, rng)[None, :]
+        plan = TextAugmentationPlan(20, 30, positions, 0.5)
+        plan.validate()
+        assert plan.noise_tokens == 10
+        noise = plan.noise_positions()
+        assert np.array_equal(np.sort(np.concatenate([positions[0], noise[0]])), np.arange(30))
+
+    def test_text_plan_rejects_wrong_row_length(self):
+        plan = TextAugmentationPlan(5, 8, np.array([[0, 1, 2]]), 0.5)
+        with pytest.raises(ValueError):
+            plan.validate()
+
+
+class TestSearchSpace:
+    def test_log10_binomial_small_values(self):
+        assert 10 ** log10_binomial(5, 2) == pytest.approx(10)
+        assert 10 ** log10_binomial(25, 5) == pytest.approx(53130, rel=1e-9)
+        assert log10_binomial(5, 0) == 0.0
+        assert log10_binomial(5, 6) == float("-inf")
+
+    def test_placement_search_space_formatting(self):
+        space = placement_search_space(25, 5)
+        assert str(space) == "5.31e4"
+
+    @pytest.mark.parametrize("size,amount,expected_exponent", [
+        (28, 0.25, 346),   # MNIST 25%  -> 1.00e346
+        (28, 0.50, 524),   # MNIST 50%  -> 3.62e524
+        (28, 0.75, 656),   # MNIST 75%  -> 8.57e656
+        (28, 1.00, 763),   # MNIST 100% -> 1.22e764
+        (32, 0.50, 685),   # CIFAR 50%  -> 1.21e686
+        (32, 1.00, 998),   # CIFAR 100% -> 9.05e998
+    ])
+    def test_image_search_space_matches_table2(self, size, amount, expected_exponent):
+        space = image_search_space(size, size, amount, channels=1)
+        assert abs(space.log10 - expected_exponent) < 3.0
+
+    @pytest.mark.parametrize("amount,expected", [
+        (0.25, 53_130), (0.50, 30_045_015),
+    ])
+    def test_text_search_space_matches_table2_wikitext(self, amount, expected):
+        space = text_search_space(20, amount)
+        assert 10 ** space.log10 == pytest.approx(expected, rel=1e-6)
+
+    def test_search_space_monotone_in_amount(self):
+        spaces = [image_search_space(32, 32, amount).log10
+                  for amount in (0.25, 0.5, 0.75, 1.0)]
+        assert spaces == sorted(spaces)
+
+    def test_joint_channel_space_is_larger(self):
+        per_channel = image_search_space(16, 16, 0.5, per_channel=True)
+        joint = image_search_space(16, 16, 0.5, per_channel=False, channels=3)
+        assert joint.log10 == pytest.approx(3 * per_channel.log10)
+
+    def test_search_space_multiplication(self):
+        a, b = SearchSpace(10.0), SearchSpace(5.0)
+        assert (a * b).log10 == 15.0
+
+    def test_mantissa_exponent(self):
+        mantissa, exponent = SearchSpace(4.5).mantissa_exponent
+        assert exponent == 4
+        assert mantissa == pytest.approx(10 ** 0.5)
+
+    def test_value_overflows_to_inf(self):
+        assert SearchSpace(500.0).value == float("inf")
+        assert SearchSpace(2.0).value == pytest.approx(100.0)
+
+    def test_brute_force_attempts_halves_space(self):
+        space = SearchSpace(10.0)
+        assert brute_force_attempts(space).log10 == pytest.approx(10.0 + np.log10(0.5))
+
+    @given(st.integers(2, 60), st.floats(0.05, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_text_space_nonnegative_and_monotone_in_length(self, length, amount):
+        small = text_search_space(length, amount)
+        large = text_search_space(length * 2, amount)
+        assert small.log10 >= 0.0
+        assert large.log10 >= small.log10

@@ -1,0 +1,102 @@
+"""Tests for AmalgamConfig and the noise generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AmalgamConfig, NoiseGenerator, NoiseSpec, NoiseType, default_noise
+
+
+class TestAmalgamConfig:
+    def test_defaults(self):
+        config = AmalgamConfig()
+        assert config.augmentation_amount == 0.5
+        assert config.model_amount == 0.5
+        assert config.noise.noise_type is NoiseType.RANDOM
+
+    def test_model_amount_falls_back_to_dataset_amount(self):
+        assert AmalgamConfig(augmentation_amount=0.75).model_amount == 0.75
+        assert AmalgamConfig(augmentation_amount=0.75,
+                             model_augmentation_amount=0.25).model_amount == 0.25
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            AmalgamConfig(augmentation_amount=-0.1)
+        with pytest.raises(ValueError):
+            AmalgamConfig(model_augmentation_amount=-1.0)
+
+    def test_invalid_decoy_style_rejected(self):
+        with pytest.raises(ValueError):
+            AmalgamConfig(decoy_style="transformer")
+
+    def test_resolve_subnetworks_fixed(self):
+        config = AmalgamConfig(num_subnetworks=3)
+        assert config.resolve_subnetworks(np.random.default_rng(0)) == 3
+
+    def test_resolve_subnetworks_random_default_range(self):
+        config = AmalgamConfig()
+        counts = {config.resolve_subnetworks(np.random.default_rng(seed)) for seed in range(30)}
+        assert counts.issubset({2, 3, 4})
+        assert len(counts) > 1
+
+    def test_resolve_subnetworks_invalid(self):
+        with pytest.raises(ValueError):
+            AmalgamConfig(num_subnetworks=0).resolve_subnetworks(np.random.default_rng(0))
+
+    def test_noise_spec_string_coercion(self):
+        spec = NoiseSpec(noise_type="gaussian")
+        assert spec.noise_type is NoiseType.GAUSSIAN
+
+    def test_user_noise_requires_pool(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(noise_type=NoiseType.USER)
+
+    def test_sigma_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(sigma=0.0)
+
+
+class TestNoiseGenerator:
+    def test_random_pixels_respect_range(self, rng):
+        generator = default_noise()
+        values = generator.sample_pixels(1000, rng, value_range=(0.2, 0.8))
+        assert values.min() >= 0.2 and values.max() <= 0.8
+
+    def test_gaussian_pixels_clipped_to_range(self, rng):
+        generator = NoiseGenerator(NoiseSpec(noise_type=NoiseType.GAUSSIAN, sigma=5.0))
+        values = generator.sample_pixels(500, rng, value_range=(0.0, 1.0))
+        assert values.min() >= 0.0 and values.max() <= 1.0
+
+    def test_laplace_pixels(self, rng):
+        generator = NoiseGenerator(NoiseSpec(noise_type=NoiseType.LAPLACE, sigma=0.3))
+        assert generator.sample_pixels(100, rng).shape == (100,)
+
+    def test_user_pixels_come_from_pool(self, rng):
+        pool = np.array([0.1, 0.5, 0.9])
+        generator = NoiseGenerator(NoiseSpec(noise_type=NoiseType.USER, user_pool=pool))
+        values = generator.sample_pixels(200, rng)
+        assert set(np.unique(values)).issubset(set(pool))
+
+    def test_random_tokens_within_vocab(self, rng):
+        generator = default_noise()
+        tokens = generator.sample_tokens(500, rng, vocab_size=37)
+        assert tokens.dtype.kind == "i"
+        assert tokens.min() >= 0 and tokens.max() < 37
+
+    def test_gaussian_tokens_within_vocab(self, rng):
+        generator = NoiseGenerator(NoiseSpec(noise_type=NoiseType.GAUSSIAN, sigma=2.0))
+        tokens = generator.sample_tokens(500, rng, vocab_size=20)
+        assert tokens.min() >= 0 and tokens.max() < 20
+
+    def test_user_tokens_come_from_pool(self, rng):
+        pool = np.array([3, 7, 11])
+        generator = NoiseGenerator(NoiseSpec(noise_type=NoiseType.USER, user_pool=pool))
+        tokens = generator.sample_tokens(100, rng, vocab_size=100)
+        assert set(np.unique(tokens)).issubset({3, 7, 11})
+
+    @given(st.integers(1, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_sample_count_respected(self, count):
+        generator = default_noise()
+        assert generator.sample_pixels(count, np.random.default_rng(0)).shape == (count,)

@@ -1,0 +1,186 @@
+"""Tests for the Dataset Augmenter: geometry, value preservation, restoration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AmalgamConfig, DatasetAugmenter, NoiseSpec, NoiseType
+from repro.data import make_agnews, make_mnist, make_wikitext2
+
+
+@pytest.fixture
+def augmenter():
+    return DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=3))
+
+
+class TestImageAugmentation:
+    def test_augmented_resolution_follows_paper_formula(self, augmenter, mnist_tiny):
+        result = augmenter.augment_images(mnist_tiny.train)
+        assert result.dataset.samples.shape == (32, 1, 42, 42)
+        assert result.dataset.info.shape == (1, 42, 42)
+
+    @pytest.mark.parametrize("amount,expected", [(0.25, 35), (0.5, 42), (0.75, 49), (1.0, 56)])
+    def test_mnist_resolutions_match_table2(self, mnist_tiny, amount, expected):
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=amount, seed=0))
+        result = augmenter.augment_images(mnist_tiny.train)
+        assert result.dataset.samples.shape[-1] == expected
+
+    def test_original_pixels_preserved_at_plan_positions(self, augmenter, mnist_tiny):
+        result = augmenter.augment_images(mnist_tiny.train)
+        plan = result.plan
+        flat_augmented = result.dataset.samples.reshape(32, 1, -1)
+        flat_original = mnist_tiny.train.samples.reshape(32, 1, -1)
+        assert np.array_equal(flat_augmented[:, 0, plan.channel_positions[0]],
+                              flat_original[:, 0])
+
+    def test_restore_is_exact_inverse(self, augmenter, mnist_tiny):
+        result = augmenter.augment_images(mnist_tiny.train)
+        restored = augmenter.restore_images(result)
+        assert np.array_equal(restored, mnist_tiny.train.samples)
+
+    def test_restore_inverse_for_multichannel(self, cifar10_tiny):
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.75, seed=5))
+        result = augmenter.augment_images(cifar10_tiny.train)
+        assert result.dataset.samples.shape[-2:] == (56, 56)
+        assert np.array_equal(augmenter.restore_images(result), cifar10_tiny.train.samples)
+
+    def test_labels_unchanged(self, augmenter, mnist_tiny):
+        result = augmenter.augment_images(mnist_tiny.train)
+        assert np.array_equal(result.dataset.labels, mnist_tiny.train.labels)
+
+    def test_channels_have_independent_positions_by_default(self, cifar10_tiny):
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=1))
+        plan = augmenter.augment_images(cifar10_tiny.train).plan
+        assert not np.array_equal(plan.channel_positions[0], plan.channel_positions[1])
+
+    def test_shared_channel_positions_option(self, cifar10_tiny):
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=1,
+                                                   shared_channel_positions=True))
+        plan = augmenter.augment_images(cifar10_tiny.train).plan
+        assert np.array_equal(plan.channel_positions[0], plan.channel_positions[2])
+
+    def test_same_seed_same_plan(self, mnist_tiny):
+        a = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=11))
+        b = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=11))
+        plan_a = a.augment_images(mnist_tiny.train).plan
+        plan_b = b.augment_images(mnist_tiny.train).plan
+        assert np.array_equal(plan_a.channel_positions, plan_b.channel_positions)
+
+    def test_different_seed_different_plan(self, mnist_tiny):
+        a = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=1))
+        b = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=2))
+        assert not np.array_equal(a.augment_images(mnist_tiny.train).plan.channel_positions,
+                                  b.augment_images(mnist_tiny.train).plan.channel_positions)
+
+    def test_noise_values_respect_value_range(self, mnist_tiny):
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=1.0, seed=0))
+        result = augmenter.augment_images(mnist_tiny.train)
+        assert result.dataset.samples.min() >= 0.0
+        assert result.dataset.samples.max() <= 1.0
+
+    def test_user_noise_pixels(self, mnist_tiny):
+        pool = np.array([0.123])
+        config = AmalgamConfig(augmentation_amount=0.25, seed=0,
+                               noise=NoiseSpec(noise_type=NoiseType.USER, user_pool=pool))
+        result = DatasetAugmenter(config).augment_images(mnist_tiny.train)
+        noise_positions = result.plan.noise_positions()[0]
+        flat = result.dataset.samples.reshape(len(result.dataset.samples), 1, -1)
+        noise_values = flat[:, 0, noise_positions]
+        assert np.allclose(noise_values, np.float32(0.123))
+
+    def test_dataset_size_grows(self, augmenter, mnist_tiny):
+        result = augmenter.augment_images(mnist_tiny.train)
+        assert result.dataset.nbytes() > mnist_tiny.train.nbytes()
+        assert result.augmentation_time >= 0.0
+
+    def test_search_space_attached(self, augmenter, mnist_tiny):
+        result = augmenter.augment_images(mnist_tiny.train)
+        assert abs(result.search_space.log10 - 524) < 2  # 3.62e524 in Table 2
+
+    def test_rejects_text_dataset(self, augmenter, agnews_tiny):
+        with pytest.raises(ValueError):
+            augmenter.augment_images(agnews_tiny[0].train)
+
+    def test_external_plan_reuse_for_validation_set(self, augmenter, mnist_tiny):
+        train_result = augmenter.augment_images(mnist_tiny.train)
+        val_result = augmenter.augment_images(mnist_tiny.validation, plan=train_result.plan)
+        assert val_result.plan is train_result.plan
+        assert val_result.dataset.samples.shape[-1] == 42
+
+    @given(st.floats(0.1, 1.5))
+    @settings(max_examples=10, deadline=None)
+    def test_restore_inverse_property(self, amount):
+        data = make_mnist(train_count=4, val_count=2, seed=0)
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=amount, seed=2))
+        result = augmenter.augment_images(data.train)
+        assert np.array_equal(augmenter.restore_images(result), data.train.samples)
+
+
+class TestTokenDatasetAugmentation:
+    def test_sequence_length_grows(self, augmenter, agnews_tiny):
+        split, _ = agnews_tiny
+        result = augmenter.augment_token_dataset(split.train)
+        assert result.dataset.samples.shape == (48, 48)  # 32 tokens +50%
+
+    def test_original_tokens_preserved_in_order(self, augmenter, agnews_tiny):
+        split, _ = agnews_tiny
+        result = augmenter.augment_token_dataset(split.train)
+        restored = augmenter.restore_token_dataset(result)
+        assert np.array_equal(restored, split.train.samples)
+
+    def test_noise_tokens_within_vocab(self, augmenter, agnews_tiny):
+        split, _ = agnews_tiny
+        result = augmenter.augment_token_dataset(split.train)
+        assert result.dataset.samples.min() >= 0
+        assert result.dataset.samples.max() < split.info.vocab_size
+
+    def test_labels_preserved(self, augmenter, agnews_tiny):
+        split, _ = agnews_tiny
+        result = augmenter.augment_token_dataset(split.train)
+        assert np.array_equal(result.dataset.labels, split.train.labels)
+
+    def test_rejects_image_dataset(self, augmenter, mnist_tiny):
+        with pytest.raises(ValueError):
+            augmenter.augment_token_dataset(mnist_tiny.train)
+
+    def test_search_space_matches_formula(self, augmenter, agnews_tiny):
+        split, _ = agnews_tiny
+        result = augmenter.augment_token_dataset(split.train)
+        from repro.core import text_search_space
+        assert result.search_space.log10 == pytest.approx(text_search_space(32, 0.5).log10)
+
+
+class TestSequenceAugmentation:
+    def test_block_structure(self, augmenter, wikitext_tiny):
+        train, _, _ = wikitext_tiny
+        result = augmenter.augment_sequence(train, batch_rows=4, seq_len=20)
+        assert result.plan.original_length == 20
+        assert result.plan.augmented_length == 30
+        assert result.batches.shape[0] == 4
+        assert result.batches.shape[1] % 30 == 0
+
+    def test_restore_sequence_recovers_original_blocks(self, augmenter, wikitext_tiny):
+        train, _, _ = wikitext_tiny
+        from repro.data import batchify
+        result = augmenter.augment_sequence(train, batch_rows=4, seq_len=20)
+        restored = augmenter.restore_sequence(result)
+        original_rows = batchify(train.tokens, 4)
+        usable = (original_rows.shape[1] // 20) * 20
+        assert np.array_equal(restored, original_rows[:, :usable])
+
+    def test_noise_tokens_within_vocab(self, augmenter, wikitext_tiny):
+        train, _, _ = wikitext_tiny
+        result = augmenter.augment_sequence(train, batch_rows=2, seq_len=20)
+        assert result.batches.max() < train.info.vocab_size
+
+    def test_too_short_stream_raises(self, augmenter, wikitext_tiny):
+        train, _, _ = wikitext_tiny
+        with pytest.raises(ValueError):
+            augmenter.augment_sequence(train, batch_rows=4, seq_len=100_000)
+
+    def test_search_space_matches_paper_wikitext_entry(self, wikitext_tiny):
+        train, _, _ = wikitext_tiny
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.25, seed=0))
+        result = augmenter.augment_sequence(train, batch_rows=2, seq_len=20)
+        assert 10 ** result.search_space.log10 == pytest.approx(53130, rel=1e-6)

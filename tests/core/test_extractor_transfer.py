@@ -1,0 +1,159 @@
+"""Tests for the NN Model Extractor and the transfer-learning helpers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.core import (
+    AmalgamConfig,
+    Amalgam,
+    DatasetAugmenter,
+    ModelAugmenter,
+    ModelExtractor,
+    apply_pretrained,
+    freeze_parameters,
+    verify_pretrained_preserved,
+)
+from repro.models import LeNet, TextClassifier
+
+
+@pytest.fixture
+def augmented_lenet(mnist_tiny):
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=7)
+    plan = DatasetAugmenter(config).augment_images(mnist_tiny.train).plan
+    model = LeNet(10, 1, 28, rng=np.random.default_rng(3))
+    result = ModelAugmenter(config).augment_image_model(model, plan, num_classes=10)
+    return model, result
+
+
+class TestExtractor:
+    def test_extraction_is_identity_before_training(self, augmented_lenet):
+        model, result = augmented_lenet
+        extractor = ModelExtractor(lambda: LeNet(10, 1, 28, rng=np.random.default_rng(99)))
+        report = extractor.extract(result.augmented_model)
+        for name, value in model.state_dict().items():
+            assert np.array_equal(report.model.state_dict()[name], value)
+
+    def test_extracted_model_has_original_parameter_count(self, augmented_lenet):
+        model, result = augmented_lenet
+        extractor = ModelExtractor(lambda: LeNet(10, 1, 28))
+        report = extractor.extract(result.augmented_model)
+        assert report.model.num_parameters() == model.num_parameters()
+
+    def test_extracted_model_works_on_original_resolution(self, augmented_lenet, mnist_tiny):
+        _, result = augmented_lenet
+        extractor = ModelExtractor(lambda: LeNet(10, 1, 28))
+        report = extractor.extract(result.augmented_model)
+        out = report.model(Tensor(mnist_tiny.train.samples[:2].astype(float)))
+        assert out.shape == (2, 10)
+
+    def test_extraction_reflects_training_updates(self, augmented_lenet, mnist_tiny):
+        model, result = augmented_lenet
+        # One SGD step on the augmented model must show up in the extraction.
+        optimizer = nn.optim.SGD(result.augmented_model.parameters(), lr=0.1)
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=7)
+        augmented = DatasetAugmenter(config).augment_images(mnist_tiny.train)
+        batch = Tensor(augmented.dataset.samples[:8].astype(float))
+        loss = result.augmented_model.loss(batch, mnist_tiny.train.labels[:8])
+        loss.backward()
+        optimizer.step()
+
+        report = ModelExtractor(lambda: LeNet(10, 1, 28)).extract(result.augmented_model)
+        changed = any(
+            not np.array_equal(report.model.state_dict()[name], value)
+            for name, value in model.state_dict().items()
+        )
+        assert changed
+
+    def test_extract_state_strips_prefix(self, augmented_lenet):
+        _, result = augmented_lenet
+        state = ModelExtractor.extract_state(result.augmented_model)
+        assert "conv1.weight" in state
+        assert not any(name.startswith("subnetworks") for name in state)
+
+    def test_extract_into_existing_model(self, augmented_lenet):
+        model, result = augmented_lenet
+        target = LeNet(10, 1, 28, rng=np.random.default_rng(55))
+        ModelExtractor(lambda: LeNet(10, 1, 28)).extract_into(result.augmented_model, target)
+        assert np.array_equal(target.conv1.weight.data, model.conv1.weight.data)
+
+    def test_extraction_time_independent_of_amount(self, mnist_tiny):
+        """Section 5.4: extraction is a constant-time state-dict copy."""
+        times = []
+        for amount in (0.25, 1.0):
+            config = AmalgamConfig(augmentation_amount=amount, num_subnetworks=2, seed=1)
+            plan = DatasetAugmenter(config).augment_images(mnist_tiny.train).plan
+            model = LeNet(10, 1, 28, rng=np.random.default_rng(0))
+            result = ModelAugmenter(config).augment_image_model(model, plan, num_classes=10)
+            report = ModelExtractor(lambda: LeNet(10, 1, 28)).extract(result.augmented_model)
+            times.append(report.elapsed)
+        # Same order of magnitude: the larger amount must not blow up extraction.
+        assert times[1] < times[0] * 20
+
+    def test_extractor_rejects_foreign_model(self):
+        from repro.core.model_augmenter import AugmentedModel
+        wrapper = AugmentedModel([nn.Identity()], 0)
+        with pytest.raises(ValueError):
+            ModelExtractor.extract_state(wrapper)
+
+    def test_copied_parameter_count_reported(self, augmented_lenet):
+        model, result = augmented_lenet
+        report = ModelExtractor(lambda: LeNet(10, 1, 28)).extract(result.augmented_model)
+        assert report.copied_parameters >= model.num_parameters()
+
+
+class TestTransferLearning:
+    def test_apply_pretrained_loads_matching_parameters(self, rng):
+        source = TextClassifier(30, 8, 4, rng=np.random.default_rng(1))
+        target = TextClassifier(30, 8, 4, rng=np.random.default_rng(2))
+        loaded = apply_pretrained(target, source.state_dict())
+        assert "embedding.weight" in loaded
+        assert np.array_equal(target.embedding.weight.data, source.embedding.weight.data)
+
+    def test_apply_pretrained_skips_mismatched_shapes(self):
+        source = TextClassifier(30, 8, 4, rng=np.random.default_rng(1))
+        target = TextClassifier(30, 16, 4, rng=np.random.default_rng(2))
+        loaded = apply_pretrained(target, source.state_dict())
+        assert "embedding.weight" not in loaded
+
+    def test_apply_pretrained_strict_raises_on_mismatch(self):
+        source = TextClassifier(30, 8, 4, rng=np.random.default_rng(1))
+        target = TextClassifier(30, 16, 4, rng=np.random.default_rng(2))
+        with pytest.raises(KeyError):
+            apply_pretrained(target, source.state_dict(), strict=True)
+
+    def test_pretrained_weights_survive_augmentation(self, mnist_tiny):
+        """Section 4.4: augmentation must not modify pre-trained values."""
+        pretrained = LeNet(10, 1, 28, rng=np.random.default_rng(10))
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(11))
+        loaded = apply_pretrained(model, pretrained.state_dict())
+
+        config = AmalgamConfig(augmentation_amount=0.75, num_subnetworks=2, seed=3)
+        amalgam = Amalgam(config)
+        job = amalgam.prepare_image_job(model, mnist_tiny)
+        check = verify_pretrained_preserved(job.augmented_model, pretrained.state_dict(),
+                                            parameter_names=loaded)
+        assert check.intact
+        assert check.checked == len(loaded)
+
+    def test_verify_detects_tampering(self, mnist_tiny):
+        pretrained = LeNet(10, 1, 28, rng=np.random.default_rng(10))
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(11))
+        apply_pretrained(model, pretrained.state_dict())
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=3)
+        job = Amalgam(config).prepare_image_job(model, mnist_tiny)
+        # Corrupt one original parameter inside the augmented model.
+        prefix = job.augmented_model.original_parameter_prefix()
+        for name, parameter in job.augmented_model.named_parameters():
+            if name == prefix + "conv1.weight":
+                parameter.data += 1.0
+        check = verify_pretrained_preserved(job.augmented_model, pretrained.state_dict())
+        assert not check.intact
+
+    def test_freeze_parameters(self, rng):
+        model = TextClassifier(20, 4, 2, rng=rng)
+        frozen = freeze_parameters(model, ["embedding.weight"])
+        assert frozen == 1
+        assert not model.embedding.weight.requires_grad
+        assert model.classifier.weight.requires_grad

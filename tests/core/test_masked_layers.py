@@ -1,0 +1,131 @@
+"""Tests for the custom (masked) convolution and embedding layers (Equations 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.core import (
+    AmalgamConfig,
+    DatasetAugmenter,
+    InputSelector,
+    MaskedConv2d,
+    MaskedEmbedding,
+    TokenSelector,
+)
+from repro.core.augmentation_plan import draw_insertion_positions
+
+
+class TestInputSelector:
+    def test_recovers_original_image_from_augmented(self, mnist_tiny):
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.5, seed=3))
+        result = augmenter.augment_images(mnist_tiny.train)
+        selector = InputSelector(result.plan.channel_positions, (28, 28))
+        selected = selector(Tensor(result.dataset.samples.astype(float)))
+        assert np.allclose(selected.data, mnist_tiny.train.samples)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            InputSelector(np.zeros((2, 5), dtype=int), (2, 2))
+        with pytest.raises(ValueError):
+            InputSelector(np.zeros(5, dtype=int), (1, 5))
+
+    def test_channel_count_mismatch_raises(self, rng):
+        selector = InputSelector(np.stack([np.arange(4)]), (2, 2))
+        with pytest.raises(ValueError):
+            selector(Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_gradients_flow_to_selected_positions_only(self, rng):
+        positions = np.stack([np.array([0, 2, 6, 8])])
+        selector = InputSelector(positions, (2, 2))
+        x = Tensor(rng.random((1, 1, 3, 3)), requires_grad=True)
+        selector(x).sum().backward()
+        grad_flat = x.grad.reshape(-1)
+        assert np.allclose(grad_flat[[0, 2, 6, 8]], 1.0)
+        assert np.allclose(grad_flat[[1, 3, 4, 5, 7]], 0.0)
+
+
+class TestMaskedConv2d:
+    def test_equivalent_to_plain_conv_on_original_input(self, rng):
+        """Equation 1: skipping augmented pixels == convolving the original image."""
+        original = rng.random((2, 3, 8, 8))
+        amount = 0.5
+        augmented_side = 12
+        positions = np.stack([
+            draw_insertion_positions(64, augmented_side * augmented_side,
+                                     np.random.default_rng(c))
+            for c in range(3)
+        ])
+        augmented = rng.random((2, 3, augmented_side, augmented_side))
+        flat = augmented.reshape(2, 3, -1)
+        for channel in range(3):
+            flat[:, channel, positions[channel]] = original.reshape(2, 3, -1)[:, channel]
+
+        plain = nn.Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(7))
+        masked = MaskedConv2d.from_conv(plain, positions, (8, 8))
+        out_masked = masked(Tensor(augmented))
+        out_plain = plain(Tensor(original))
+        assert np.allclose(out_masked.data, out_plain.data)
+
+    def test_from_conv_shares_parameters(self, rng):
+        conv = nn.Conv2d(1, 2, 3, rng=rng)
+        positions = np.stack([np.arange(16)])
+        masked = MaskedConv2d.from_conv(conv, positions, (4, 4))
+        assert masked.conv.weight is conv.weight
+
+    def test_standalone_construction_and_forward(self, rng):
+        positions = np.stack([np.sort(rng.choice(36, 16, replace=False))])
+        masked = MaskedConv2d(1, 4, 3, positions, (4, 4), padding=1, rng=rng)
+        out = masked(Tensor(rng.random((2, 1, 6, 6))))
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_gradients_reach_shared_weights(self, rng):
+        conv = nn.Conv2d(1, 2, 3, padding=1, rng=rng)
+        positions = np.stack([np.sort(rng.choice(25, 16, replace=False))])
+        masked = MaskedConv2d.from_conv(conv, positions, (4, 4))
+        masked(Tensor(rng.random((1, 1, 5, 5)))).sum().backward()
+        assert conv.weight.grad is not None
+
+    def test_skipped_positions_are_complement(self, rng):
+        positions = np.stack([np.array([0, 1, 2, 3])])
+        masked = MaskedConv2d(1, 1, 1, positions, (2, 2), rng=rng)
+        # All kept -> nothing skipped beyond the range of kept positions.
+        assert masked.selector.positions.shape == (1, 4)
+
+
+class TestMaskedEmbedding:
+    def test_equivalent_to_plain_embedding_on_original_tokens(self, rng):
+        vocab, dim = 30, 8
+        original = rng.integers(0, vocab, (4, 10))
+        positions = draw_insertion_positions(10, 15, rng)
+        augmented = rng.integers(0, vocab, (4, 15))
+        augmented[:, positions] = original
+
+        plain = nn.Embedding(vocab, dim, rng=np.random.default_rng(3))
+        masked = MaskedEmbedding.from_embedding(plain, positions)
+        assert np.allclose(masked(augmented).data, plain(original).data)
+
+    def test_from_embedding_shares_weight(self, rng):
+        embedding = nn.Embedding(10, 4, rng=rng)
+        masked = MaskedEmbedding.from_embedding(embedding, np.arange(5))
+        assert masked.embedding.weight is embedding.weight
+
+    def test_standalone_construction(self, rng):
+        masked = MaskedEmbedding(20, 6, positions=np.array([0, 2, 4]), rng=rng)
+        out = masked(np.zeros((2, 6), dtype=int))
+        assert out.shape == (2, 3, 6)
+
+    def test_kept_positions_property(self, rng):
+        masked = MaskedEmbedding(20, 6, positions=np.array([1, 3, 5]), rng=rng)
+        assert np.array_equal(masked.kept_positions, [1, 3, 5])
+
+    def test_token_selector_works_on_tensor_and_array(self):
+        selector = TokenSelector(np.array([0, 2]))
+        array = np.array([[10, 11, 12]])
+        assert np.array_equal(selector(array), [[10, 12]])
+        assert np.array_equal(selector(Tensor(array.astype(float))), [[10.0, 12.0]])
+
+    def test_gradients_reach_embedding_weight(self, rng):
+        masked = MaskedEmbedding(15, 4, positions=np.array([0, 1, 2]), rng=rng)
+        masked(np.array([[3, 4, 5, 6, 7]])).sum().backward()
+        assert masked.embedding.weight.grad is not None

@@ -1,0 +1,233 @@
+"""Tests for the NN Model Augmenter: parameter budgets, gradient isolation, obfuscation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.core import (
+    AmalgamConfig,
+    DatasetAugmenter,
+    ModelAugmenter,
+    replace_first_conv,
+    replace_first_embedding,
+)
+from repro.core.masked_conv import MaskedConv2d
+from repro.core.masked_embedding import MaskedEmbedding
+from repro.models import LeNet, TextClassifier, TransformerLM
+
+
+@pytest.fixture
+def image_setup(mnist_tiny):
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=7)
+    augmenter = DatasetAugmenter(config)
+    augmented = augmenter.augment_images(mnist_tiny.train)
+    model = LeNet(10, 1, 28, rng=np.random.default_rng(3))
+    result = ModelAugmenter(config).augment_image_model(model, augmented.plan, num_classes=10)
+    return config, augmented, model, result
+
+
+class TestImageModelAugmentation:
+    def test_parameter_overhead_tracks_amount(self, image_setup):
+        _, _, _, result = image_setup
+        assert result.parameter_overhead == pytest.approx(0.5, abs=0.05)
+
+    @pytest.mark.parametrize("amount", [0.25, 0.75, 1.0])
+    def test_parameter_overhead_for_other_amounts(self, mnist_tiny, amount):
+        config = AmalgamConfig(augmentation_amount=amount, num_subnetworks=2, seed=1)
+        plan = DatasetAugmenter(config).augment_images(mnist_tiny.train).plan
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(0))
+        result = ModelAugmenter(config).augment_image_model(model, plan, num_classes=10)
+        assert result.parameter_overhead == pytest.approx(amount, abs=0.07)
+
+    def test_subnetwork_count(self, image_setup):
+        _, _, _, result = image_setup
+        assert result.augmented_model.num_subnetworks == 3  # original + 2 decoys
+
+    def test_original_model_not_mutated(self, image_setup, mnist_tiny):
+        _, _, model, result = image_setup
+        # The user's model object keeps its own parameters; the augmented model
+        # holds a copy, so training one does not silently change the other.
+        original_ids = {id(p) for p in model.parameters()}
+        augmented_ids = {id(p) for p in result.augmented_model.parameters()}
+        assert original_ids.isdisjoint(augmented_ids)
+
+    def test_original_weights_copied_exactly(self, image_setup):
+        _, _, model, result = image_setup
+        prefix = result.augmented_model.original_parameter_prefix()
+        augmented_state = result.augmented_model.state_dict()
+        for name, value in model.state_dict().items():
+            assert np.array_equal(augmented_state[prefix + name], value)
+
+    def test_forward_returns_one_output_per_subnetwork(self, image_setup):
+        _, augmented, _, result = image_setup
+        batch = Tensor(augmented.dataset.samples[:2].astype(float))
+        outputs = result.augmented_model(batch)
+        assert len(outputs) == 3
+        assert all(out.shape == (2, 10) for out in outputs)
+
+    def test_original_output_matches_original_model_on_original_data(self, image_setup,
+                                                                      mnist_tiny):
+        _, augmented, model, result = image_setup
+        batch = Tensor(augmented.dataset.samples[:4].astype(float))
+        augmented_out = result.augmented_model.original_output(batch)
+        model.eval()
+        result.augmented_model.eval()
+        augmented_out = result.augmented_model.original_output(batch)
+        original_out = model(Tensor(mnist_tiny.train.samples[:4].astype(float)))
+        assert np.allclose(augmented_out.data, original_out.data, atol=1e-10)
+
+    def test_decoy_losses_do_not_touch_original_gradients(self, image_setup, mnist_tiny):
+        """The central claim: original-layer gradients under the combined loss
+        equal the gradients of training the original model alone."""
+        _, augmented, model, result = image_setup
+        labels = mnist_tiny.train.labels[:4]
+        batch = Tensor(augmented.dataset.samples[:4].astype(float))
+
+        result.augmented_model.zero_grad()
+        result.augmented_model.loss(batch, labels).backward()
+        prefix = result.augmented_model.original_parameter_prefix()
+        augmented_grads = {name[len(prefix):]: p.grad.copy()
+                           for name, p in result.augmented_model.named_parameters()
+                           if name.startswith(prefix) and p.grad is not None}
+
+        model.zero_grad()
+        original_batch = Tensor(mnist_tiny.train.samples[:4].astype(float))
+        nn.functional.cross_entropy(model(original_batch), labels).backward()
+        for name, parameter in model.named_parameters():
+            assert np.allclose(parameter.grad, augmented_grads[name], atol=1e-9), name
+
+    def test_decoys_receive_gradients_too(self, image_setup, mnist_tiny):
+        _, augmented, _, result = image_setup
+        labels = mnist_tiny.train.labels[:4]
+        batch = Tensor(augmented.dataset.samples[:4].astype(float))
+        result.augmented_model.zero_grad()
+        result.augmented_model.loss(batch, labels).backward()
+        prefix = result.augmented_model.original_parameter_prefix()
+        decoy_grads = [p.grad for name, p in result.augmented_model.named_parameters()
+                       if not name.startswith(prefix)]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in decoy_grads)
+
+    def test_original_index_is_randomised_across_seeds(self, mnist_tiny):
+        indices = set()
+        for seed in range(6):
+            config = AmalgamConfig(augmentation_amount=0.25, num_subnetworks=3, seed=seed)
+            plan = DatasetAugmenter(config).augment_images(mnist_tiny.train).plan
+            model = LeNet(10, 1, 28, rng=np.random.default_rng(0))
+            result = ModelAugmenter(config).augment_image_model(model, plan, num_classes=10)
+            indices.add(result.secrets.original_subnetwork_index)
+        assert len(indices) > 1
+
+    def test_secrets_describe_does_not_leak_index(self, image_setup):
+        _, _, _, result = image_setup
+        description = result.secrets.describe()
+        assert "original_subnetwork_index" not in description
+        assert description["subnetworks"] == 3
+
+    def test_conv_decoy_style(self, mnist_tiny):
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=2,
+                               decoy_style="conv")
+        plan = DatasetAugmenter(config).augment_images(mnist_tiny.train).plan
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(0))
+        result = ModelAugmenter(config).augment_image_model(model, plan, num_classes=10)
+        batch = Tensor(np.zeros((1, 1, 42, 42)))
+        outputs = result.augmented_model(batch)
+        assert len(outputs) == 3
+
+
+class TestTextModelAugmentation:
+    def test_text_classifier_augmentation(self, agnews_tiny):
+        split, vocab = agnews_tiny
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=5)
+        plan = DatasetAugmenter(config).augment_token_dataset(split.train).plan
+        model = TextClassifier(len(vocab), 16, 4, rng=np.random.default_rng(1))
+        result = ModelAugmenter(config).augment_text_model(model, plan,
+                                                           vocab_size=len(vocab), num_classes=4)
+        assert result.parameter_overhead == pytest.approx(0.5, abs=0.15)
+        augmented_tokens = np.zeros((2, plan.augmented_length), dtype=int)
+        outputs = result.augmented_model(augmented_tokens)
+        assert len(outputs) == 3
+        assert outputs[0].shape == (2, 4)
+
+    def test_lm_augmentation_loss_runs(self, wikitext_tiny):
+        train, _, vocab = wikitext_tiny
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=5)
+        augmenter = DatasetAugmenter(config)
+        augmented = augmenter.augment_sequence(train, batch_rows=2, seq_len=10)
+        model = TransformerLM(len(vocab), 16, 2, 1, 32, dropout=0.0,
+                              rng=np.random.default_rng(1))
+        result = ModelAugmenter(config).augment_language_model(model, augmented.plan,
+                                                               vocab_size=len(vocab))
+        block = augmented.batches[:, : augmented.block_length]
+        loss = result.augmented_model.loss(block)
+        assert loss.item() > 0
+        loss.backward()
+
+    def test_lm_original_gradients_unaffected_by_decoys(self, wikitext_tiny):
+        train, _, vocab = wikitext_tiny
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=9)
+        augmenter = DatasetAugmenter(config)
+        augmented = augmenter.augment_sequence(train, batch_rows=2, seq_len=10)
+        model = TransformerLM(len(vocab), 16, 2, 1, 32, dropout=0.0,
+                              rng=np.random.default_rng(1))
+        result = ModelAugmenter(config).augment_language_model(model, augmented.plan,
+                                                               vocab_size=len(vocab))
+        block = augmented.batches[:, : augmented.block_length]
+
+        result.augmented_model.zero_grad()
+        result.augmented_model.loss(block).backward()
+        prefix = result.augmented_model.original_parameter_prefix()
+        augmented_grads = {name[len(prefix):]: p.grad.copy()
+                           for name, p in result.augmented_model.named_parameters()
+                           if name.startswith(prefix) and p.grad is not None}
+
+        original_block = augmenter.restore_sequence(augmented)[:, :10]
+        model.zero_grad()
+        model.loss(original_block[:, :-1], original_block[:, 1:]).backward()
+        for name, parameter in model.named_parameters():
+            if parameter.grad is None:
+                continue
+            assert np.allclose(parameter.grad, augmented_grads[name], atol=1e-9), name
+
+
+class TestFirstLayerSurgery:
+    def test_replace_first_conv(self, rng):
+        model = LeNet(10, 1, 28, rng=rng)
+        positions = np.stack([np.sort(np.random.default_rng(0).choice(42 * 42, 28 * 28,
+                                                                      replace=False))])
+        replaced = replace_first_conv(model, positions, (28, 28))
+        assert isinstance(model.conv1, MaskedConv2d)
+        assert model.conv1.conv is replaced
+        out = model(Tensor(np.zeros((1, 1, 42, 42))))
+        assert out.shape == (1, 10)
+
+    def test_replace_first_conv_without_conv_raises(self, rng):
+        model = nn.Sequential(nn.Linear(4, 2, rng=rng))
+        with pytest.raises(ValueError):
+            replace_first_conv(model, np.zeros((1, 4), dtype=int), (2, 2))
+
+    def test_replace_first_embedding(self, rng):
+        model = TextClassifier(50, 8, 4, rng=rng)
+        replaced = replace_first_embedding(model, np.array([0, 2, 4, 6]))
+        assert isinstance(model.embedding, MaskedEmbedding)
+        assert model.embedding.embedding is replaced
+        out = model(np.zeros((2, 8), dtype=int))
+        assert out.shape == (2, 4)
+
+    def test_replace_first_embedding_without_embedding_raises(self, rng):
+        model = nn.Sequential(nn.Linear(4, 2, rng=rng))
+        with pytest.raises(ValueError):
+            replace_first_embedding(model, np.array([0]))
+
+
+class TestAugmentedModelAPI:
+    def test_invalid_task_rejected(self):
+        from repro.core.model_augmenter import AugmentedModel
+        with pytest.raises(ValueError):
+            AugmentedModel([nn.Identity()], 0, task="regression")
+
+    def test_original_parameter_prefix_format(self, image_setup):
+        _, _, _, result = image_setup
+        prefix = result.augmented_model.original_parameter_prefix()
+        assert prefix.startswith("subnetworks.")
+        assert prefix.endswith(".body.")

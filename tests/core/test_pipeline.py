@@ -1,0 +1,146 @@
+"""End-to-end tests of the Amalgam pipeline, including the training-equivalence invariant."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Amalgam,
+    AmalgamConfig,
+    ClassificationTrainer,
+    LanguageModelTrainer,
+)
+from repro.data import DataLoader, make_mnist
+from repro.models import LeNet, TextClassifier, TransformerLM
+from repro.utils.rng import get_rng
+
+
+class TestImagePipeline:
+    def test_prepare_image_job_artifacts(self, mnist_tiny, amalgam_config):
+        amalgam = Amalgam(amalgam_config)
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(3))
+        job = amalgam.prepare_image_job(model, mnist_tiny)
+        assert job.train_data.dataset.samples.shape[-1] == 42
+        assert job.val_data.plan is job.train_data.plan
+        assert job.metadata["task"] == "image-classification"
+        assert job.augmented_model.num_subnetworks == 3
+
+    def test_train_and_extract(self, mnist_tiny, amalgam_config):
+        amalgam = Amalgam(amalgam_config)
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(3))
+        job = amalgam.prepare_image_job(model, mnist_tiny)
+        trained = amalgam.train_job(job, epochs=1, lr=0.05, batch_size=16)
+        assert len(trained.training.history.get("train_loss")) == 1
+        assert len(trained.training.history.get("val_accuracy")) == 1
+
+        extraction = amalgam.extract(trained, lambda: LeNet(10, 1, 28))
+        assert extraction.model.num_parameters() == model.num_parameters()
+
+    def test_training_equivalence_invariant(self, amalgam_config):
+        """Training the augmented model then extracting == training the original
+        model directly, given identical initial weights and batch order."""
+        data = make_mnist(train_count=48, val_count=8, seed=2)
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(5))
+        initial_state = model.state_dict()
+
+        amalgam = Amalgam(amalgam_config)
+        job = amalgam.prepare_image_job(model, data)
+        trained = amalgam.train_job(job, epochs=2, lr=0.05, batch_size=16, shuffle_seed=321)
+        extracted = amalgam.extract(trained, lambda: LeNet(10, 1, 28)).model
+
+        reference = LeNet(10, 1, 28, rng=np.random.default_rng(77))
+        reference.load_state_dict(initial_state)
+        trainer = ClassificationTrainer(reference, lr=0.05)
+        trainer.fit(DataLoader(data.train, 16, shuffle=True, rng=get_rng(321)), epochs=2)
+
+        for name, value in reference.state_dict().items():
+            assert np.allclose(extracted.state_dict()[name], value, atol=1e-12), name
+
+    def test_augmented_training_reduces_loss(self, mnist_tiny, amalgam_config):
+        amalgam = Amalgam(amalgam_config)
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(3))
+        job = amalgam.prepare_image_job(model, mnist_tiny)
+        trained = amalgam.train_job(job, epochs=3, lr=0.05, batch_size=16)
+        losses = trained.training.history.get("train_loss")
+        assert losses[-1] < losses[0]
+
+
+class TestTextPipeline:
+    def test_text_job_end_to_end(self, agnews_tiny, amalgam_config):
+        split, vocab = agnews_tiny
+        amalgam = Amalgam(amalgam_config)
+        model = TextClassifier(len(vocab), 16, 4, rng=np.random.default_rng(1))
+        job = amalgam.prepare_text_job(model, split, vocab_size=len(vocab))
+        assert job.metadata["task"] == "text-classification"
+        trained = amalgam.train_job(job, epochs=2, lr=0.2, batch_size=16)
+        extraction = amalgam.extract(trained, lambda: TextClassifier(len(vocab), 16, 4))
+        assert extraction.model.num_parameters() == model.num_parameters()
+
+    def test_text_training_equivalence(self, agnews_tiny):
+        split, vocab = agnews_tiny
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=17)
+        model = TextClassifier(len(vocab), 16, 4, rng=np.random.default_rng(8))
+        initial_state = model.state_dict()
+
+        amalgam = Amalgam(config)
+        job = amalgam.prepare_text_job(model, split, vocab_size=len(vocab))
+        trained = amalgam.train_job(job, epochs=2, lr=0.2, batch_size=16, shuffle_seed=99)
+        extracted = amalgam.extract(trained, lambda: TextClassifier(len(vocab), 16, 4)).model
+
+        reference = TextClassifier(len(vocab), 16, 4, rng=np.random.default_rng(9))
+        reference.load_state_dict(initial_state)
+        trainer = ClassificationTrainer(reference, lr=0.2)
+        trainer.fit(DataLoader(split.train, 16, shuffle=True, rng=get_rng(99)), epochs=2)
+
+        for name, value in reference.state_dict().items():
+            assert np.allclose(extracted.state_dict()[name], value, atol=1e-12), name
+
+
+class TestLanguageModelPipeline:
+    def test_lm_job_end_to_end(self, wikitext_tiny, amalgam_config):
+        train, validation, vocab = wikitext_tiny
+        amalgam = Amalgam(amalgam_config)
+        model = TransformerLM(len(vocab), 16, 2, 1, 32, dropout=0.0,
+                              rng=np.random.default_rng(2))
+        job = amalgam.prepare_lm_job(model, train, validation, batch_rows=2, seq_len=10)
+        assert job.metadata["task"] == "language-modelling"
+        trained = amalgam.train_job(job, epochs=1, lr=0.005, optimizer="adam")
+        assert trained.training.history.get("train_loss")
+        assert trained.training.history.get("val_loss")
+        extraction = amalgam.extract(
+            trained, lambda: TransformerLM(len(vocab), 16, 2, 1, 32, dropout=0.0))
+        assert extraction.model.num_parameters() == model.num_parameters()
+
+    def test_lm_loss_decreases(self, wikitext_tiny, amalgam_config):
+        train, _, vocab = wikitext_tiny
+        amalgam = Amalgam(amalgam_config)
+        model = TransformerLM(len(vocab), 16, 2, 1, 32, dropout=0.0,
+                              rng=np.random.default_rng(2))
+        job = amalgam.prepare_lm_job(model, train, batch_rows=2, seq_len=10)
+        trained = amalgam.train_job(job, epochs=3, lr=0.01, optimizer="adam")
+        losses = trained.training.history.get("train_loss")
+        assert losses[-1] < losses[0]
+
+
+class TestTrainers:
+    def test_classification_trainer_invalid_optimizer(self, rng):
+        with pytest.raises(ValueError):
+            ClassificationTrainer(LeNet(10, 1, 28, rng=rng), optimizer="rmsprop")
+
+    def test_classification_trainer_evaluate(self, mnist_tiny, rng):
+        model = LeNet(10, 1, 28, rng=rng)
+        trainer = ClassificationTrainer(model, lr=0.01)
+        loss, accuracy = trainer.evaluate(DataLoader(mnist_tiny.validation, 8))
+        assert loss > 0
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_language_model_trainer(self, wikitext_tiny, rng):
+        train, validation, vocab = wikitext_tiny
+        from repro.data import batchify
+        model = TransformerLM(len(vocab), 16, 2, 1, 32, dropout=0.0, rng=rng)
+        trainer = LanguageModelTrainer(model, lr=0.01)
+        result = trainer.fit(batchify(train.tokens, 2), seq_len=10, epochs=1,
+                             val_batchified=batchify(validation.tokens, 2))
+        assert result.history.get("train_loss")
+        assert result.history.get("val_loss")

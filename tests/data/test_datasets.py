@@ -1,0 +1,145 @@
+"""Tests for dataset abstractions, loaders and the synthetic image generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    DatasetInfo,
+    SPECS,
+    make_cifar10,
+    make_cifar100,
+    make_image_dataset,
+    make_imagenette,
+    make_mnist,
+)
+from repro.utils.rng import get_rng
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self, mnist_tiny):
+        dataset = mnist_tiny.train
+        assert len(dataset) == 32
+        sample, label = dataset[0]
+        assert sample.shape == (1, 28, 28)
+        assert 0 <= label < 10
+
+    def test_mismatched_lengths_raise(self):
+        info = DatasetInfo("x", "image", 2, (1, 2, 2))
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(2), info)
+
+    def test_subset(self, mnist_tiny):
+        subset = mnist_tiny.train.subset(5)
+        assert len(subset) == 5
+        assert subset.info is mnist_tiny.train.info
+
+    def test_nbytes_positive(self, mnist_tiny):
+        assert mnist_tiny.train.nbytes() > 0
+
+    def test_iteration(self, mnist_tiny):
+        count = sum(1 for _ in mnist_tiny.train)
+        assert count == len(mnist_tiny.train)
+
+    def test_info_flags(self, mnist_tiny, agnews_tiny):
+        assert mnist_tiny.info.is_image and not mnist_tiny.info.is_text
+        assert agnews_tiny[0].info.is_text
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self, mnist_tiny):
+        loader = DataLoader(mnist_tiny.train, batch_size=10)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == len(mnist_tiny.train)
+        assert len(loader) == 4  # 32 samples / 10 per batch, last partial
+
+    def test_drop_last(self, mnist_tiny):
+        loader = DataLoader(mnist_tiny.train, batch_size=10, drop_last=True)
+        assert len(loader) == 3
+        assert all(len(labels) == 10 for _, labels in loader)
+
+    def test_shuffle_is_deterministic_given_rng(self, mnist_tiny):
+        first = [labels.tolist() for _, labels in
+                 DataLoader(mnist_tiny.train, 8, shuffle=True, rng=get_rng(3))]
+        second = [labels.tolist() for _, labels in
+                  DataLoader(mnist_tiny.train, 8, shuffle=True, rng=get_rng(3))]
+        assert first == second
+
+    def test_shuffle_changes_order(self, mnist_tiny):
+        plain = [labels.tolist() for _, labels in DataLoader(mnist_tiny.train, 32)]
+        shuffled = [labels.tolist() for _, labels in
+                    DataLoader(mnist_tiny.train, 32, shuffle=True, rng=get_rng(1))]
+        assert plain != shuffled
+
+    def test_invalid_batch_size(self, mnist_tiny):
+        with pytest.raises(ValueError):
+            DataLoader(mnist_tiny.train, 0)
+
+
+class TestSyntheticImages:
+    @pytest.mark.parametrize("name,channels,size,classes", [
+        ("mnist", 1, 28, 10),
+        ("cifar10", 3, 32, 10),
+        ("cifar100", 3, 32, 100),
+    ])
+    def test_geometry_matches_paper_datasets(self, name, channels, size, classes):
+        split = make_image_dataset(name, train_count=8, val_count=4, seed=0)
+        assert split.train.samples.shape == (8, channels, size, size)
+        assert split.info.num_classes == classes
+
+    def test_imagenette_geometry_and_resize(self):
+        assert SPECS["imagenette"].height == 224
+        split = make_imagenette(train_count=4, val_count=2, image_size=32, seed=0)
+        assert split.train.samples.shape == (4, 3, 32, 32)
+
+    def test_pixel_range(self, mnist_tiny):
+        assert mnist_tiny.train.samples.min() >= 0.0
+        assert mnist_tiny.train.samples.max() <= 1.0
+
+    def test_determinism_by_seed(self):
+        a = make_cifar10(train_count=4, val_count=2, seed=9)
+        b = make_cifar10(train_count=4, val_count=2, seed=9)
+        assert np.array_equal(a.train.samples, b.train.samples)
+        assert np.array_equal(a.train.labels, b.train.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_mnist(train_count=4, val_count=2, seed=1)
+        b = make_mnist(train_count=4, val_count=2, seed=2)
+        assert not np.array_equal(a.train.samples, b.train.samples)
+
+    def test_labels_in_range(self, cifar10_tiny):
+        assert cifar10_tiny.train.labels.min() >= 0
+        assert cifar10_tiny.train.labels.max() < 10
+
+    def test_class_structure_is_learnable(self):
+        """Samples of the same class must be closer to each other than to other classes."""
+        split = make_mnist(train_count=64, val_count=8, seed=5, noise_level=0.05)
+        samples, labels = split.train.samples, split.train.labels
+        label_a = labels[0]
+        same = [s for s, l in zip(samples[1:], labels[1:]) if l == label_a]
+        other = [s for s, l in zip(samples[1:], labels[1:]) if l != label_a]
+        if same and other:
+            distance_same = np.mean([np.abs(samples[0] - s).mean() for s in same])
+            distance_other = np.mean([np.abs(samples[0] - s).mean() for s in other])
+            assert distance_same < distance_other
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            make_image_dataset("svhn")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            make_image_dataset("mnist", scale="huge")
+
+    def test_cifar100_has_100_classes_present(self):
+        split = make_cifar100(train_count=400, val_count=10, seed=0)
+        assert len(np.unique(split.train.labels)) > 50
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_requested_counts_respected(self, count):
+        split = make_mnist(train_count=count, val_count=2, seed=0)
+        assert len(split.train) == count

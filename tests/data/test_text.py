@@ -1,0 +1,120 @@
+"""Tests for the synthetic text datasets, vocabulary and batchify helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Vocabulary,
+    batchify,
+    build_vocabulary,
+    lm_batches,
+    make_agnews,
+    make_wikitext2,
+)
+
+
+class TestVocabulary:
+    def test_build_vocabulary_size_and_specials(self):
+        vocab = build_vocabulary(50)
+        assert len(vocab) == 50
+        assert vocab.tokens[0] == "<unk>"
+
+    def test_encode_decode_roundtrip(self):
+        vocab = build_vocabulary(30)
+        for token_id in (0, 5, 29):
+            assert vocab.encode(vocab.decode(token_id)) == token_id
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = build_vocabulary(10)
+        assert vocab.encode("definitely-not-a-token") == 0
+
+    def test_tokens_are_unique(self):
+        vocab = build_vocabulary(200)
+        assert len(set(vocab.tokens)) == 200
+
+
+class TestWikiText2:
+    def test_shapes_and_vocab(self, wikitext_tiny):
+        train, val, vocab = wikitext_tiny
+        assert len(train) == 2_400
+        assert len(val) == 600
+        assert len(vocab) == 60
+        assert train.tokens.max() < 60
+
+    def test_deterministic_by_seed(self):
+        a, _, _ = make_wikitext2(train_tokens=500, val_tokens=100, vocab_size=40, seed=8)
+        b, _, _ = make_wikitext2(train_tokens=500, val_tokens=100, vocab_size=40, seed=8)
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_markov_structure_is_predictable(self):
+        """Successor entropy must be well below uniform — the LM has something to learn."""
+        train, _, _ = make_wikitext2(train_tokens=5000, val_tokens=100, vocab_size=50, seed=1)
+        tokens = train.tokens
+        pairs = {}
+        for current, following in zip(tokens[:-1], tokens[1:]):
+            pairs.setdefault(int(current), set()).add(int(following))
+        average_branching = np.mean([len(v) for v in pairs.values()])
+        assert average_branching < 25  # far fewer successors than the 47 content tokens
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            make_wikitext2(scale="giant")
+
+
+class TestAGNews:
+    def test_shapes_and_classes(self, agnews_tiny):
+        split, vocab = agnews_tiny
+        assert split.train.samples.shape == (48, 32)
+        assert split.info.num_classes == 4
+        assert split.info.vocab_size == 120
+        assert set(np.unique(split.train.labels)).issubset({0, 1, 2, 3})
+
+    def test_class_token_distributions_differ(self):
+        split, _ = make_agnews(train_samples=200, val_samples=10, vocab_size=200, seed=2)
+        samples, labels = split.train.samples, split.train.labels
+        means = [samples[labels == label].mean() for label in range(4)
+                 if np.any(labels == label)]
+        assert np.std(means) > 1.0  # classes draw from different vocabulary slices
+
+    def test_deterministic_by_seed(self):
+        a, _ = make_agnews(train_samples=16, val_samples=4, vocab_size=50, seed=3)
+        b, _ = make_agnews(train_samples=16, val_samples=4, vocab_size=50, seed=3)
+        assert np.array_equal(a.train.samples, b.train.samples)
+
+    def test_sequence_length_parameter(self):
+        split, _ = make_agnews(train_samples=8, val_samples=2, vocab_size=50,
+                               sequence_length=48, seed=0)
+        assert split.train.samples.shape[1] == 48
+
+
+class TestBatchify:
+    def test_batchify_shape_and_content(self):
+        stream = np.arange(103)
+        rows = batchify(stream, 4)
+        assert rows.shape == (4, 25)
+        assert np.array_equal(rows.reshape(-1)[:25], np.arange(25))
+
+    def test_batchify_drops_trailing_tokens(self):
+        rows = batchify(np.arange(10), 3)
+        assert rows.shape == (3, 3)
+
+    def test_lm_batches_inputs_targets_shifted(self):
+        rows = batchify(np.arange(40), 2)
+        blocks = list(lm_batches(rows, 5))
+        inputs, targets = blocks[0]
+        assert np.array_equal(targets[:, :-1], inputs[:, 1:])
+        assert inputs.shape == targets.shape
+
+    def test_lm_batches_cover_stream(self):
+        rows = batchify(np.arange(42), 2)
+        total = sum(inputs.shape[1] for inputs, _ in lm_batches(rows, 5))
+        assert total == rows.shape[1] - 1
+
+    @given(st.integers(2, 8), st.integers(20, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_batchify_never_exceeds_stream(self, rows, length):
+        batched = batchify(np.arange(length), rows)
+        assert batched.size <= length
+        assert batched.shape[0] == rows

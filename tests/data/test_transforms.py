@@ -1,0 +1,38 @@
+"""Tests for dataset transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import channel_statistics, flatten_images, normalize, to_float
+
+
+class TestTransforms:
+    def test_normalize_zero_mean_unit_std(self, rng):
+        images = rng.standard_normal((8, 3, 4, 4)) * 2 + 5
+        mean, std = channel_statistics(images)
+        normalised = normalize(images, mean, std)
+        new_mean, new_std = channel_statistics(normalised)
+        assert np.allclose(new_mean, 0.0, atol=1e-7)
+        assert np.allclose(new_std, 1.0, atol=1e-7)
+
+    def test_channel_statistics_shapes(self, rng):
+        mean, std = channel_statistics(rng.standard_normal((4, 3, 5, 5)))
+        assert mean.shape == (3,) and std.shape == (3,)
+
+    def test_channel_statistics_zero_std_guard(self):
+        mean, std = channel_statistics(np.ones((2, 1, 3, 3)))
+        assert std[0] == 1.0
+
+    def test_flatten_images(self, rng):
+        images = rng.standard_normal((5, 3, 4, 4))
+        assert flatten_images(images).shape == (5, 48)
+
+    def test_to_float_scales_integers(self):
+        images = np.array([[[[0, 255]]]], dtype=np.uint8)
+        converted = to_float(images)
+        assert converted.dtype == np.float32
+        assert converted.max() == pytest.approx(1.0)
+
+    def test_to_float_keeps_floats(self):
+        images = np.ones((1, 1, 2, 2), dtype=np.float64) * 0.5
+        assert to_float(images).max() == pytest.approx(0.5)

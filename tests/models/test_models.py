@@ -1,0 +1,181 @@
+"""Tests for the model zoo: forward shapes, backward passes and the registry."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.models import (
+    CBAM,
+    LeNet,
+    TextClassifier,
+    TransformerLM,
+    VGG16WithCBAM,
+    available_models,
+    create_model,
+    densenet_small,
+    mobilenet_v2_small,
+    resnet18,
+    vgg16,
+)
+
+
+def _train_step(model, inputs, labels):
+    """One SGD step; returns (loss_before, loss_after)."""
+    optimizer = nn.optim.SGD(model.parameters(), lr=0.05)
+    before = F.cross_entropy(model(inputs), labels).item()
+    for _ in range(3):
+        optimizer.zero_grad()
+        loss = F.cross_entropy(model(inputs), labels)
+        loss.backward()
+        optimizer.step()
+    after = F.cross_entropy(model(inputs), labels).item()
+    return before, after
+
+
+class TestLeNet:
+    def test_forward_shape_28(self, rng):
+        model = LeNet(10, 1, 28, rng=rng)
+        assert model(Tensor(np.zeros((2, 1, 28, 28)))).shape == (2, 10)
+
+    def test_forward_shape_32(self, rng):
+        model = LeNet(10, 3, 32, rng=rng)
+        assert model(Tensor(np.zeros((2, 3, 32, 32)))).shape == (2, 10)
+
+    def test_parameter_count_matches_classic_lenet(self, rng):
+        # The classic LeNet-5 on 28x28 MNIST has ~61k parameters.
+        model = LeNet(10, 1, 28, rng=rng)
+        assert 55_000 < model.num_parameters() < 70_000
+
+    def test_training_step_reduces_loss(self, rng):
+        model = LeNet(4, 1, 28, rng=rng)
+        inputs = Tensor(rng.random((8, 1, 28, 28)))
+        labels = rng.integers(0, 4, 8)
+        before, after = _train_step(model, inputs, labels)
+        assert after < before
+
+
+class TestCNNZoo:
+    @pytest.mark.parametrize("factory,kwargs", [
+        (resnet18, {"width": 8}),
+        (vgg16, {"width_multiplier": 0.125}),
+        (densenet_small, {}),
+        (mobilenet_v2_small, {}),
+    ])
+    def test_forward_and_backward(self, factory, kwargs, rng):
+        model = factory(num_classes=10, in_channels=3, rng=rng, **kwargs)
+        x = Tensor(rng.random((2, 3, 32, 32)), requires_grad=True)
+        logits = model(x)
+        assert logits.shape == (2, 10)
+        F.cross_entropy(logits, np.array([1, 2])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_resnet_width_scales_parameters(self, rng):
+        small = resnet18(width=8, rng=np.random.default_rng(0)).num_parameters()
+        large = resnet18(width=16, rng=np.random.default_rng(0)).num_parameters()
+        assert large > 3 * small
+
+    def test_paper_scale_resnet18_parameter_count(self):
+        """Full-width ResNet-18 should be in the ~11M range reported in Table 3."""
+        model = resnet18(num_classes=10, in_channels=3, width=64,
+                         rng=np.random.default_rng(0))
+        assert 10.5e6 < model.num_parameters() < 12.0e6
+
+    def test_mobilenet_uses_depthwise_convolutions(self, rng):
+        model = mobilenet_v2_small(rng=rng)
+        depthwise = [m for _, m in model.named_modules()
+                     if isinstance(m, nn.Conv2d) and m.groups > 1]
+        assert depthwise
+
+    def test_densenet_channel_growth(self, rng):
+        model = densenet_small(growth_rate=8, rng=rng)
+        out = model(Tensor(rng.random((1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+
+class TestCBAM:
+    def test_cbam_preserves_shape(self, rng):
+        module = CBAM(8, rng=rng)
+        x = Tensor(rng.random((2, 8, 6, 6)), requires_grad=True)
+        out = module(x)
+        assert out.shape == (2, 8, 6, 6)
+        out.sum().backward()
+
+    def test_attention_is_bounded_scaling(self, rng):
+        module = CBAM(4, rng=rng)
+        x = Tensor(np.abs(rng.random((1, 4, 5, 5))))
+        out = module(x)
+        assert np.all(out.data <= x.data + 1e-9)
+        assert np.all(out.data >= 0)
+
+    def test_vgg16_cbam_forward(self, rng):
+        model = VGG16WithCBAM(num_classes=10, width_multiplier=0.125, rng=rng)
+        assert model(Tensor(rng.random((1, 3, 32, 32)))).shape == (1, 10)
+
+    def test_vgg16_cbam_has_more_parameters_than_vgg16(self):
+        plain = vgg16(width_multiplier=0.125, rng=np.random.default_rng(0)).num_parameters()
+        with_cbam = VGG16WithCBAM(width_multiplier=0.125,
+                                  rng=np.random.default_rng(0)).num_parameters()
+        assert with_cbam > plain
+
+
+class TestNLPModels:
+    def test_text_classifier_shapes(self, rng):
+        model = TextClassifier(vocab_size=100, embed_dim=16, num_classes=4, rng=rng)
+        logits = model(np.array([[1, 2, 3, 4], [5, 6, 7, 8]]))
+        assert logits.shape == (2, 4)
+
+    def test_text_classifier_learns_separable_classes(self, rng):
+        model = TextClassifier(vocab_size=40, embed_dim=16, num_classes=2, rng=rng)
+        class0 = rng.integers(0, 20, (16, 8))
+        class1 = rng.integers(20, 40, (16, 8))
+        inputs = np.concatenate([class0, class1])
+        labels = np.array([0] * 16 + [1] * 16)
+        before, after = _train_step(model, inputs, labels)
+        assert after < before
+
+    def test_transformer_lm_shapes(self, rng):
+        model = TransformerLM(vocab_size=50, embed_dim=16, num_heads=2, num_layers=1,
+                              feedforward_dim=32, rng=rng)
+        logits = model(np.array([[1, 2, 3, 4, 5]]))
+        assert logits.shape == (1, 5, 50)
+
+    def test_transformer_loss_decreases(self, rng):
+        model = TransformerLM(vocab_size=30, embed_dim=16, num_heads=2, num_layers=1,
+                              feedforward_dim=32, dropout=0.0, rng=rng)
+        tokens = rng.integers(0, 30, (2, 12))
+        inputs, targets = tokens[:, :-1], tokens[:, 1:]
+        optimizer = nn.optim.Adam(model.parameters(), lr=0.01)
+        before = model.loss(inputs, targets).item()
+        for _ in range(10):
+            optimizer.zero_grad()
+            loss = model.loss(inputs, targets)
+            loss.backward()
+            optimizer.step()
+        assert model.loss(inputs, targets).item() < before
+
+
+class TestRegistry:
+    def test_available_models_lists_paper_models(self):
+        names = available_models()
+        for expected in ("resnet18", "vgg16", "densenet121", "mobilenetv2", "lenet"):
+            assert expected in names
+
+    def test_create_model_tiny_scale(self, rng):
+        model = create_model("resnet18", num_classes=10, in_channels=3, scale="tiny", rng=rng)
+        assert model(Tensor(np.zeros((1, 3, 32, 32)))).shape == (1, 10)
+
+    def test_create_model_lenet_uses_image_size(self, rng):
+        model = create_model("lenet", num_classes=10, in_channels=1, image_size=28, rng=rng)
+        assert model(Tensor(np.zeros((1, 1, 28, 28)))).shape == (1, 10)
+
+    def test_create_model_unknown_raises(self):
+        with pytest.raises(KeyError):
+            create_model("alexnet")
+
+    def test_deterministic_construction(self):
+        a = create_model("vgg16", scale="tiny", rng=np.random.default_rng(4))
+        b = create_model("vgg16", scale="tiny", rng=np.random.default_rng(4))
+        assert np.allclose(dict(a.named_parameters())["classifier.0.weight"].data,
+                           dict(b.named_parameters())["classifier.0.weight"].data)

@@ -1,0 +1,261 @@
+"""Tests for functional ops: convolution, pooling, normalisation, losses, embedding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..conftest import finite_difference
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        images = rng.standard_normal((2, 3, 8, 8))
+        cols, (oh, ow) = F.im2col(images, (3, 3), (1, 1), (1, 1))
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2, 64, 27)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        images = rng.standard_normal((1, 2, 6, 6))
+        cols, _ = F.im2col(images, (3, 3), (2, 2), (0, 0))
+        other = rng.standard_normal(cols.shape)
+        back = F.col2im(other, images.shape, (3, 3), (2, 2), (0, 0))
+        assert np.sum(cols * other) == pytest.approx(np.sum(images * back), rel=1e-9)
+
+
+class TestConv2d:
+    def test_output_shape_stride_padding(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 9, 9)))
+        w = Tensor(rng.standard_normal((5, 3, 3, 3)))
+        assert F.conv2d(x, w).shape == (2, 5, 7, 7)
+        assert F.conv2d(x, w, padding=1).shape == (2, 5, 9, 9)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 5, 5, 5)
+
+    def test_matches_direct_convolution(self, rng):
+        x_data = rng.standard_normal((1, 1, 5, 5))
+        w_data = rng.standard_normal((1, 1, 3, 3))
+        out = F.conv2d(Tensor(x_data), Tensor(w_data)).data
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = np.sum(x_data[0, 0, i:i + 3, j:j + 3] * w_data[0, 0])
+        assert np.allclose(out[0, 0], expected)
+
+    def test_bias_added_per_channel(self, rng):
+        x = Tensor(np.zeros((1, 1, 4, 4)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.5, -2.0]))
+        out = F.conv2d(x, w, b, padding=1)
+        assert np.allclose(out.data[0, 0], 1.5)
+        assert np.allclose(out.data[0, 1], -2.0)
+
+    def test_gradients_match_finite_difference(self, rng):
+        x_data = rng.standard_normal((2, 2, 6, 6))
+        w_data = rng.standard_normal((3, 2, 3, 3))
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        (F.conv2d(x, w, stride=2, padding=1) ** 2).sum().backward()
+
+        def loss():
+            return float((F.conv2d(Tensor(x_data), Tensor(w_data), stride=2, padding=1).data ** 2).sum())
+
+        assert finite_difference(loss, w_data, (1, 0, 2, 2)) == pytest.approx(
+            w.grad[1, 0, 2, 2], rel=1e-4)
+        assert finite_difference(loss, x_data, (0, 1, 3, 3)) == pytest.approx(
+            x.grad[0, 1, 3, 3], rel=1e-4)
+
+    def test_grouped_conv_matches_per_group_dense(self, rng):
+        x = Tensor(rng.standard_normal((1, 4, 5, 5)))
+        w = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        grouped = F.conv2d(x, w, padding=1, groups=2)
+        first = F.conv2d(x[:, :2], w[:2], padding=1)
+        second = F.conv2d(x[:, 2:], w[2:], padding=1)
+        assert np.allclose(grouped.data[:, :2], first.data)
+        assert np.allclose(grouped.data[:, 2:], second.data)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)))
+        w = Tensor(rng.standard_normal((2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_backward_routes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        grad = x.grad[0, 0]
+        assert grad[1, 1] == 1 and grad[1, 3] == 1 and grad[3, 1] == 1 and grad[3, 3] == 1
+        assert grad.sum() == 4
+
+    def test_avg_pool_values_and_backward(self):
+        x = Tensor(np.ones((1, 2, 4, 4)), requires_grad=True)
+        out = F.avg_pool2d(x, 2)
+        assert np.allclose(out.data, 1.0)
+        out.sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_adaptive_avg_pool_global(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        out = F.adaptive_avg_pool2d(x, 1)
+        assert out.shape == (2, 3, 1, 1)
+        assert np.allclose(out.data[:, :, 0, 0], x.data.mean(axis=(2, 3)))
+
+    def test_adaptive_avg_pool_divisible(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+        assert F.adaptive_avg_pool2d(x, 2).shape == (1, 2, 2, 2)
+
+    def test_adaptive_avg_pool_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.adaptive_avg_pool2d(Tensor(np.zeros((1, 1, 7, 7))), 2)
+
+
+class TestNormalisation:
+    def test_batch_norm_normalises_in_training(self, rng):
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)) * 5 + 2)
+        gamma, beta = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        running_mean, running_var = np.zeros(3), np.ones(3)
+        out = F.batch_norm(x, gamma, beta, running_mean, running_var, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_batch_norm_updates_running_stats(self, rng):
+        x = Tensor(rng.standard_normal((8, 2, 4, 4)) + 3.0)
+        running_mean, running_var = np.zeros(2), np.ones(2)
+        F.batch_norm(x, Tensor(np.ones(2)), Tensor(np.zeros(2)),
+                     running_mean, running_var, training=True, momentum=0.5)
+        assert np.all(running_mean > 1.0)
+
+    def test_batch_norm_eval_uses_running_stats(self, rng):
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        running_mean, running_var = np.zeros(2), np.ones(2)
+        out = F.batch_norm(x, Tensor(np.ones(2)), Tensor(np.zeros(2)),
+                           running_mean, running_var, training=False)
+        assert np.allclose(out.data, x.data, atol=1e-2)
+
+    def test_batch_norm_2d_inputs(self, rng):
+        x = Tensor(rng.standard_normal((16, 5)))
+        out = F.batch_norm(x, Tensor(np.ones(5)), Tensor(np.zeros(5)),
+                           np.zeros(5), np.ones(5), training=True)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-7)
+
+    def test_batch_norm_rejects_3d(self):
+        with pytest.raises(ValueError):
+            F.batch_norm(Tensor(np.zeros((2, 3, 4))), Tensor(np.ones(3)), Tensor(np.zeros(3)),
+                         np.zeros(3), np.ones(3), training=True)
+
+    def test_layer_norm_last_axis(self, rng):
+        x = Tensor(rng.standard_normal((4, 6, 8)))
+        out = F.layer_norm(x, Tensor(np.ones(8)), Tensor(np.zeros(8)))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestActivationsAndSoftmax:
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.standard_normal((3, 7)))
+        out = F.softmax(x)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+        assert np.all(out.data >= 0)
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal((2, 5))
+        assert np.allclose(F.softmax(Tensor(x)).data, F.softmax(Tensor(x + 100.0)).data)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((2, 5)))
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data))
+
+    def test_relu6_clips(self):
+        x = Tensor(np.array([-1.0, 3.0, 9.0]))
+        assert np.allclose(F.relu6(x).data, [0, 3, 6])
+
+    def test_gelu_limits_and_positive_branch(self):
+        x = Tensor(np.linspace(0, 4, 25))
+        out = F.gelu(x).data
+        assert np.all(np.diff(out) > 0)          # monotone for positive inputs
+        assert F.gelu(Tensor(np.array([-6.0]))).data[0] == pytest.approx(0.0, abs=1e-3)
+        assert F.gelu(Tensor(np.array([6.0]))).data[0] == pytest.approx(6.0, abs=1e-3)
+
+    def test_dropout_disabled_in_eval(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)))
+        assert np.array_equal(F.dropout(x, 0.5, training=False).data, x.data)
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+
+class TestLossesAndEmbedding:
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform_equals_log_classes(self):
+        logits = Tensor(np.zeros((4, 5)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(5))
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+    def test_nll_matches_cross_entropy(self, rng):
+        logits = Tensor(rng.standard_normal((6, 4)))
+        targets = np.array([0, 1, 2, 3, 0, 1])
+        ce = F.cross_entropy(logits, targets).item()
+        nll = F.nll_loss(F.log_softmax(logits), targets).item()
+        assert ce == pytest.approx(nll)
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        assert np.allclose(pred.grad, [1.0, 2.0])
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]))
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_embedding_lookup_and_gradient(self, rng):
+        weight = Tensor(rng.standard_normal((10, 4)), requires_grad=True)
+        indices = np.array([[1, 2], [2, 3]])
+        out = F.embedding(indices, weight)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 1], weight.data[2])
+        out.sum().backward()
+        assert np.allclose(weight.grad[2], 2.0)  # index 2 used twice
+        assert np.allclose(weight.grad[0], 0.0)
+
+    def test_linear_matches_matmul(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        w = Tensor(rng.standard_normal((2, 4)))
+        b = Tensor(rng.standard_normal(2))
+        assert np.allclose(F.linear(x, w, b).data, x.data @ w.data.T + b.data)
+
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    @given(st.integers(2, 8), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_cross_entropy_nonnegative(self, batch, classes):
+        rng = np.random.default_rng(batch * 13 + classes)
+        logits = Tensor(rng.standard_normal((batch, classes)))
+        targets = rng.integers(0, classes, batch)
+        assert F.cross_entropy(logits, targets).item() >= 0.0

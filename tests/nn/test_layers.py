@@ -1,0 +1,225 @@
+"""Tests for Module mechanics and the layer library."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestModuleMechanics:
+    def test_parameters_are_registered(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert names["weight"].shape == (3, 4)
+
+    def test_nested_parameter_names(self, rng):
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_num_parameters_counts_scalars(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_buffers_are_registered_and_in_state_dict(self):
+        bn = nn.BatchNorm2d(5)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_state_dict_roundtrip(self, rng):
+        source = nn.Linear(6, 2, rng=rng)
+        target = nn.Linear(6, 2, rng=np.random.default_rng(99))
+        assert not np.allclose(source.weight.data, target.weight.data)
+        target.load_state_dict(source.state_dict())
+        assert np.allclose(source.weight.data, target.weight.data)
+        assert np.allclose(source.bias.data, target.bias.data)
+
+    def test_load_state_dict_shape_mismatch_raises(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        bad = {name: np.zeros((1, 1)) for name in dict(layer.named_parameters())}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key_strict(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({}, strict=True)
+        layer.load_state_dict({}, strict=False)  # no error
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.Dropout(0.5))
+        model.eval()
+        assert all(not child.training for child in model.children())
+        model.train()
+        assert all(child.training for child in model.children())
+
+    def test_zero_grad_clears_gradients(self, rng):
+        layer = nn.Linear(3, 1, rng=rng)
+        layer(Tensor(np.ones((2, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_named_modules_enumerates_tree(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.Sequential(nn.ReLU()))
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "0" in names and "1.0" in names
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestLinearConv:
+    def test_linear_forward_shape(self, rng):
+        layer = nn.Linear(8, 3, rng=rng)
+        assert layer(Tensor(np.zeros((5, 8)))).shape == (5, 3)
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_conv_forward_shape_and_output_shape_helper(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(np.zeros((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+        assert conv.output_shape(16, 16) == (8, 8)
+
+    def test_conv_invalid_groups(self, rng):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 8, 3, groups=2, rng=rng)
+
+    def test_conv_depthwise(self, rng):
+        conv = nn.Conv2d(4, 4, 3, padding=1, groups=4, rng=rng)
+        assert conv(Tensor(np.zeros((1, 4, 6, 6)))).shape == (1, 4, 6, 6)
+        assert conv.weight.shape == (4, 1, 3, 3)
+
+    def test_deterministic_init_with_seeded_rng(self):
+        a = nn.Linear(5, 5, rng=np.random.default_rng(1))
+        b = nn.Linear(5, 5, rng=np.random.default_rng(1))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestPoolingNormActivation:
+    def test_maxpool_layer(self, rng):
+        assert nn.MaxPool2d(2)(Tensor(np.zeros((1, 2, 8, 8)))).shape == (1, 2, 4, 4)
+
+    def test_avgpool_layer(self):
+        assert nn.AvgPool2d(2)(Tensor(np.ones((1, 1, 4, 4)))).data.mean() == 1.0
+
+    def test_global_avg_pool(self, rng):
+        out = nn.GlobalAvgPool2d()(Tensor(rng.standard_normal((2, 5, 3, 3))))
+        assert out.shape == (2, 5)
+
+    def test_adaptive_avg_pool_layer(self):
+        assert nn.AdaptiveAvgPool2d(1)(Tensor(np.zeros((1, 3, 7, 7)))).shape == (1, 3, 1, 1)
+
+    def test_batchnorm_layer_running_stats_change_only_in_training(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((4, 3, 5, 5)) + 2.0)
+        before = bn.running_mean.copy()
+        bn.eval()
+        bn(x)
+        assert np.allclose(bn.running_mean, before)
+        bn.train()
+        bn(x)
+        assert not np.allclose(bn.running_mean, before)
+
+    def test_layernorm_layer(self, rng):
+        ln = nn.LayerNorm(6)
+        out = ln(Tensor(rng.standard_normal((3, 6))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+
+    def test_activation_layers(self, rng):
+        x = Tensor(np.array([[-1.0, 2.0]]))
+        assert np.allclose(nn.ReLU()(x).data, [[0, 2]])
+        assert np.allclose(nn.ReLU6()(Tensor(np.array([[7.0]]))).data, [[6]])
+        assert np.allclose(nn.Softmax()(x).data.sum(axis=-1), 1.0)
+        assert nn.Sigmoid()(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.5)
+        assert nn.Tanh()(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.0)
+        assert np.exp(nn.LogSoftmax()(x).data).sum() == pytest.approx(1.0)
+        assert nn.GELU()(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_flatten_and_identity(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)))
+        assert nn.Flatten()(x).shape == (2, 12)
+        assert nn.Identity()(x) is x
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        assert model(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+        assert len(model) == 3
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_sequential_append(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng))
+        model.append(nn.ReLU())
+        assert len(model) == 2
+
+    def test_module_list(self, rng):
+        modules = nn.ModuleList([nn.Linear(2, 2, rng=rng), nn.Linear(2, 2, rng=rng)])
+        assert len(modules) == 2
+        assert len(list(modules.parameters())) == 4
+        with pytest.raises(RuntimeError):
+            modules(Tensor(np.zeros((1, 2))))
+
+
+class TestEmbeddingAttention:
+    def test_embedding_shape(self, rng):
+        emb = nn.Embedding(50, 8, rng=rng)
+        assert emb(np.array([[1, 2, 3]])).shape == (1, 3, 8)
+
+    def test_embedding_accepts_tensor_indices(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(Tensor(np.array([[1.0, 2.0]])))
+        assert out.shape == (1, 2, 4)
+
+    def test_attention_output_shape(self, rng):
+        attention = nn.MultiHeadSelfAttention(16, 4, rng=rng)
+        out = attention(Tensor(rng.standard_normal((2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+    def test_attention_head_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, 3, rng=rng)
+
+    def test_causal_mask_blocks_future(self, rng):
+        """Changing a future token must not change earlier outputs under a causal mask."""
+        attention = nn.MultiHeadSelfAttention(8, 2, rng=rng)
+        base = rng.standard_normal((1, 5, 8))
+        modified = base.copy()
+        modified[0, 4] += 10.0
+        out_base = attention(Tensor(base), causal=True).data
+        out_modified = attention(Tensor(modified), causal=True).data
+        assert np.allclose(out_base[0, :4], out_modified[0, :4])
+        assert not np.allclose(out_base[0, 4], out_modified[0, 4])
+
+    def test_transformer_encoder_layer(self, rng):
+        layer = nn.TransformerEncoderLayer(16, 4, 32, dropout=0.0, rng=rng)
+        x = Tensor(rng.standard_normal((2, 7, 16)), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (2, 7, 16)
+        out.sum().backward()
+        assert x.grad is not None
+
+    def test_positional_encoding_deterministic_and_added(self):
+        pe = nn.PositionalEncoding(8, max_len=32)
+        x = Tensor(np.zeros((1, 10, 8)))
+        out = pe(x)
+        assert out.shape == (1, 10, 8)
+        assert not np.allclose(out.data, 0.0)
+
+    def test_losses_modules(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)))
+        targets = np.array([0, 1, 2, 0])
+        assert nn.CrossEntropyLoss()(logits, targets).item() > 0
+        assert nn.MSELoss()(Tensor(np.ones(3)), np.zeros(3)).item() == pytest.approx(1.0)

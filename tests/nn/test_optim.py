@@ -1,0 +1,133 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.layers.module import Parameter
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR
+
+
+def quadratic_loss(parameter: Parameter) -> Tensor:
+    """Simple convex objective ||p - 3||^2 with minimum at 3."""
+    diff = parameter - Tensor(np.full(parameter.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        optimizer.step()
+        # gradient of (p-3)^2 at 1 is -4, update = -lr*grad = +0.4
+        assert p.data[0] == pytest.approx(1.4)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([0.0, 10.0]))
+        optimizer = SGD([p], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(p).backward()
+            optimizer.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([0.0]))
+        momentum = Parameter(np.array([0.0]))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            opt_plain.zero_grad()
+            quadratic_loss(plain).backward()
+            opt_plain.step()
+            opt_momentum.zero_grad()
+            quadratic_loss(momentum).backward()
+            opt_momentum.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        p = Parameter(np.array([5.0]))
+        optimizer = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] < 5.0
+
+    def test_skips_parameters_without_gradient(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.array([1.0]))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([-5.0]))
+        optimizer = Adam([p], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(p).backward()
+            optimizer.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_first_step_magnitude_close_to_lr(self):
+        p = Parameter(np.array([0.0]))
+        optimizer = Adam([p], lr=0.1)
+        quadratic_loss(p).backward()
+        optimizer.step()
+        assert abs(p.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([5.0]))
+        optimizer = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] < 5.0
+
+    def test_trains_linear_layer_faster_than_no_training(self, rng):
+        layer = nn.Linear(10, 2, rng=rng)
+        data = rng.standard_normal((32, 10))
+        targets = (data[:, 0] > 0).astype(int)
+        initial = nn.functional.cross_entropy(layer(Tensor(data)), targets).item()
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(50):
+            optimizer.zero_grad()
+            nn.functional.cross_entropy(layer(Tensor(data)), targets).backward()
+            optimizer.step()
+        final = nn.functional.cross_entropy(layer(Tensor(data)), targets).item()
+        assert final < initial * 0.5
+
+
+class TestSchedulers:
+    def test_step_lr_decays_at_boundaries(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_annealing_reaches_min(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_annealing_monotone_decrease(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=8)
+        previous = optimizer.lr
+        for _ in range(8):
+            scheduler.step()
+            assert optimizer.lr <= previous + 1e-12
+            previous = optimizer.lr

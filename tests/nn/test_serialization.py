@@ -1,0 +1,62 @@
+"""Tests for model/state serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import (
+    load_metadata,
+    load_state,
+    save_state,
+    state_from_bytes,
+    state_size_bytes,
+    state_to_bytes,
+)
+
+
+@pytest.fixture
+def small_model(rng):
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+
+
+class TestFileRoundTrip:
+    def test_save_and_load_state(self, small_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_state(small_model, path)
+        state = load_state(path)
+        assert set(state) == set(small_model.state_dict())
+        for name, value in small_model.state_dict().items():
+            assert np.allclose(state[name], value)
+
+    def test_metadata_roundtrip(self, small_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_state(small_model, path, metadata={"task": "classification", "epochs": 3})
+        metadata = load_metadata(path)
+        assert metadata == {"task": "classification", "epochs": 3}
+
+    def test_missing_metadata_returns_empty(self, small_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_state(small_model, path)
+        assert load_metadata(path) == {}
+
+    def test_loaded_state_restores_model(self, small_model, tmp_path, rng):
+        path = tmp_path / "model.npz"
+        save_state(small_model, path)
+        other = nn.Sequential(nn.Linear(4, 8, rng=np.random.default_rng(5)), nn.ReLU(),
+                              nn.Linear(8, 2, rng=np.random.default_rng(6)))
+        other.load_state_dict(load_state(path))
+        x = nn.Tensor(np.random.default_rng(0).standard_normal((3, 4)))
+        assert np.allclose(small_model(x).data, other(x).data)
+
+
+class TestBytesRoundTrip:
+    def test_bytes_roundtrip_preserves_arrays(self, small_model):
+        state = small_model.state_dict()
+        restored = state_from_bytes(state_to_bytes(state))
+        assert set(restored) == set(state)
+        for name in state:
+            assert np.allclose(restored[name], state[name])
+
+    def test_state_size_bytes(self):
+        state = {"a": np.zeros(10, dtype=np.float64), "b": np.zeros((2, 2), dtype=np.float32)}
+        assert state_size_bytes(state) == 10 * 8 + 4 * 4

@@ -1,0 +1,305 @@
+"""Tests for the autograd Tensor: arithmetic, broadcasting, reductions, backward."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concatenate, stack
+
+from ..conftest import finite_difference
+
+
+class TestConstruction:
+    def test_wraps_numpy_array(self):
+        t = Tensor(np.arange(6).reshape(2, 3))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+
+    def test_wraps_scalars_and_lists(self):
+        assert Tensor(3.0).shape == ()
+        assert Tensor([1.0, 2.0]).shape == (2,)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor(np.ones(3)).requires_grad
+        assert Tensor(np.ones(3), requires_grad=True).requires_grad
+
+    def test_zeros_ones_randn_factories(self):
+        assert np.all(Tensor.zeros(2, 3).data == 0)
+        assert np.all(Tensor.ones(4).data == 1)
+        r = Tensor.randn(5, 5, rng=np.random.default_rng(0))
+        assert r.shape == (5, 5)
+
+    def test_ensure_passes_through_tensors(self):
+        t = Tensor([1.0])
+        assert Tensor.ensure(t) is t
+        assert isinstance(Tensor.ensure([1.0, 2.0]), Tensor)
+
+    def test_detach_cuts_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 3)" in repr(Tensor(np.zeros((2, 3))))
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div_values(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]))
+        b = Tensor(np.array([4.0, 5.0, 6.0]))
+        assert np.allclose((a + b).data, [5, 7, 9])
+        assert np.allclose((a - b).data, [-3, -3, -3])
+        assert np.allclose((a * b).data, [4, 10, 18])
+        assert np.allclose((a / b).data, [0.25, 0.4, 0.5])
+
+    def test_scalar_operands(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        assert np.allclose((a + 1).data, [2, 3])
+        assert np.allclose((1 + a).data, [2, 3])
+        assert np.allclose((2 * a).data, [2, 4])
+        assert np.allclose((1 - a).data, [0, -1])
+        assert np.allclose((2 / a).data, [2, 1])
+
+    def test_neg_pow(self):
+        a = Tensor(np.array([1.0, -2.0]))
+        assert np.allclose((-a).data, [-1, 2])
+        assert np.allclose((a ** 2).data, [1, 4])
+
+    def test_add_backward(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+        assert np.allclose(b.grad, [1, 1])
+
+    def test_mul_backward(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [3, 4])
+        assert np.allclose(b.grad, [1, 2])
+
+    def test_div_backward(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 8.0]), requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.25, 0.125])
+        assert np.allclose(b.grad, [-1 / 16, -2 / 64])
+
+    def test_broadcast_backward_sums_over_expanded_axes(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [2, 2, 2])
+
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * a).sum().backward()
+        assert np.allclose(a.grad, [4.0])
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_backward_non_scalar_needs_grad_argument(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+        t.backward(np.ones(3))
+        assert np.allclose(t.grad, [1, 1, 1])
+
+
+class TestMatmul:
+    def test_matmul_values(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        b = Tensor(np.array([[5.0, 6.0], [7.0, 8.0]]))
+        assert np.allclose((a @ b).data, [[19, 22], [43, 50]])
+
+    def test_matmul_backward_matches_finite_difference(self, rng):
+        a_data = rng.standard_normal((3, 4))
+        b_data = rng.standard_normal((4, 2))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+
+        def loss():
+            return float(((a_data @ b_data) ** 2).sum())
+
+        numerical = finite_difference(loss, a_data, (1, 2))
+        assert numerical == pytest.approx(a.grad[1, 2], rel=1e-4)
+        numerical = finite_difference(loss, b_data, (0, 1))
+        assert numerical == pytest.approx(b.grad[0, 1], rel=1e-4)
+
+    def test_batched_matmul(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.sum().item() == 15
+        assert np.allclose(t.sum(axis=0).data, [3, 5, 7])
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_and_var(self):
+        t = Tensor(np.array([[1.0, 3.0], [2.0, 4.0]]))
+        assert t.mean().item() == pytest.approx(2.5)
+        assert np.allclose(t.mean(axis=0).data, [1.5, 3.5])
+        assert t.var().item() == pytest.approx(np.var([1, 3, 2, 4]))
+
+    def test_mean_multi_axis(self):
+        t = Tensor(np.ones((2, 3, 4)))
+        assert np.allclose(t.mean(axis=(1, 2)).data, [1.0, 1.0])
+
+    def test_sum_backward_broadcasts(self):
+        t = Tensor(np.ones((2, 3)), requires_grad=True)
+        t.sum(axis=1).sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 3)))
+
+    def test_max_forward_and_backward(self):
+        t = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]), requires_grad=True)
+        m = t.max(axis=1)
+        assert np.allclose(m.data, [5, 3])
+        m.sum().backward()
+        assert np.allclose(t.grad, [[0, 1], [1, 0]])
+
+    def test_max_ties_split_gradient(self):
+        t = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        t.max().backward()
+        assert np.allclose(t.grad, [0.5, 0.5])
+
+
+class TestShapeOps:
+    def test_reshape_and_flatten(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        assert t.reshape(4, 3).shape == (4, 3)
+        assert t.flatten().shape == (12,)
+        assert t.reshape(2, 6).reshape(-1).shape == (12,)
+
+    def test_reshape_backward(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        (t.reshape(2, 3) * 2).sum().backward()
+        assert np.allclose(t.grad, np.full(6, 2.0))
+
+    def test_transpose_default_and_axes(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        assert t.T.shape == (3, 2)
+        t4 = Tensor(np.zeros((2, 3, 4, 5)))
+        assert t4.transpose(0, 2, 1, 3).shape == (2, 4, 3, 5)
+
+    def test_transpose_backward_restores_layout(self, rng):
+        data = rng.standard_normal((2, 3, 4))
+        t = Tensor(data, requires_grad=True)
+        (t.transpose(2, 0, 1) * 3).sum().backward()
+        assert t.grad.shape == (2, 3, 4)
+        assert np.allclose(t.grad, 3.0)
+
+    def test_swapaxes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.swapaxes(-1, -2).shape == (2, 4, 3)
+
+    def test_getitem_slice_and_fancy(self):
+        t = Tensor(np.arange(10.0), requires_grad=True)
+        assert np.allclose(t[2:5].data, [2, 3, 4])
+        picked = t[np.array([1, 1, 3])]
+        picked.sum().backward()
+        assert t.grad[1] == pytest.approx(2.0)
+        assert t.grad[3] == pytest.approx(1.0)
+
+    def test_pad_forward_backward(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        p = t.pad([(1, 1), (0, 2)])
+        assert p.shape == (4, 4)
+        p.sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 2)))
+
+    def test_concatenate(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((3, 2)), requires_grad=True)
+        c = concatenate([a, b], axis=0)
+        assert c.shape == (5, 2)
+        c.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        s = stack([a, b], axis=0)
+        assert s.shape == (2, 3)
+        (s * Tensor(np.array([[1.0, 1, 1], [2, 2, 2]]))).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 2.0)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("name", ["exp", "log", "tanh", "sigmoid", "relu", "abs", "sqrt"])
+    def test_elementwise_backward_matches_finite_difference(self, name, rng):
+        data = np.abs(rng.standard_normal(5)) + 0.5  # positive for log/sqrt
+        t = Tensor(data, requires_grad=True)
+        out = getattr(t, name)()
+        out.sum().backward()
+
+        def loss():
+            return float(getattr(Tensor(data), name)().sum().item())
+
+        numerical = finite_difference(loss, data, (2,))
+        assert numerical == pytest.approx(t.grad[2], rel=1e-4, abs=1e-6)
+
+    def test_relu_zeroes_negative(self):
+        t = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        out = t.relu()
+        assert np.allclose(out.data, [0, 0, 2])
+        out.sum().backward()
+        assert np.allclose(t.grad, [0, 0, 1])
+
+    def test_clip_gradient_masking(self):
+        t = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        t.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(t.grad, [0, 1, 0])
+
+    def test_argmax(self):
+        t = Tensor(np.array([[1.0, 3.0], [5.0, 2.0]]))
+        assert np.array_equal(t.argmax(axis=1), [1, 0])
+
+
+class TestHypothesisProperties:
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_numpy(self, values):
+        t = Tensor(np.array(values))
+        assert t.sum().item() == pytest.approx(float(np.sum(values)), rel=1e-9, abs=1e-9)
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_addition_gradient_is_ones(self, rows, cols):
+        t = Tensor(np.random.default_rng(0).standard_normal((rows, cols)),
+                   requires_grad=True)
+        (t + 1.0).sum().backward()
+        assert np.allclose(t.grad, np.ones((rows, cols)))
+
+    @given(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_shape(self, a, b, c):
+        left = Tensor(np.zeros((a, b)))
+        right = Tensor(np.zeros((b, c)))
+        assert (left @ right).shape == (a, c)
+
+    @given(st.floats(0.1, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_exp_log_roundtrip(self, value):
+        t = Tensor(np.array([value]))
+        assert t.exp().log().item() == pytest.approx(value, rel=1e-9)

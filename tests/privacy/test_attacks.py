@@ -1,0 +1,236 @@
+"""Tests for the adversarial attacks of Section 6.3."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.core import Amalgam, AmalgamConfig, DatasetAugmenter
+from repro.core.search_space import SearchSpace
+from repro.models import LeNet
+from repro.privacy.attacks import (
+    DLGAttack,
+    LearnedDenoiser,
+    SmallScaleBruteForce,
+    attack_cost,
+    attribution_correlation,
+    capture_gradients,
+    denoising_attack,
+    gaussian_denoise,
+    infer_label_idlg,
+    linear_layer_leakage,
+    median_denoise,
+    model_inversion_attack,
+    occlusion_attribution,
+    psnr,
+    resize_nearest,
+    shapley_sampling_attribution,
+)
+
+
+class SmallMLP(nn.Module):
+    def __init__(self, in_features=36, classes=4, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.flatten = nn.Flatten()
+        self.fc1 = nn.Linear(in_features, 16, rng=rng)
+        self.fc2 = nn.Linear(16, classes, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(self.flatten(x)).relu())
+
+
+class TestBruteForce:
+    def test_attack_cost_infeasible_for_table2_spaces(self):
+        cost = attack_cost(SearchSpace(346.0))  # MNIST at 25%
+        assert not cost.feasible
+        assert cost.expected_years_log10 > 300
+
+    def test_attack_cost_feasible_for_tiny_space(self):
+        cost = attack_cost(SearchSpace(5.0), guesses_per_second=1e6)
+        assert cost.feasible
+
+    def test_attack_cost_validation(self):
+        with pytest.raises(ValueError):
+            attack_cost(SearchSpace(10.0), guesses_per_second=0)
+
+    def test_small_scale_enumeration_finds_original_but_is_ambiguous(self, rng):
+        original = rng.integers(0, 10, 5)
+        augmenter_positions = np.sort(rng.choice(8, 5, replace=False))
+        augmented = rng.integers(0, 10, 8)
+        augmented[augmenter_positions] = original
+        outcome = SmallScaleBruteForce().run(augmented, original)
+        assert outcome.found_exact
+        assert outcome.candidates_tested == 56  # C(8, 5)
+        assert outcome.ambiguity == 1.0  # every candidate is equally plausible
+
+    def test_small_scale_with_plausibility_filter(self):
+        augmented = np.array([0, 9, 1, 9, 2])
+        original = np.array([0, 1, 2])
+        outcome = SmallScaleBruteForce(plausibility=lambda c: 9 not in c).run(augmented,
+                                                                              original)
+        assert outcome.plausible_candidates == 1
+        assert outcome.found_exact
+
+    def test_small_scale_respects_candidate_cap(self, rng):
+        augmented = rng.integers(0, 5, 20)
+        original = augmented[:10]
+        outcome = SmallScaleBruteForce(max_candidates=100).run(augmented, original)
+        assert outcome.candidates_tested == 100
+
+    def test_original_longer_than_augmented_rejected(self):
+        with pytest.raises(ValueError):
+            SmallScaleBruteForce().run(np.arange(3), np.arange(5))
+
+
+class TestGradientLeakage:
+    def test_capture_gradients_returns_all_parameters(self):
+        model = SmallMLP()
+        gradients = capture_gradients(model, np.random.default_rng(0).random((1, 1, 6, 6)), 1)
+        assert set(gradients) == {name for name, _ in model.named_parameters()}
+
+    def test_linear_layer_leakage_recovers_input_exactly(self, rng):
+        model = SmallMLP(seed=3)
+        sample = rng.random((1, 1, 6, 6))
+        gradients = capture_gradients(model, sample, 2)
+        reconstruction = linear_layer_leakage(gradients["fc1.weight"], gradients["fc1.bias"])
+        assert np.allclose(reconstruction, sample.reshape(-1), atol=1e-8)
+
+    def test_linear_layer_leakage_rejects_zero_bias_grad(self):
+        with pytest.raises(ValueError):
+            linear_layer_leakage(np.ones((4, 8)), np.zeros(4))
+
+    def test_idlg_label_inference(self, rng):
+        model = SmallMLP(seed=1)
+        true_label = 3
+        gradients = capture_gradients(model, rng.random((1, 1, 6, 6)), true_label)
+        assert infer_label_idlg(gradients["fc2.weight"]) == true_label
+
+    def test_dlg_reduces_gradient_distance(self, rng):
+        model = SmallMLP(seed=2)
+        sample = rng.random((1, 1, 6, 6))
+        gradients = capture_gradients(model, sample, 1)
+        attack = DLGAttack(model, iterations=25, step_size=0.1, seed=0)
+        result = attack.run(gradients, (1, 1, 6, 6))
+        assert result.inferred_label == 1
+        history = result.objective_history
+        assert history[-1] <= history[0]
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(history, history[1:]))
+
+    def test_dlg_against_augmented_model_cannot_match_original_dimensions(self, mnist_tiny):
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=4)
+        amalgam = Amalgam(config)
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(0))
+        job = amalgam.prepare_image_job(model, mnist_tiny)
+        augmented_sample = job.train_data.dataset.samples[:1].astype(float)
+        label = int(mnist_tiny.train.labels[0])
+
+        job.augmented_model.zero_grad()
+        job.augmented_model.loss(Tensor(augmented_sample), np.array([label])).backward()
+        observed = {name: p.grad.copy()
+                    for name, p in job.augmented_model.named_parameters()
+                    if p.grad is not None}
+        job.augmented_model.zero_grad()
+
+        attack = DLGAttack(job.augmented_model,
+                           loss_builder=lambda m, dummy, lab: m.loss(dummy, np.array([lab])),
+                           iterations=2, seed=0)
+        result = attack.run(observed, augmented_sample.shape, label=label)
+        assert result.reconstruction.shape == augmented_sample.shape
+        assert result.mse_against(mnist_tiny.train.samples[:1]) == float("inf")
+
+    def test_mse_against_same_shape(self, rng):
+        from repro.privacy.attacks.dlg import DLGResult
+        reference = rng.random((1, 4))
+        result = DLGResult(reconstruction=reference.copy())
+        assert result.mse_against(reference) == 0.0
+
+
+class TestModelInversion:
+    def test_occlusion_attribution_highlights_informative_pixel(self):
+        """A classifier that only looks at pixel 0 must attribute everything to it."""
+        model = SmallMLP(in_features=4, classes=2, seed=0)
+        model.fc1.weight.data[:] = 0.0
+        model.fc1.weight.data[:, 0] = 5.0
+        model.fc2.weight.data[:] = 0.0
+        model.fc2.weight.data[1, :] = 1.0
+        sample = np.array([[[1.0, 0.5], [0.5, 0.5]]])
+        attribution = occlusion_attribution(model, sample, target_class=1)
+        assert abs(attribution[0, 0, 0]) == max(np.abs(attribution).max(), 1e-12)
+
+    def test_shapley_sampling_shape(self, rng):
+        model = SmallMLP(in_features=9, classes=3, seed=1)
+        sample = rng.random((1, 3, 3))
+        attribution = shapley_sampling_attribution(model, sample, 0, num_samples=4,
+                                                   rng=np.random.default_rng(0))
+        assert attribution.shape == sample.shape
+
+    def test_attribution_correlation_bounds(self, rng):
+        a = rng.random((3, 3))
+        assert attribution_correlation(a, a) == pytest.approx(1.0)
+        assert attribution_correlation(a, -a) == pytest.approx(-1.0)
+        assert attribution_correlation(a, np.zeros_like(a)) == 0.0
+
+    def test_inversion_attack_distorts_explanations(self, mnist_tiny):
+        """Figure 17: attribution maps before and after augmentation decorrelate."""
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=6)
+        amalgam = Amalgam(config)
+        plain_model = SmallMLP(in_features=28 * 28, classes=10, seed=2)
+        # Wrap so the plain model accepts (1, 28, 28) images.
+        job = amalgam.prepare_image_job(LeNet(10, 1, 28, rng=np.random.default_rng(1)),
+                                        mnist_tiny)
+        sample = mnist_tiny.train.samples[0].astype(float)
+        augmented_sample = job.train_data.dataset.samples[0].astype(float)
+        result = model_inversion_attack(
+            LeNet(10, 1, 28, rng=np.random.default_rng(1)), job.augmented_model,
+            sample[:, ::2, ::2], augmented_sample[:, ::3, ::3],
+            original_positions=np.stack([np.arange(196)]), target_class=0,
+            method=lambda model, s, c: np.random.default_rng(0).random(s.shape))
+        assert -1.0 <= result.correlation <= 1.0
+
+
+class TestDenoising:
+    def test_psnr_identity_is_infinite(self, rng):
+        image = rng.random((1, 4, 4))
+        assert psnr(image, image) == float("inf")
+
+    def test_psnr_decreases_with_noise(self, rng):
+        image = rng.random((1, 8, 8))
+        small = psnr(image, np.clip(image + 0.01, 0, 1))
+        large = psnr(image, np.clip(image + 0.3, 0, 1))
+        assert small > large
+
+    def test_gaussian_denoise_reduces_noise(self, mnist_tiny):
+        original = mnist_tiny.train.samples[0].astype(float)
+        rng = np.random.default_rng(0)
+        noisy = np.clip(original + rng.normal(0, 0.3, original.shape), 0, 1)
+        denoised = gaussian_denoise(noisy, 5, 1.0)
+        assert psnr(original, denoised) > psnr(original, noisy)
+
+    def test_median_denoise_shape(self, rng):
+        image = rng.random((3, 8, 8))
+        assert median_denoise(image).shape == image.shape
+
+    def test_resize_nearest(self, rng):
+        image = rng.random((3, 12, 12))
+        assert resize_nearest(image, (8, 8)).shape == (3, 8, 8)
+
+    def test_learned_denoiser_trains_and_denoises(self, mnist_tiny):
+        clean = mnist_tiny.train.samples[:4].astype(float)
+        denoiser = LearnedDenoiser(channels=1, hidden=4, rng=np.random.default_rng(0))
+        final_loss = denoiser.fit(clean, noise_sigma=0.2, epochs=5, lr=1e-2)
+        assert final_loss < 0.2
+        out = denoiser.denoise(clean[0])
+        assert out.shape == clean[0].shape
+
+    def test_denoising_attack_fails_on_augmented_image(self, mnist_tiny):
+        """Figure 18: denoising recovers the Gaussian-noised image but not the
+        Amalgam-augmented one."""
+        original = mnist_tiny.train.samples[0].astype(float)
+        augmenter = DatasetAugmenter(AmalgamConfig(augmentation_amount=0.2, seed=1))
+        augmented = augmenter.augment_images(mnist_tiny.train).dataset.samples[0].astype(float)
+        outcome = denoising_attack(original, augmented,
+                                   denoiser=lambda image: gaussian_denoise(image, 5, 1.0))
+        assert outcome.gaussian_noise_removed
+        assert not outcome.augmentation_removed
+        assert outcome.psnr_denoised_augmented < outcome.psnr_denoised_gaussian

@@ -1,0 +1,95 @@
+"""Tests for the privacy-loss / computing-loss model (Section 6.1-6.2, Figure 15)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AmalgamConfig
+from repro.privacy import (
+    amount_for_privacy_budget,
+    build_image_report,
+    build_text_report,
+    computing_performance_loss,
+    empirical_performance_loss,
+    model_vs_empirical,
+    privacy_loss,
+    tradeoff_curve,
+)
+
+
+class TestLossModel:
+    @pytest.mark.parametrize("amount,expected", [(0.0, 1.0), (0.25, 0.8), (0.5, 2 / 3),
+                                                 (1.0, 0.5), (3.0, 0.25)])
+    def test_privacy_loss_values(self, amount, expected):
+        assert privacy_loss(amount) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("amount", [0.25, 0.5, 1.0, 2.0])
+    def test_epsilon_plus_rho_equals_one(self, amount):
+        assert privacy_loss(amount) + computing_performance_loss(amount) == pytest.approx(1.0)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            privacy_loss(-0.1)
+        with pytest.raises(ValueError):
+            computing_performance_loss(-0.1)
+
+    def test_privacy_loss_monotone_decreasing(self):
+        amounts = np.linspace(0, 3, 20)
+        values = [privacy_loss(a) for a in amounts]
+        assert values == sorted(values, reverse=True)
+
+    def test_tradeoff_curve_structure(self):
+        curve = tradeoff_curve([0.25, 0.5, 1.0])
+        assert len(curve) == 3
+        assert curve[0].privacy_loss > curve[-1].privacy_loss
+        assert curve[0].computing_loss < curve[-1].computing_loss
+
+    def test_amount_for_privacy_budget_inverts_epsilon(self):
+        for epsilon in (0.9, 0.5, 0.25):
+            amount = amount_for_privacy_budget(epsilon)
+            assert privacy_loss(amount) == pytest.approx(epsilon)
+
+    def test_amount_for_privacy_budget_validation(self):
+        with pytest.raises(ValueError):
+            amount_for_privacy_budget(0.0)
+        with pytest.raises(ValueError):
+            amount_for_privacy_budget(1.5)
+
+    def test_empirical_performance_loss(self):
+        assert empirical_performance_loss(10.0, 20.0) == pytest.approx(0.5)
+        assert empirical_performance_loss(10.0, 10.0) == pytest.approx(0.0)
+        assert empirical_performance_loss(10.0, 5.0) == 0.0  # clamped
+        with pytest.raises(ValueError):
+            empirical_performance_loss(0.0, 1.0)
+
+    def test_model_vs_empirical_rows(self):
+        rows = model_vs_empirical([0.5, 1.0], baseline_time=10.0, augmented_times=[15.0, 20.0])
+        assert rows[0]["rho_model"] == pytest.approx(1 / 3)
+        assert rows[1]["rho_measured"] == pytest.approx(0.5)
+
+    @given(st.floats(0.0, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_property(self, amount):
+        assert privacy_loss(amount) + computing_performance_loss(amount) == pytest.approx(1.0)
+        assert 0.0 < privacy_loss(amount) <= 1.0
+
+
+class TestReports:
+    def test_image_report_fields(self):
+        report = build_image_report(AmalgamConfig(augmentation_amount=0.5), 28, 28, channels=1)
+        assert report.epsilon == pytest.approx(2 / 3)
+        assert report.rho == pytest.approx(1 / 3)
+        assert report.search_space is not None
+        assert report.brute_force is not None
+        assert not report.brute_force.feasible
+        text = str(report)
+        assert "privacy loss" in text and "search space" in text
+
+    def test_text_report(self):
+        report = build_text_report(AmalgamConfig(augmentation_amount=0.25), batch_length=20)
+        assert 10 ** report.search_space.log10 == pytest.approx(53130, rel=1e-6)
+
+    def test_small_search_space_can_be_feasible(self):
+        report = build_text_report(AmalgamConfig(augmentation_amount=0.1), batch_length=5)
+        assert report.brute_force.feasible
