@@ -1,0 +1,265 @@
+"""Microbenchmarks for the ``repro.nn`` compute substrate.
+
+Unlike the figure/table benchmarks (which reproduce paper results), this
+suite times the primitive operations every training run is built from —
+dense and depthwise convolution, linear layers, an attention block, whole
+LeNet / MobileNetV2 training steps, and the augmented-vs-plain step
+overhead — and writes a machine-readable ``BENCH_nn_micro.json`` so future
+PRs can diff the repo's performance trajectory.
+
+Run it as a script (no pytest required)::
+
+    PYTHONPATH=src python benchmarks/bench_nn_micro.py
+    REPRO_SCALE=tiny PYTHONPATH=src python benchmarks/bench_nn_micro.py  # CI smoke
+
+``REPRO_SCALE=tiny`` shrinks shapes and repeat counts so the whole suite
+finishes in a few seconds; the default (``full``) scale is still laptop-CPU
+friendly but large enough for stable timings.
+
+The script is deliberately compatible with older revisions of ``repro.nn``
+(it probes for ``get_default_dtype``/``no_grad``), so it can be pointed at a
+historical checkout via ``PYTHONPATH`` to produce before/after numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def _default_dtype():
+    getter = getattr(nn, "get_default_dtype", None)
+    return getter() if getter is not None else np.float64
+
+
+def _tensor(rng: np.random.Generator, *shape: int, requires_grad: bool = False) -> Tensor:
+    data = rng.standard_normal(shape).astype(_default_dtype())
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def time_fn(fn: Callable[[], None], repeats: int, warmup: int = 2) -> Dict[str, float]:
+    """Call ``fn`` ``repeats`` times (after warmup) and report timing stats."""
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "min_s": float(np.min(samples)),
+        "mean_s": float(np.mean(samples)),
+        "median_s": float(np.median(samples)),
+        "runs": int(repeats),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Individual benchmarks
+# ---------------------------------------------------------------------------
+def bench_conv2d_dense(rng: np.random.Generator, tiny: bool) -> Callable[[], None]:
+    """One dense conv2d training step: forward + backward through the op."""
+    batch = 4 if tiny else 8
+    x = _tensor(rng, batch, 16, 16, 16, requires_grad=True)
+    w = _tensor(rng, 32, 16, 3, 3, requires_grad=True)
+    b = _tensor(rng, 32, requires_grad=True)
+
+    def step() -> None:
+        x.zero_grad(); w.zero_grad(); b.zero_grad()
+        out = F.conv2d(x, w, b, stride=1, padding=1)
+        out.sum().backward()
+
+    return step
+
+
+def bench_conv2d_depthwise(rng: np.random.Generator, tiny: bool) -> Callable[[], None]:
+    """One depthwise (groups == channels) conv2d training step."""
+    batch = 4 if tiny else 8
+    channels = 32 if tiny else 64
+    x = _tensor(rng, batch, channels, 16, 16, requires_grad=True)
+    w = _tensor(rng, channels, 1, 3, 3, requires_grad=True)
+    b = _tensor(rng, channels, requires_grad=True)
+
+    def step() -> None:
+        x.zero_grad(); w.zero_grad(); b.zero_grad()
+        out = F.conv2d(x, w, b, stride=1, padding=1, groups=channels)
+        out.sum().backward()
+
+    return step
+
+
+def bench_linear(rng: np.random.Generator, tiny: bool) -> Callable[[], None]:
+    batch = 32 if tiny else 128
+    layer = nn.Linear(256, 256, rng=rng)
+    x = _tensor(rng, batch, 256, requires_grad=True)
+
+    def step() -> None:
+        layer.zero_grad(); x.zero_grad()
+        layer(x).sum().backward()
+
+    return step
+
+
+def bench_attention_block(rng: np.random.Generator, tiny: bool) -> Callable[[], None]:
+    seq = 16 if tiny else 32
+    block = nn.TransformerEncoderLayer(64, 4, 128, dropout=0.0, rng=rng)
+    x = _tensor(rng, 4, seq, 64, requires_grad=True)
+
+    def step() -> None:
+        block.zero_grad(); x.zero_grad()
+        block(x).sum().backward()
+
+    return step
+
+
+def bench_lenet_step(rng: np.random.Generator, tiny: bool) -> Callable[[], None]:
+    from repro.models import LeNet
+
+    batch = 16 if tiny else 32
+    model = LeNet(10, 1, 28, rng=rng)
+    optimizer = nn.optim.SGD(model.parameters(), lr=0.01, momentum=0.9)
+    images = rng.standard_normal((batch, 1, 28, 28)).astype(_default_dtype())
+    labels = rng.integers(0, 10, size=batch)
+
+    def step() -> None:
+        optimizer.zero_grad()
+        loss = F.cross_entropy(model(Tensor(images)), labels)
+        loss.backward()
+        optimizer.step()
+
+    return step
+
+
+def bench_mobilenet_step(rng: np.random.Generator, tiny: bool) -> Callable[[], None]:
+    from repro.models.mobilenet import mobilenet_v2_small
+
+    batch = 2 if tiny else 4
+    model = mobilenet_v2_small(num_classes=10, in_channels=3, rng=rng)
+    optimizer = nn.optim.SGD(model.parameters(), lr=0.01, momentum=0.9)
+    images = rng.standard_normal((batch, 3, 32, 32)).astype(_default_dtype())
+    labels = rng.integers(0, 10, size=batch)
+
+    def step() -> None:
+        optimizer.zero_grad()
+        loss = F.cross_entropy(model(Tensor(images)), labels)
+        loss.backward()
+        optimizer.step()
+
+    return step
+
+
+def bench_augmented_overhead(rng: np.random.Generator, tiny: bool,
+                             repeats: int) -> Dict[str, Dict[str, float]]:
+    """Augmented-model training step vs the plain model's, on the same data."""
+    from repro.core import Amalgam, AmalgamConfig
+    from repro.core.trainer import AugmentedClassificationTrainer, ClassificationTrainer
+    from repro.data import DataLoader, make_mnist
+    from repro.models import LeNet
+
+    samples = 32 if tiny else 64
+    batch_size = 16
+    data = make_mnist(train_count=samples, val_count=16, seed=11)
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=13)
+
+    plain_model = LeNet(10, 1, 28, rng=np.random.default_rng(5))
+    plain_trainer = ClassificationTrainer(plain_model, lr=0.01)
+    plain_loader = DataLoader(data.train, batch_size, shuffle=False)
+
+    amalgam = Amalgam(config)
+    job = amalgam.prepare_image_job(LeNet(10, 1, 28, rng=np.random.default_rng(5)), data)
+    augmented_trainer = AugmentedClassificationTrainer(job.augmented_model, lr=0.01)
+    augmented_loader = DataLoader(job.train_data.dataset, batch_size, shuffle=False)
+
+    plain = time_fn(lambda: plain_trainer.train_epoch(plain_loader), repeats, warmup=1)
+    augmented = time_fn(lambda: augmented_trainer.train_epoch(augmented_loader), repeats, warmup=1)
+    overhead = augmented["median_s"] / plain["median_s"] if plain["median_s"] else float("nan")
+    return {
+        "plain_train_epoch": plain,
+        "augmented_train_epoch": augmented,
+        "augmented_overhead_x": {"ratio": float(overhead)},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+def run(output_path: str, scale: str, baseline_path: str = "") -> Dict[str, object]:
+    if baseline_path and not os.path.exists(baseline_path):
+        raise SystemExit(f"baseline report not found: {baseline_path}")
+    tiny = scale == "tiny"
+    repeats = 3 if tiny else 10
+    rng = np.random.default_rng(0)
+
+    benches: Dict[str, Callable[[], None]] = {
+        "conv2d_dense_step": bench_conv2d_dense(rng, tiny),
+        "conv2d_depthwise_step": bench_conv2d_depthwise(rng, tiny),
+        "linear_step": bench_linear(rng, tiny),
+        "attention_block_step": bench_attention_block(rng, tiny),
+        "lenet_train_step": bench_lenet_step(rng, tiny),
+        "mobilenet_train_step": bench_mobilenet_step(rng, tiny),
+    }
+
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn in benches.items():
+        results[name] = time_fn(fn, repeats)
+        print(f"{name:28s} median {results[name]['median_s'] * 1e3:9.3f} ms "
+              f"(min {results[name]['min_s'] * 1e3:9.3f} ms, n={repeats})")
+
+    results.update(bench_augmented_overhead(rng, tiny, max(2, repeats // 2)))
+    print(f"{'augmented_overhead_x':28s} {results['augmented_overhead_x']['ratio']:.2f}x")
+
+    report: Dict[str, object] = {
+        "suite": "bench_nn_micro",
+        "scale": scale,
+        "default_dtype": str(np.dtype(_default_dtype())),
+        "no_grad_available": hasattr(nn, "no_grad"),
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    if baseline_path:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        speedups = {}
+        for name, stats in baseline.get("results", {}).items():
+            if "median_s" in stats and name in results and results[name]["median_s"] > 0:
+                speedups[name] = round(stats["median_s"] / results[name]["median_s"], 3)
+                print(f"{name:28s} {speedups[name]:.2f}x vs baseline")
+        report["baseline"] = {
+            "path": baseline_path,
+            "default_dtype": baseline.get("default_dtype"),
+            "results": baseline.get("results"),
+        }
+        report["speedup_vs_baseline"] = speedups
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {output_path}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_nn_micro.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--scale", default=os.environ.get("REPRO_SCALE", "full"),
+                        choices=("tiny", "full"), help="workload size")
+    parser.add_argument("--baseline", default="",
+                        help="previous BENCH_nn_micro.json to diff against "
+                             "(adds a speedup_vs_baseline section)")
+    args = parser.parse_args()
+    run(args.output, args.scale, baseline_path=args.baseline)
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,7 @@ class ModelExtractor:
         definition provided by the user")."""
         self.model_factory = model_factory
 
+    @nn.no_grad()
     def extract(self, augmented_model: AugmentedModel) -> ExtractionReport:
         """Copy the trained original weights out of ``augmented_model``."""
         start = time.perf_counter()

@@ -128,8 +128,13 @@ class AugmentedModel(nn.Module):
         return outputs  # type: ignore[return-value]
 
     def original_output(self, augmented_input) -> Tensor:
-        """Run only the original sub-network (used for validation curves)."""
-        return self.subnetworks[self._route_index](augmented_input)
+        """Run only the original sub-network (used for validation curves).
+
+        This is a pure inference entry point, so it runs under
+        :class:`~repro.nn.no_grad`: no autograd graph is recorded.
+        """
+        with nn.no_grad():
+            return self.subnetworks[self._route_index](augmented_input)
 
     def loss(self, augmented_input, targets: Optional[np.ndarray] = None) -> Tensor:
         """Combined training loss over all sub-networks (Algorithm 1).

@@ -72,12 +72,13 @@ class ClassificationTrainer:
     def evaluate(self, loader: DataLoader) -> tuple[float, float]:
         self.model.eval()
         loss_meter, accuracy_meter = RunningAverage(), RunningAverage()
-        for inputs, labels in loader:
-            batch = self._wrap(inputs)
-            logits = self.model(batch)
-            loss = F.cross_entropy(logits, labels)
-            loss_meter.update(loss.item(), len(labels))
-            accuracy_meter.update(F.accuracy(logits, labels), len(labels))
+        with nn.no_grad():
+            for inputs, labels in loader:
+                batch = self._wrap(inputs)
+                logits = self.model(batch)
+                loss = F.cross_entropy(logits, labels)
+                loss_meter.update(loss.item(), len(labels))
+                accuracy_meter.update(F.accuracy(logits, labels), len(labels))
         return loss_meter.value, accuracy_meter.value
 
     def fit(self, train_loader: DataLoader, val_loader: Optional[DataLoader] = None,
@@ -145,11 +146,12 @@ class AugmentedClassificationTrainer:
         """Validate the augmented model with an augmented testset (Section 5.4)."""
         self.model.eval()
         loss_meter, accuracy_meter = RunningAverage(), RunningAverage()
-        for inputs, labels in loader:
-            batch = ClassificationTrainer._wrap(inputs)
-            logits = self.model.original_output(batch)
-            loss_meter.update(F.cross_entropy(logits, labels).item(), len(labels))
-            accuracy_meter.update(F.accuracy(logits, labels), len(labels))
+        with nn.no_grad():
+            for inputs, labels in loader:
+                batch = ClassificationTrainer._wrap(inputs)
+                logits = self.model.original_output(batch)
+                loss_meter.update(F.cross_entropy(logits, labels).item(), len(labels))
+                accuracy_meter.update(F.accuracy(logits, labels), len(labels))
         return loss_meter.value, accuracy_meter.value
 
     def fit(self, train_loader: DataLoader, val_loader: Optional[DataLoader] = None,
@@ -206,8 +208,9 @@ class LanguageModelTrainer:
 
         self.model.eval()
         loss_meter = RunningAverage()
-        for inputs, targets in lm_batches(batchified, seq_len):
-            loss_meter.update(self.model.loss(inputs, targets).item())
+        with nn.no_grad():
+            for inputs, targets in lm_batches(batchified, seq_len):
+                loss_meter.update(self.model.loss(inputs, targets).item())
         return loss_meter.value
 
 
@@ -246,8 +249,9 @@ class AugmentedLanguageModelTrainer:
     def evaluate(self, augmented_batches: np.ndarray, seq_len: int) -> float:
         self.model.eval()
         loss_meter = RunningAverage()
-        for block in _sequence_blocks(augmented_batches, seq_len):
-            loss_meter.update(self.model.original_loss(block).item())
+        with nn.no_grad():
+            for block in _sequence_blocks(augmented_batches, seq_len):
+                loss_meter.update(self.model.original_loss(block).item())
         return loss_meter.value
 
 

@@ -42,7 +42,9 @@ def im2col(
     sh, sw = stride
     ph, pw = padding
 
-    padded = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    # Skip the pad (a full copy) whenever there is nothing to pad — every
+    # pooling op and all padding-free convolutions take this path.
+    padded = images if ph == 0 and pw == 0 else np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     out_h = (height + 2 * ph - kh) // sh + 1
     out_w = (width + 2 * pw - kw) // sw + 1
 
@@ -57,8 +59,15 @@ def im2col(
         strides[3],
     )
     windows = np.lib.stride_tricks.as_strided(padded, shape=shape, strides=window_strides)
+    # The reshape of the strided view is normally the one unavoidable copy and
+    # yields a C-contiguous array ready for BLAS.  For layouts where the
+    # reshape stays a view (e.g. 1x1 kernels at stride 1), copy explicitly:
+    # callers own the returned columns (backward closures capture them, and
+    # they must not alias the caller's live input memory).
     columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, channels * kh * kw)
-    return np.ascontiguousarray(columns), (out_h, out_w)
+    if columns.base is not None:
+        columns = np.ascontiguousarray(columns)
+    return columns, (out_h, out_w)
 
 
 def col2im(
@@ -76,11 +85,25 @@ def col2im(
     out_h = (height + 2 * ph - kh) // sh + 1
     out_w = (width + 2 * pw - kw) // sw + 1
 
-    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw), dtype=columns.dtype)
-    cols = columns.reshape(batch, out_h, out_w, channels, kh, kw).transpose(0, 3, 1, 2, 4, 5)
-    for i in range(kh):
-        for j in range(kw):
-            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols[:, :, :, :, i, j]
+    padded_h, padded_w = height + 2 * ph, width + 2 * pw
+    cols = columns.reshape(batch, out_h, out_w, channels, kh, kw)
+
+    if kh == sh and kw == sw and out_h * sh == padded_h and out_w * sw == padded_w:
+        # Windows tile the image exactly (the pooling-backward case): the
+        # scatter is a pure relayout, done in a single vectorised copy.
+        padded = cols.transpose(0, 3, 1, 4, 2, 5).reshape(batch, channels, padded_h, padded_w)
+    else:
+        # Overlapping windows: accumulate one strided slice per kernel offset.
+        # Each iteration is a fully vectorised slice-add over the whole batch,
+        # so Python-level work is O(kh * kw), independent of batch/channels.
+        # One up-front transpose copy makes every scatter-add read contiguous
+        # memory, which roughly halves the scatter cost for 3x3 kernels.
+        padded = np.zeros((batch, channels, padded_h, padded_w), dtype=columns.dtype)
+        cols_t = np.ascontiguousarray(cols.transpose(0, 3, 4, 5, 1, 2))  # (batch, C, kh, kw, oh, ow)
+        for i in range(kh):
+            row = padded[:, :, i : i + sh * out_h : sh]
+            for j in range(kw):
+                row[:, :, :, j : j + sw * out_w : sw] += cols_t[:, :, i, j]
     if ph == 0 and pw == 0:
         return padded
     return padded[:, :, ph : ph + height, pw : pw + width]
@@ -89,6 +112,66 @@ def col2im(
 # ---------------------------------------------------------------------------
 # Convolution
 # ---------------------------------------------------------------------------
+def _depthwise_conv2d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tensor:
+    """Depthwise convolution (``groups == in_channels == out_channels``).
+
+    A depthwise kernel touches each input element exactly ``kh * kw`` times,
+    so lowering to im2col columns would inflate memory traffic ``kh * kw``-
+    fold for a contraction of length ``kh * kw``.  Instead, forward and
+    backward are computed as ``kh * kw`` fused multiply-adds over strided
+    window views of the (padded) input — no column matrix, no scatter.
+    """
+    batch, channels, height, width = inputs.shape
+    _, _, kh, kw = weight.shape
+    sh, sw = stride
+    ph, pw = padding
+    padded = inputs.data if ph == 0 and pw == 0 else np.pad(
+        inputs.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+
+    kernel = weight.data  # (channels, 1, kh, kw)
+    out_data = np.zeros((batch, channels, out_h, out_w),
+                        dtype=np.result_type(inputs.dtype, kernel.dtype))
+    for i in range(kh):
+        for j in range(kw):
+            window = padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+            out_data += window * kernel[None, :, 0, i, j, None, None]
+    if bias is not None:
+        out_data += bias.data.reshape(1, -1, 1, 1)
+
+    parents = [inputs, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            grad_weight = np.empty_like(kernel)
+            for i in range(kh):
+                for j in range(kw):
+                    window = padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+                    grad_weight[:, 0, i, j] = np.einsum("bcxy,bcxy->c", grad, window)
+            weight._accumulate(grad_weight)
+        if inputs.requires_grad:
+            grad_padded = np.zeros(padded.shape, dtype=grad.dtype)
+            for i in range(kh):
+                for j in range(kw):
+                    grad_padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += (
+                        grad * kernel[None, :, 0, i, j, None, None]
+                    )
+            if ph or pw:
+                grad_padded = grad_padded[:, :, ph : ph + height, pw : pw + width]
+            inputs._accumulate(grad_padded)
+
+    return inputs._make_child(out_data, parents, backward)
+
+
 def conv2d(
     inputs: Tensor,
     weight: Tensor,
@@ -108,43 +191,62 @@ def conv2d(
             f"{in_per_group * groups} (groups={groups})"
         )
 
+    if groups > 1 and in_per_group == 1 and out_channels == groups:
+        return _depthwise_conv2d(inputs, weight, bias, stride, padding)
+
+    columns, (out_h, out_w) = im2col(inputs.data, (kh, kw), stride, padding)
+    patches = out_h * out_w
+
     if groups == 1:
-        columns, (out_h, out_w) = im2col(inputs.data, (kh, kw), stride, padding)
+        # Dense path: one BLAS matmul over the whole batch.  The flattened
+        # weight view is computed once here and captured by the backward
+        # closure, so forward and backward share it.
         flat_weight = weight.data.reshape(out_channels, -1)
         out_data = columns @ flat_weight.T
         out_data = out_data.transpose(0, 2, 1).reshape(batch, out_channels, out_h, out_w)
-        if bias is not None:
-            out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+    else:
+        # Grouped path (MobileNetV2 depthwise layers): a single batched
+        # einsum over all groups at once.  im2col's column layout is
+        # channel-major, so splitting the last axis into (groups, k) keeps
+        # each group's patch entries contiguous — no per-group Python
+        # dispatch, no concatenate.
+        group_out = out_channels // groups
+        grouped_columns = columns.reshape(batch, patches, groups, in_per_group * kh * kw)
+        grouped_weight = weight.data.reshape(groups, group_out, in_per_group * kh * kw)
+        out_data = np.einsum("bpgk,gok->bgop", grouped_columns, grouped_weight)
+        out_data = out_data.reshape(batch, out_channels, out_h, out_w)
 
-        parents = [inputs, weight] + ([bias] if bias is not None else [])
+    if bias is not None:
+        out_data += bias.data.reshape(1, -1, 1, 1)
 
-        def backward(grad: np.ndarray) -> None:
-            grad_cols = grad.reshape(batch, out_channels, out_h * out_w).transpose(0, 2, 1)
+    parents = [inputs, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(batch, out_channels, patches)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if groups == 1:
             if weight.requires_grad:
-                grad_weight = np.einsum("bpk,bpc->kc", grad_cols, columns)
+                grad_weight = np.tensordot(grad_flat, columns, axes=((0, 2), (0, 1)))
                 weight._accumulate(grad_weight.reshape(weight.shape))
-            if bias is not None and bias.requires_grad:
-                bias._accumulate(grad.sum(axis=(0, 2, 3)))
             if inputs.requires_grad:
-                grad_columns = grad_cols @ flat_weight
-                grad_inputs = col2im(grad_columns, inputs.shape, (kh, kw), stride, padding)
-                inputs._accumulate(grad_inputs)
+                grad_columns = grad_flat.transpose(0, 2, 1) @ flat_weight
+                inputs._accumulate(
+                    col2im(grad_columns, inputs.shape, (kh, kw), stride, padding)
+                )
+        else:
+            grad_grouped = grad_flat.reshape(batch, groups, group_out, patches)
+            if weight.requires_grad:
+                grad_weight = np.einsum("bgop,bpgk->gok", grad_grouped, grouped_columns)
+                weight._accumulate(grad_weight.reshape(weight.shape))
+            if inputs.requires_grad:
+                grad_columns = np.einsum("bgop,gok->bpgk", grad_grouped, grouped_weight)
+                inputs._accumulate(
+                    col2im(grad_columns.reshape(batch, patches, -1),
+                           inputs.shape, (kh, kw), stride, padding)
+                )
 
-        return inputs._make_child(out_data, parents, backward)
-
-    # Grouped convolution (used by MobileNetV2 depthwise layers): run each group
-    # through the dense path and concatenate along the channel axis.
-    group_in = in_channels // groups
-    group_out = out_channels // groups
-    outputs = []
-    for g in range(groups):
-        in_slice = inputs[:, g * group_in : (g + 1) * group_in]
-        w_slice = weight[g * group_out : (g + 1) * group_out]
-        b_slice = bias[g * group_out : (g + 1) * group_out] if bias is not None else None
-        outputs.append(conv2d(in_slice, w_slice, b_slice, stride=stride, padding=padding))
-    from .tensor import concatenate
-
-    return concatenate(outputs, axis=1)
+    return inputs._make_child(out_data, parents, backward)
 
 
 # ---------------------------------------------------------------------------
@@ -248,8 +350,10 @@ def batch_norm(
     else:
         mean_used, var_used = running_mean, running_var
 
-    mean_t = Tensor(mean_used.reshape(shape))
-    std_t = Tensor(np.sqrt(var_used.reshape(shape) + eps))
+    # Cast the statistics to the input dtype so float32 activations are not
+    # silently upcast by float64 running buffers (or vice versa).
+    mean_t = Tensor(np.asarray(mean_used, dtype=inputs.dtype).reshape(shape))
+    std_t = Tensor(np.sqrt(np.asarray(var_used, dtype=inputs.dtype).reshape(shape) + eps))
     normalised = (inputs - mean_t) / std_t
     return normalised * gamma.reshape(*shape) + beta.reshape(*shape)
 
@@ -296,7 +400,8 @@ def dropout(inputs: Tensor, probability: float, training: bool,
     if not training or probability <= 0.0:
         return inputs
     gen = rng if rng is not None else np.random.default_rng()
-    mask = (gen.random(inputs.shape) >= probability) / (1.0 - probability)
+    mask = (gen.random(inputs.shape) >= probability).astype(inputs.dtype)
+    mask *= 1.0 / (1.0 - probability)
     return inputs * Tensor(mask)
 
 
@@ -359,7 +464,9 @@ def linear(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Ten
 
 
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    from .tensor import get_default_dtype
+
     indices = np.asarray(indices, dtype=np.int64).reshape(-1)
-    encoded = np.zeros((indices.size, num_classes))
+    encoded = np.zeros((indices.size, num_classes), dtype=get_default_dtype())
     encoded[np.arange(indices.size), indices] = 1.0
     return encoded

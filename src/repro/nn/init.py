@@ -1,4 +1,9 @@
-"""Weight initialisation helpers (Kaiming / Xavier / uniform schemes)."""
+"""Weight initialisation helpers (Kaiming / Xavier / uniform schemes).
+
+All helpers return arrays in the substrate's default compute dtype (see
+:func:`repro.nn.tensor.set_default_dtype`), so freshly built layers land on
+the fast float32 pipeline without per-layer casts.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +11,7 @@ from typing import Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype
 
 
 def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
@@ -22,40 +27,44 @@ def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
     return fan_in, fan_out
 
 
+def _cast(values: np.ndarray) -> np.ndarray:
+    return values.astype(get_default_dtype(), copy=False)
+
+
 def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He-uniform initialisation, the default for conv and linear layers."""
     fan_in, _ = _fan_in_out(shape)
     bound = np.sqrt(6.0 / max(fan_in, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape))
 
 
 def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     fan_in, _ = _fan_in_out(shape)
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     fan_in, fan_out = _fan_in_out(shape)
     bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape))
 
 
 def uniform(shape: Tuple[int, ...], rng: np.random.Generator, bound: float) -> np.ndarray:
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape))
 
 
 def normal(shape: Tuple[int, ...], rng: np.random.Generator,
            mean: float = 0.0, std: float = 0.02) -> np.ndarray:
-    return rng.normal(mean, std, size=shape)
+    return _cast(rng.normal(mean, std, size=shape))
 
 
 def zeros(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def constant_(tensor: Tensor, value: float) -> None:

@@ -41,10 +41,12 @@ class MultiHeadSelfAttention(Module):
         keys = self._split_heads(self.key(inputs), batch, seq_len)
         values = self._split_heads(self.value(inputs), batch, seq_len)
 
-        scale = 1.0 / np.sqrt(self.head_dim)
+        # Keep the scale a python float: a numpy float64 scalar would promote
+        # the whole float32 attention pipeline to float64.
+        scale = 1.0 / float(np.sqrt(self.head_dim))
         scores = queries.matmul(keys.swapaxes(-1, -2)) * scale
         if causal:
-            mask = np.triu(np.full((seq_len, seq_len), -1e9), k=1)
+            mask = np.triu(np.full((seq_len, seq_len), -1e9, dtype=scores.dtype), k=1)
             scores = scores + Tensor(mask)
         weights = F.softmax(scores, axis=-1)
         attended = weights.matmul(values)
@@ -82,10 +84,12 @@ class PositionalEncoding(Module):
 
     def __init__(self, embed_dim: int, max_len: int = 4096) -> None:
         super().__init__()
+        from ..tensor import get_default_dtype
+
         positions = np.arange(max_len)[:, None]
         dims = np.arange(0, embed_dim, 2)[None, :]
         angles = positions / np.power(10000.0, dims / embed_dim)
-        encoding = np.zeros((max_len, embed_dim))
+        encoding = np.zeros((max_len, embed_dim), dtype=get_default_dtype())
         encoding[:, 0::2] = np.sin(angles)
         encoding[:, 1::2] = np.cos(angles[:, : embed_dim // 2])
         self.register_buffer("encoding", encoding)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import functional as F
+from .. import init
 from ..tensor import Tensor
 from .module import Module, Parameter
 
@@ -17,10 +18,10 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.weight = Parameter(np.ones(num_features))
-        self.bias = Parameter(np.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
 
     def forward(self, inputs: Tensor) -> Tensor:
         return F.batch_norm(inputs, self.weight, self.bias,
@@ -39,8 +40,8 @@ class LayerNorm(Module):
         super().__init__()
         self.normalized_shape = normalized_shape
         self.eps = eps
-        self.weight = Parameter(np.ones(normalized_shape))
-        self.bias = Parameter(np.zeros(normalized_shape))
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
 
     def forward(self, inputs: Tensor) -> Tensor:
         return F.layer_norm(inputs, self.weight, self.bias, eps=self.eps)

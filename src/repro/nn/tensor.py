@@ -20,7 +20,86 @@ import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_DEFAULT_DTYPE = np.float64
+# ---------------------------------------------------------------------------
+# Default compute dtype
+# ---------------------------------------------------------------------------
+# The substrate computes in float32 by default: it halves memory traffic on
+# every hot path and lets numpy's BLAS-backed kernels run at single-precision
+# speed.  Code that needs the old float64 behaviour (e.g. bit-exact
+# training-equivalence checks) can switch globally via :func:`set_default_dtype`.
+_DEFAULT_DTYPE = np.dtype(np.float32)
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype new tensors are created with when none is inferable."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the global default compute dtype (must be a floating-point type).
+
+    Returns the previous default so callers can restore it::
+
+        previous = nn.set_default_dtype(np.float64)
+        try:
+            ...
+        finally:
+            nn.set_default_dtype(previous)
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be floating point, got {resolved}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Gradient-mode switch (``no_grad``)
+# ---------------------------------------------------------------------------
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether new operations record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager / decorator that disables autograd graph construction.
+
+    Inside the context every operation produces plain result tensors: no
+    ``_backward`` closure is stored, no parent references are kept, and the
+    forward arrays become garbage-collectable as soon as the next layer has
+    consumed them.  This is what evaluation loops, the extractor and the
+    forward-only privacy attacks run under.
+    """
+
+    def __init__(self) -> None:
+        # A stack rather than a single slot: the same no_grad instance may be
+        # re-entered (nested ``with`` on one object, or decorator recursion).
+        self._previous: list = []
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous.append(_GRAD_ENABLED)
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous.pop()
+
+    def __call__(self, fn):
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -37,10 +116,27 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _coerce(value, dtype=None) -> np.ndarray:
+    """Convert ``value`` to an ndarray following the substrate's dtype policy.
+
+    Floating-point arrays keep their dtype (so a float32 data pipeline stays
+    float32 end to end and a float64 test oracle stays float64); everything
+    else — python scalars, lists, integer/bool arrays — lands on the default
+    compute dtype.  An explicit ``dtype`` always wins.
+    """
+    if dtype is not None:
+        return np.asarray(value, dtype=dtype)
+    # numpy scalars (e.g. the result of ``arr.sum()``) count as arrays here,
+    # otherwise full reductions would silently drop to the default dtype.
+    if isinstance(value, (np.ndarray, np.generic)) and value.dtype.kind == "f":
+        return np.asarray(value)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+
+
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
+    return _coerce(value, dtype=dtype)
 
 
 class Tensor:
@@ -57,7 +153,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
+        self.data = _coerce(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -69,17 +165,18 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape: int, rng: Optional[np.random.Generator] = None,
               requires_grad: bool = False) -> "Tensor":
         gen = rng if rng is not None else np.random.default_rng()
-        return Tensor(gen.standard_normal(shape), requires_grad=requires_grad)
+        data = gen.standard_normal(shape).astype(_DEFAULT_DTYPE, copy=False)
+        return Tensor(data, requires_grad=requires_grad)
 
     @staticmethod
     def ensure(value: ArrayLike) -> "Tensor":
@@ -141,7 +238,7 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = any(parent.requires_grad for parent in parents)
+        requires = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._backward = backward
@@ -149,11 +246,14 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=self.data.dtype)
+        if not isinstance(grad, np.ndarray) or grad.dtype != self.data.dtype:
+            grad = np.asarray(grad, dtype=self.data.dtype)
         if self.grad is None:
-            self.grad = grad.copy()
+            # Materialise a private buffer (callers may pass views or
+            # broadcast results); later contributions add into it in place.
+            self.grad = np.array(grad)
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Backpropagate gradients from this tensor through the graph."""
@@ -315,7 +415,9 @@ class Tensor:
             g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            # _accumulate copies on first touch, so the read-only broadcast
+            # view never needs materialising here.
+            self._accumulate(np.broadcast_to(g, self.shape))
 
         return self._make_child(data, (self,), backward)
 
@@ -521,7 +623,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(grad[tuple(index)])
             offset += size
 
-    requires = any(t.requires_grad for t in tensors)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires)
     if requires:
         out._backward = backward
@@ -539,7 +641,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(np.take(grad, position, axis=axis))
 
-    requires = any(t.requires_grad for t in tensors)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires)
     if requires:
         out._backward = backward

@@ -101,6 +101,7 @@ class LearnedDenoiser(nn.Module):
             final_loss = loss.item()
         return final_loss
 
+    @nn.no_grad()
     def denoise(self, image: np.ndarray) -> np.ndarray:
         restored = self(Tensor(image[None, ...]))
         return np.clip(restored.data[0], 0.0, 1.0)

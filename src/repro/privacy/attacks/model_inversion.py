@@ -28,6 +28,7 @@ from ...nn import Tensor
 from ...nn import functional as F
 
 
+@nn.no_grad()
 def _class_score(model: nn.Module, sample: np.ndarray, target_class: int) -> float:
     output = model(Tensor(sample[None, ...]))
     if isinstance(output, (list, tuple)):

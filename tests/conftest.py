@@ -50,12 +50,3 @@ def lenet(rng) -> LeNet:
     return LeNet(num_classes=10, in_channels=1, image_size=28, rng=rng)
 
 
-def finite_difference(fn, array: np.ndarray, index, eps: float = 1e-6) -> float:
-    """Central finite-difference derivative of ``fn`` w.r.t. ``array[index]``."""
-    original = array[index]
-    array[index] = original + eps
-    upper = fn()
-    array[index] = original - eps
-    lower = fn()
-    array[index] = original
-    return (upper - lower) / (2.0 * eps)

@@ -1,0 +1,21 @@
+"""Shared non-fixture test helpers.
+
+Importable as ``from ..helpers import ...`` from any test package (fixtures
+stay in ``conftest.py``; plain functions live here so test modules can import
+them without relying on pytest's conftest machinery).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def finite_difference(fn, array: np.ndarray, index, eps: float = 1e-6) -> float:
+    """Central finite-difference derivative of ``fn`` w.r.t. ``array[index]``."""
+    original = array[index]
+    array[index] = original + eps
+    upper = fn()
+    array[index] = original - eps
+    lower = fn()
+    array[index] = original
+    return (upper - lower) / (2.0 * eps)

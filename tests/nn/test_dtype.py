@@ -1,0 +1,169 @@
+"""Dtype-contract tests for the float32 compute pipeline.
+
+The substrate's contract: float32 inputs stay float32 through every op in
+the hot path, parameters / gradients / optimizer state share one dtype, and
+``set_default_dtype(np.float64)`` restores the seed behaviour globally.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def restore_default_dtype():
+    previous = nn.get_default_dtype()
+    yield
+    nn.set_default_dtype(previous)
+
+
+class TestDefaultDtypeAPI:
+    def test_default_is_float32(self):
+        assert nn.get_default_dtype() == np.float32
+
+    def test_set_returns_previous_and_applies(self, restore_default_dtype):
+        previous = nn.set_default_dtype(np.float64)
+        assert previous == np.float32
+        assert nn.get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+        assert Tensor.zeros(3).dtype == np.float64
+
+    def test_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            nn.set_default_dtype(np.int32)
+
+    def test_float64_restores_seed_behaviour(self, restore_default_dtype, rng):
+        nn.set_default_dtype(np.float64)
+        layer = nn.Linear(4, 3, rng=rng)
+        assert layer.weight.dtype == np.float64
+        out = layer(Tensor(rng.standard_normal((2, 4))))
+        assert out.dtype == np.float64
+
+
+class TestTensorDtypePreservation:
+    def test_float32_array_preserved(self):
+        assert Tensor(np.ones(3, dtype=np.float32)).dtype == np.float32
+
+    def test_float64_array_preserved(self):
+        assert Tensor(np.ones(3, dtype=np.float64)).dtype == np.float64
+
+    def test_lists_and_ints_land_on_default(self):
+        assert Tensor([1, 2, 3]).dtype == nn.get_default_dtype()
+        assert Tensor(np.arange(4)).dtype == nn.get_default_dtype()
+        assert Tensor(1.5).dtype == nn.get_default_dtype()
+
+    def test_explicit_dtype_wins(self):
+        assert Tensor(np.ones(3, dtype=np.float32), dtype=np.float64).dtype == np.float64
+
+    def test_full_reduction_keeps_dtype(self):
+        t = Tensor(np.ones(5, dtype=np.float64))
+        assert t.sum().dtype == np.float64
+        t32 = Tensor(np.ones(5, dtype=np.float32))
+        assert t32.sum().dtype == np.float32
+
+
+class TestOpsStayFloat32:
+    def test_conv_chain(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32), requires_grad=True)
+        conv = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+        out = conv(x)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        assert conv.weight.grad.dtype == np.float32
+
+    def test_depthwise_conv(self, rng):
+        x = Tensor(rng.standard_normal((1, 4, 6, 6)).astype(np.float32), requires_grad=True)
+        conv = nn.Conv2d(4, 4, 3, padding=1, groups=4, rng=rng)
+        out = conv(x)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_linear_softmax_cross_entropy(self, rng):
+        x = Tensor(rng.standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+        layer = nn.Linear(8, 5, rng=rng)
+        logits = layer(x)
+        assert logits.dtype == np.float32
+        assert F.softmax(logits).dtype == np.float32
+        assert F.log_softmax(logits).dtype == np.float32
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.dtype == np.float32
+        loss.backward()
+        assert layer.weight.grad.dtype == np.float32
+        assert x.grad.dtype == np.float32
+
+    def test_attention_block(self, rng):
+        block = nn.TransformerEncoderLayer(16, 2, 32, dropout=0.1, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6, 16)).astype(np.float32), requires_grad=True)
+        out = block(x)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        for _, parameter in block.named_parameters():
+            assert parameter.grad is None or parameter.grad.dtype == np.float32
+
+    def test_batch_norm_train_and_eval(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)).astype(np.float32))
+        assert bn(x).dtype == np.float32
+        bn.eval()
+        assert bn(x).dtype == np.float32
+        assert bn.running_mean.dtype == nn.get_default_dtype()
+
+    def test_dropout_and_pooling(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32), requires_grad=True)
+        assert F.dropout(x, 0.5, training=True, rng=rng).dtype == np.float32
+        assert F.max_pool2d(x, 2).dtype == np.float32
+        assert F.avg_pool2d(x, 2).dtype == np.float32
+
+    def test_data_transforms_feed_float32_tensors(self):
+        from repro.data.transforms import to_float
+
+        images = to_float(np.random.randint(0, 255, size=(2, 1, 4, 4), dtype=np.uint8))
+        assert images.dtype == np.float32
+        assert Tensor(images).dtype == np.float32
+
+
+class TestOptimizerStateDtype:
+    def test_sgd_momentum_matches_parameter_dtype(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        optimizer = nn.optim.SGD(layer.parameters(), lr=0.1, momentum=0.9)
+        layer(Tensor(rng.standard_normal((3, 4)).astype(np.float32))).sum().backward()
+        optimizer.step()
+        for parameter, velocity in zip(optimizer.parameters, optimizer._velocity):
+            assert parameter.data.dtype == np.float32
+            assert velocity.dtype == parameter.data.dtype
+
+    def test_adam_state_matches_parameter_dtype(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        optimizer = nn.optim.Adam(layer.parameters(), lr=1e-3)
+        layer(Tensor(rng.standard_normal((3, 4)).astype(np.float32))).sum().backward()
+        optimizer.step()
+        for parameter, m, v in zip(optimizer.parameters, optimizer._m, optimizer._v):
+            assert parameter.data.dtype == np.float32
+            assert m.dtype == parameter.data.dtype
+            assert v.dtype == parameter.data.dtype
+
+    def test_float64_training_still_works(self, restore_default_dtype, rng):
+        nn.set_default_dtype(np.float64)
+        layer = nn.Linear(4, 2, rng=rng)
+        optimizer = nn.optim.Adam(layer.parameters(), lr=1e-3)
+        layer(Tensor(rng.standard_normal((3, 4)))).sum().backward()
+        optimizer.step()
+        assert layer.weight.data.dtype == np.float64
+        assert optimizer._m[0].dtype == np.float64
+
+    def test_serialization_round_trip_preserves_dtype(self, rng, tmp_path):
+        layer = nn.Linear(4, 2, rng=rng)
+        path = tmp_path / "layer.npz"
+        nn.save_state(layer, path)
+        state = nn.load_state(path)
+        assert state["weight"].dtype == np.float32
+        fresh = nn.Linear(4, 2, rng=rng)
+        fresh.load_state_dict(state)
+        assert fresh.weight.data.dtype == np.float32
+        assert np.allclose(fresh.weight.data, layer.weight.data)

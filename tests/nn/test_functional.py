@@ -9,7 +9,7 @@ from repro import nn
 from repro.nn import Tensor
 from repro.nn import functional as F
 
-from ..conftest import finite_difference
+from ..helpers import finite_difference
 
 
 class TestIm2Col:

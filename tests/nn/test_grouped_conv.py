@@ -1,0 +1,113 @@
+"""Equivalence tests for the vectorised grouped-convolution paths.
+
+The seed implementation ran ``conv2d(groups > 1)`` as a Python-level loop of
+dense convolutions concatenated along the channel axis.  That loop is kept
+here as the *test oracle*: the batched einsum path (general groups) and the
+stencil path (depthwise) must reproduce its forward values and gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate
+from repro.nn import functional as F
+
+
+def per_group_reference(inputs: Tensor, weight: Tensor, bias, stride, padding, groups):
+    """Seed-style grouped convolution: one dense conv per group, concatenated."""
+    group_in = inputs.shape[1] // groups
+    group_out = weight.shape[0] // groups
+    outputs = []
+    for g in range(groups):
+        in_slice = inputs[:, g * group_in : (g + 1) * group_in]
+        w_slice = weight[g * group_out : (g + 1) * group_out]
+        b_slice = bias[g * group_out : (g + 1) * group_out] if bias is not None else None
+        outputs.append(F.conv2d(in_slice, w_slice, b_slice, stride=stride, padding=padding))
+    return concatenate(outputs, axis=1)
+
+
+# (batch, in_channels, H, W, out_channels, kernel, stride, padding, groups)
+SHAPES = [
+    (2, 4, 9, 9, 6, 3, 1, 1, 2),       # two groups, asymmetric out channels
+    (3, 6, 10, 12, 12, 5, 2, 2, 3),    # three groups, strided, 5x5 kernel
+    (1, 4, 7, 7, 8, 1, 1, 0, 4),       # grouped pointwise (1x1)
+    (2, 8, 8, 8, 8, 3, 1, 1, 8),       # depthwise
+    (1, 16, 16, 16, 16, 3, 2, 1, 16),  # depthwise, strided (MobileNet shape)
+    (2, 5, 11, 13, 5, 3, 3, 0, 5),     # depthwise, stride > 1, no padding
+]
+
+
+class TestGroupedConvEquivalence:
+    @pytest.mark.parametrize("shape", SHAPES, ids=[f"g{s[-1]}k{s[5]}s{s[6]}" for s in SHAPES])
+    @pytest.mark.parametrize("use_bias", [True, False])
+    def test_forward_and_backward_match_per_group_loop(self, shape, use_bias, rng):
+        batch, in_ch, height, width, out_ch, kernel, stride, padding, groups = shape
+        x_data = rng.standard_normal((batch, in_ch, height, width))
+        w_data = rng.standard_normal((out_ch, in_ch // groups, kernel, kernel))
+        b_data = rng.standard_normal(out_ch) if use_bias else None
+
+        x_fast = Tensor(x_data, requires_grad=True)
+        w_fast = Tensor(w_data, requires_grad=True)
+        b_fast = Tensor(b_data, requires_grad=True) if use_bias else None
+        x_ref = Tensor(x_data, requires_grad=True)
+        w_ref = Tensor(w_data, requires_grad=True)
+        b_ref = Tensor(b_data, requires_grad=True) if use_bias else None
+
+        fast = F.conv2d(x_fast, w_fast, b_fast, stride=stride, padding=padding, groups=groups)
+        reference = per_group_reference(x_ref, w_ref, b_ref, stride, padding, groups)
+        assert fast.shape == reference.shape
+        assert np.allclose(fast.data, reference.data, atol=1e-5)
+
+        upstream = rng.standard_normal(fast.shape)
+        fast.backward(upstream)
+        reference.backward(upstream)
+        assert np.allclose(x_fast.grad, x_ref.grad, atol=1e-5)
+        assert np.allclose(w_fast.grad, w_ref.grad, atol=1e-5)
+        if use_bias:
+            assert np.allclose(b_fast.grad, b_ref.grad, atol=1e-5)
+
+    def test_float32_grouped_conv_close_to_float64(self, rng):
+        """The float32 fast path tracks the float64 oracle to single precision."""
+        x_data = rng.standard_normal((2, 8, 9, 9))
+        w_data = rng.standard_normal((8, 1, 3, 3))
+        x32 = Tensor(x_data.astype(np.float32), requires_grad=True)
+        w32 = Tensor(w_data.astype(np.float32), requires_grad=True)
+        out32 = F.conv2d(x32, w32, None, padding=1, groups=8)
+        out64 = per_group_reference(Tensor(x_data), Tensor(w_data), None, (1, 1), (1, 1), 8)
+        assert out32.dtype == np.float32
+        assert np.allclose(out32.data, out64.data, atol=1e-4)
+
+    def test_gradients_match_finite_difference(self, rng):
+        from ..helpers import finite_difference
+
+        x_data = rng.standard_normal((1, 4, 6, 6))
+        w_data = rng.standard_normal((4, 2, 3, 3))
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        (F.conv2d(x, w, padding=1, groups=2) ** 2).sum().backward()
+
+        def loss():
+            return float((F.conv2d(Tensor(x_data), Tensor(w_data), padding=1, groups=2).data ** 2).sum())
+
+        assert finite_difference(loss, w_data, (3, 1, 0, 2)) == pytest.approx(
+            w.grad[3, 1, 0, 2], rel=1e-4)
+        assert finite_difference(loss, x_data, (0, 2, 4, 1)) == pytest.approx(
+            x.grad[0, 2, 4, 1], rel=1e-4)
+
+    def test_depthwise_finite_difference(self, rng):
+        from ..helpers import finite_difference
+
+        x_data = rng.standard_normal((2, 3, 6, 6))
+        w_data = rng.standard_normal((3, 1, 3, 3))
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        (F.conv2d(x, w, stride=2, padding=1, groups=3) ** 2).sum().backward()
+
+        def loss():
+            return float((F.conv2d(Tensor(x_data), Tensor(w_data),
+                                   stride=2, padding=1, groups=3).data ** 2).sum())
+
+        assert finite_difference(loss, w_data, (2, 0, 1, 1)) == pytest.approx(
+            w.grad[2, 0, 1, 1], rel=1e-4)
+        assert finite_difference(loss, x_data, (1, 1, 3, 2)) == pytest.approx(
+            x.grad[1, 1, 3, 2], rel=1e-4)

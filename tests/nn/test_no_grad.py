@@ -1,0 +1,144 @@
+"""Regression tests for ``nn.no_grad`` / inference mode.
+
+Evaluation must not allocate an autograd graph: outputs produced under
+``no_grad`` carry no ``_parents`` and no ``_backward`` closure, so the whole
+forward activation chain is garbage-collectable immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.core.masked_conv import InputSelector, MaskedConv2d
+from repro.core.trainer import ClassificationTrainer
+from repro.data import DataLoader
+
+
+def assert_no_graph(tensor: Tensor) -> None:
+    assert tensor._parents == ()
+    assert tensor._backward is None
+    assert not tensor.requires_grad
+
+
+class TestNoGradContext:
+    def test_ops_record_no_graph(self, rng):
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        with nn.no_grad():
+            out = (x * 2.0 + 1.0).relu().sum()
+        assert_no_graph(out)
+
+    def test_grad_mode_restored_even_on_error(self):
+        assert nn.is_grad_enabled()
+        with pytest.raises(RuntimeError):
+            with nn.no_grad():
+                assert not nn.is_grad_enabled()
+                raise RuntimeError("boom")
+        assert nn.is_grad_enabled()
+
+    def test_reused_instance_nests_correctly(self):
+        guard = nn.no_grad()
+        with guard:
+            with guard:
+                assert not nn.is_grad_enabled()
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_decorator_form(self, rng):
+        @nn.no_grad()
+        def infer(model, x):
+            return model(x)
+
+        model = nn.Linear(4, 2, rng=rng)
+        out = infer(model, Tensor(rng.standard_normal((3, 4))))
+        assert_no_graph(out)
+
+    def test_backward_outside_context_unaffected(self, rng):
+        x = Tensor(rng.standard_normal(4), requires_grad=True)
+        with nn.no_grad():
+            x.relu()  # must not poison later graph construction
+        out = (x * x).sum()
+        out.backward()
+        assert x.grad is not None
+
+    def test_model_forward_under_no_grad(self, rng, lenet):
+        x = Tensor(rng.standard_normal((2, 1, 28, 28)).astype(np.float32))
+        with nn.no_grad():
+            logits = lenet(x)
+        assert_no_graph(logits)
+
+    def test_conv_and_pool_under_no_grad(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, 1, 3, 3)), requires_grad=True)
+        with nn.no_grad():
+            assert_no_graph(F.conv2d(x, w, padding=1, groups=2))
+            assert_no_graph(F.conv2d(x, Tensor(rng.standard_normal((4, 2, 3, 3))), padding=1))
+            assert_no_graph(F.max_pool2d(x, 2))
+
+
+class TestEvaluationAllocatesNoGraph:
+    def test_trainer_evaluate_outputs_have_no_graph(self, mnist_tiny, lenet):
+        captured = []
+        original_forward = lenet.forward
+
+        def spying_forward(inputs):
+            out = original_forward(inputs)
+            captured.append(out)
+            return out
+
+        lenet.forward = spying_forward
+        loader = DataLoader(mnist_tiny.validation, batch_size=8, shuffle=False)
+        trainer = ClassificationTrainer(lenet, lr=0.01)
+        loss, accuracy = trainer.evaluate(loader)
+        assert captured, "evaluate never ran the model"
+        for output in captured:
+            assert_no_graph(output)
+        assert np.isfinite(loss)
+
+    def test_augmented_original_output_has_no_graph(self, mnist_tiny, amalgam_config):
+        from repro.core import Amalgam
+        from repro.models import LeNet
+
+        amalgam = Amalgam(amalgam_config)
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(3))
+        job = amalgam.prepare_image_job(model, mnist_tiny)
+        batch = Tensor(job.train_data.dataset.samples[:2])
+        out = job.augmented_model.original_output(batch)
+        assert_no_graph(out)
+
+    def test_training_still_builds_graph(self, rng, lenet):
+        x = Tensor(rng.standard_normal((2, 1, 28, 28)).astype(np.float32))
+        logits = lenet(x)
+        assert logits.requires_grad
+        assert logits._parents != ()
+
+
+class TestMaskedLayersUnderNoGrad:
+    def _positions(self, rng, channels, augmented_hw, target_hw):
+        total = augmented_hw[0] * augmented_hw[1]
+        kept = target_hw[0] * target_hw[1]
+        return np.stack([rng.choice(total, size=kept, replace=False) for _ in range(channels)])
+
+    def test_input_selector(self, rng):
+        positions = self._positions(rng, 2, (6, 6), (4, 4))
+        selector = InputSelector(positions, (4, 4))
+        x = Tensor(rng.standard_normal((3, 2, 6, 6)), requires_grad=True)
+        with nn.no_grad():
+            out = selector(x)
+        assert out.shape == (3, 2, 4, 4)
+        assert_no_graph(out)
+
+    def test_masked_conv2d(self, rng):
+        positions = self._positions(rng, 2, (6, 6), (4, 4))
+        masked = MaskedConv2d(2, 3, 3, positions, (4, 4), padding=1, rng=rng)
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)))
+        with nn.no_grad():
+            out = masked(x)
+        assert out.shape == (2, 3, 4, 4)
+        assert_no_graph(out)
+        # ... and still trains outside the context.
+        out_grad = masked(x)
+        assert out_grad.requires_grad
+        out_grad.sum().backward()
+        assert masked.conv.weight.grad is not None

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.nn import Tensor, concatenate, stack
 
-from ..conftest import finite_difference
+from ..helpers import finite_difference
 
 
 class TestConstruction:
