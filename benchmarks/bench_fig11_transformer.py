@@ -1,7 +1,6 @@
 """Figure 11: transformer language model training/validation loss on WikiText2."""
 
 import numpy as np
-import pytest
 
 from repro.core import Amalgam, AmalgamConfig
 from repro.data import make_wikitext2

@@ -1,7 +1,6 @@
 """Figure 13: transfer learning / fine-tuning a pre-trained VGG16+CBAM on Imagenette."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     Amalgam,

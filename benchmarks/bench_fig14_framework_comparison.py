@@ -4,8 +4,6 @@ import pytest
 
 from repro.baselines import format_comparison, run_framework_comparison
 
-from .conftest import print_table
-
 
 def test_fig14_framework_comparison(benchmark, scale):
     rows = benchmark.pedantic(

@@ -9,7 +9,7 @@ import pytest
 from repro.core import Amalgam, AmalgamConfig
 from repro.data import make_mnist
 from repro.models import LeNet
-from repro.privacy import computing_performance_loss, privacy_loss, tradeoff_curve
+from repro.privacy import tradeoff_curve
 
 from .conftest import print_table
 

@@ -1,7 +1,6 @@
 """Figure 16: deep leakage from gradients (DLG / iDLG) against plain and augmented models."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.nn import Tensor

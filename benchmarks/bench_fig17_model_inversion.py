@@ -1,7 +1,6 @@
 """Figure 17: model-explanation (SHAP-style) attack before and after augmentation."""
 
 import numpy as np
-import pytest
 
 from repro.core import Amalgam, AmalgamConfig
 from repro.data import make_mnist

@@ -1,7 +1,6 @@
 """Figure 18: deep-denoising attack on an Amalgam-augmented image."""
 
 import numpy as np
-import pytest
 
 from repro.core import AmalgamConfig, DatasetAugmenter, NoiseSpec, NoiseType
 from repro.data import make_cifar10

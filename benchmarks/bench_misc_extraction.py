@@ -9,7 +9,6 @@ parameters.
 import time
 
 import numpy as np
-import pytest
 
 from repro.core import Amalgam, AmalgamConfig
 from repro.data import make_mnist

@@ -75,7 +75,9 @@ def bench_conv2d_dense(rng: np.random.Generator, tiny: bool) -> Callable[[], Non
     b = _tensor(rng, 32, requires_grad=True)
 
     def step() -> None:
-        x.zero_grad(); w.zero_grad(); b.zero_grad()
+        x.zero_grad()
+        w.zero_grad()
+        b.zero_grad()
         out = F.conv2d(x, w, b, stride=1, padding=1)
         out.sum().backward()
 
@@ -91,7 +93,9 @@ def bench_conv2d_depthwise(rng: np.random.Generator, tiny: bool) -> Callable[[],
     b = _tensor(rng, channels, requires_grad=True)
 
     def step() -> None:
-        x.zero_grad(); w.zero_grad(); b.zero_grad()
+        x.zero_grad()
+        w.zero_grad()
+        b.zero_grad()
         out = F.conv2d(x, w, b, stride=1, padding=1, groups=channels)
         out.sum().backward()
 
@@ -104,7 +108,8 @@ def bench_linear(rng: np.random.Generator, tiny: bool) -> Callable[[], None]:
     x = _tensor(rng, batch, 256, requires_grad=True)
 
     def step() -> None:
-        layer.zero_grad(); x.zero_grad()
+        layer.zero_grad()
+        x.zero_grad()
         layer(x).sum().backward()
 
     return step
@@ -116,7 +121,8 @@ def bench_attention_block(rng: np.random.Generator, tiny: bool) -> Callable[[], 
     x = _tensor(rng, 4, seq, 64, requires_grad=True)
 
     def step() -> None:
-        block.zero_grad(); x.zero_grad()
+        block.zero_grad()
+        x.zero_grad()
         block(x).sum().backward()
 
     return step
@@ -191,14 +197,44 @@ def bench_augmented_overhead(rng: np.random.Generator, tiny: bool,
 
 
 # ---------------------------------------------------------------------------
+# Regression gate
+# ---------------------------------------------------------------------------
+def check_regressions(results: Dict[str, Dict[str, float]], baseline: Dict[str, object],
+                      max_regression: float) -> List[str]:
+    """Names of benchmarks that regressed more than ``max_regression``x.
+
+    A benchmark counts as regressed only when *both* its median and its min
+    exceed the threshold — ``min_s`` is the noise-robust statistic, requiring
+    the median too avoids flagging a single lucky baseline sample.
+    """
+    offenders: List[str] = []
+    for name, stats in baseline.get("results", {}).items():
+        current = results.get(name)
+        if current is None or "median_s" not in stats or "median_s" not in current:
+            continue
+        median_ratio = current["median_s"] / stats["median_s"] if stats["median_s"] else 0.0
+        min_ratio = current["min_s"] / stats["min_s"] if stats.get("min_s") else median_ratio
+        if median_ratio > max_regression and min_ratio > max_regression:
+            offenders.append(f"{name}: {median_ratio:.2f}x median / {min_ratio:.2f}x min "
+                             f"slower than baseline (limit {max_regression:.1f}x)")
+    return offenders
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
-def run(output_path: str, scale: str, baseline_path: str = "") -> Dict[str, object]:
+def run(output_path: str, scale: str, baseline_path: str = "",
+        max_regression: float = 2.0, seed: int = 0) -> Dict[str, object]:
     if baseline_path and not os.path.exists(baseline_path):
         raise SystemExit(f"baseline report not found: {baseline_path}")
     tiny = scale == "tiny"
     repeats = 3 if tiny else 10
-    rng = np.random.default_rng(0)
+    # Seed the RNG explicitly so cross-run / cross-version CI comparisons are
+    # apples-to-apples (same weights, same inputs).
+    rng = np.random.default_rng(seed)
+    print(f"# bench_nn_micro scale={scale} seed={seed} "
+          f"dtype={np.dtype(_default_dtype()).name} numpy={np.__version__} "
+          f"python={platform.python_version()} machine={platform.machine()}")
 
     benches: Dict[str, Callable[[], None]] = {
         "conv2d_dense_step": bench_conv2d_dense(rng, tiny),
@@ -226,8 +262,10 @@ def run(output_path: str, scale: str, baseline_path: str = "") -> Dict[str, obje
         "numpy": np.__version__,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "seed": seed,
         "results": results,
     }
+    offenders: List[str] = []
     if baseline_path:
         with open(baseline_path, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -242,9 +280,21 @@ def run(output_path: str, scale: str, baseline_path: str = "") -> Dict[str, obje
             "results": baseline.get("results"),
         }
         report["speedup_vs_baseline"] = speedups
+        if baseline.get("scale") not in (None, scale):
+            print(f"WARNING: baseline scale={baseline.get('scale')!r} != current scale "
+                  f"{scale!r}; skipping the regression gate")
+        elif max_regression > 0:
+            offenders = check_regressions(results, baseline, max_regression)
+            report["regressions"] = offenders
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     print(f"wrote {output_path}")
+    if offenders:
+        print(f"REGRESSION GATE FAILED ({len(offenders)} primitive(s) > "
+              f"{max_regression:.1f}x slower than {baseline_path}):")
+        for line in offenders:
+            print(f"  {line}")
+        raise SystemExit(1)
     return report
 
 
@@ -255,10 +305,18 @@ def main() -> None:
     parser.add_argument("--scale", default=os.environ.get("REPRO_SCALE", "full"),
                         choices=("tiny", "full"), help="workload size")
     parser.add_argument("--baseline", default="",
-                        help="previous BENCH_nn_micro.json to diff against "
-                             "(adds a speedup_vs_baseline section)")
+                        help="previous BENCH_nn_micro.json to diff against; also arms the "
+                             "regression gate (exit 1 when any primitive exceeds "
+                             "--max-regression)")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when any benchmark is this many times slower than the "
+                             "baseline (0 disables the gate; default 2.0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for weights/inputs (explicit so CI runs are "
+                             "apples-to-apples)")
     args = parser.parse_args()
-    run(args.output, args.scale, baseline_path=args.baseline)
+    run(args.output, args.scale, baseline_path=args.baseline,
+        max_regression=args.max_regression, seed=args.seed)
 
 
 if __name__ == "__main__":

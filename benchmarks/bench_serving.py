@@ -1,0 +1,265 @@
+"""Serving throughput benchmark: single-request vs batched vs concurrent.
+
+Measures the request-batching scheduler in ``repro.serve`` on LeNet:
+
+* **single-request** — ``InferenceServer.predict`` one sample at a time (the
+  pre-serving baseline: every client call pays one full Python/BLAS dispatch);
+* **batched** — ``predict_batch`` at several ``max_batch_size`` settings,
+  showing throughput vs batch size;
+* **concurrent** — client threads hammering ``submit`` while worker threads
+  coalesce the shared queue into batches;
+* **obfuscated** — the same round trip through :class:`ExtractionProxy` on an
+  augmented LeNet, i.e. the full threat-model-preserving serving path.
+
+Writes ``BENCH_serving.json``.  The headline number is
+``speedup_batch32_vs_single`` — batched vs single-request throughput of the
+obfuscated LeNet serving path (the workload this subsystem exists for); the
+acceptance bar is >= 3x.  The plain-LeNet ratio is reported alongside as
+``plain.speedup_batch32_vs_single``; on single-core hosts it sits lower
+because batch-1 LeNet is already compute-bound there, while multi-core hosts
+let BLAS thread the batch-32 GEMMs that a batch-1 forward cannot exploit.
+
+Run it as a script (no pytest required)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    REPRO_SCALE=tiny PYTHONPATH=src python benchmarks/bench_serving.py  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import threading
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro import nn
+from repro.cloud import CloudSession, pack_model
+from repro.core import Amalgam, AmalgamConfig
+from repro.data import make_mnist
+from repro.models import LeNet, model_factory
+from repro.serve import Batcher, ExtractionProxy, InferenceServer, ModelRegistry
+
+
+def throughput(total_samples: int, fn) -> Dict[str, float]:
+    """Run ``fn`` once (after a warmup call) and report samples/second."""
+    fn()
+    start = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - start
+    return {
+        "samples": total_samples,
+        "seconds": round(elapsed, 6),
+        "samples_per_s": round(total_samples / elapsed, 2) if elapsed else float("inf"),
+    }
+
+
+def build_plain_registry(seed: int) -> ModelRegistry:
+    registry = ModelRegistry(capacity=4)
+    model = LeNet(10, 1, 28, rng=np.random.default_rng(seed))
+    registry.register(
+        "lenet",
+        pack_model(model, task="classification"),
+        model_factory("lenet", in_channels=1, seed=seed),
+    )
+    return registry
+
+
+def bench_single(registry: ModelRegistry, images: np.ndarray) -> Dict[str, float]:
+    server = InferenceServer(registry, Batcher(max_batch_size=1, padding="none"))
+
+    def run() -> None:
+        for sample in images:
+            server.predict("lenet", sample)
+
+    result = throughput(len(images), run)
+    result["stats"] = server.stats("lenet")
+    return result
+
+
+def bench_batched(
+    registry: ModelRegistry, images: np.ndarray, batch_size: int
+) -> Dict[str, float]:
+    server = InferenceServer(registry, Batcher(max_batch_size=batch_size, padding="none"))
+
+    def run() -> None:
+        server.predict_batch("lenet", list(images))
+
+    result = throughput(len(images), run)
+    result["batch_size"] = batch_size
+    result["stats"] = server.stats("lenet")
+    return result
+
+
+def bench_concurrent(
+    registry: ModelRegistry, images: np.ndarray, num_clients: int, num_workers: int
+) -> Dict[str, float]:
+    server = InferenceServer(
+        registry,
+        Batcher(max_batch_size=32, max_wait=0.002, padding="bucket"),
+        num_workers=num_workers,
+    )
+    per_client = max(len(images) // num_clients, 1)
+
+    def run() -> None:
+        def client(offset: int) -> None:
+            futures = [
+                server.submit("lenet", images[(offset + index) % len(images)])
+                for index in range(per_client)
+            ]
+            for future in futures:
+                future.result(timeout=60)
+
+        threads = [
+            threading.Thread(target=client, args=(index * per_client,))
+            for index in range(num_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    server.start()
+    try:
+        result = throughput(num_clients * per_client, run)
+    finally:
+        server.stop()
+    result["clients"] = num_clients
+    result["workers"] = num_workers
+    result["stats"] = server.stats("lenet")
+    return result
+
+
+def bench_obfuscated(tiny: bool, seed: int) -> Dict[str, object]:
+    """The full threat-model path: proxy-augmented inputs, stacked outputs."""
+    samples = 64 if tiny else 256
+    data = make_mnist(train_count=samples, val_count=16, seed=seed)
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=seed)
+    job = Amalgam(config).prepare_image_job(
+        LeNet(10, 1, 28, rng=np.random.default_rng(seed)), data
+    )
+    registry = ModelRegistry(capacity=2)
+    CloudSession.publish(job, registry, "lenet-aug")
+    proxy = ExtractionProxy(job.secrets)
+    images = data.train.samples
+
+    single_server = InferenceServer(registry, Batcher(max_batch_size=1, padding="none"))
+    batched_server = InferenceServer(registry, Batcher(max_batch_size=32, padding="none"))
+
+    def run_single() -> None:
+        for sample in images:
+            proxy.predict(single_server, "lenet-aug", sample)
+
+    def run_batched() -> None:
+        proxy.predict_batch(batched_server, "lenet-aug", images)
+
+    single = throughput(len(images), run_single)
+    batched = throughput(len(images), run_batched)
+    ratio = batched["samples_per_s"] / single["samples_per_s"]
+    return {
+        "subnetworks": job.augmented_model.num_subnetworks,
+        "single_request": single,
+        "batched_32": batched,
+        "speedup_batch32_vs_single": round(ratio, 2),
+    }
+
+
+def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str, object]:
+    tiny = scale == "tiny"
+    print(
+        f"# bench_serving scale={scale} seed={seed} "
+        f"dtype={np.dtype(nn.get_default_dtype()).name} numpy={np.__version__} "
+        f"python={platform.python_version()} machine={platform.machine()}"
+    )
+
+    count = 128 if tiny else 512
+    images = np.random.default_rng(seed).standard_normal((count, 1, 28, 28)).astype(np.float32)
+    registry = build_plain_registry(seed)
+
+    single = bench_single(registry, images)
+    print(f"{'single_request':24s} {single['samples_per_s']:10.1f} samples/s")
+
+    batched: Dict[str, Dict[str, float]] = {}
+    for batch_size in (4, 8, 16, 32):
+        entry = bench_batched(registry, images, batch_size)
+        batched[str(batch_size)] = entry
+        print(f"{'batched@' + str(batch_size):24s} {entry['samples_per_s']:10.1f} samples/s")
+
+    concurrent = bench_concurrent(registry, images, num_clients=8, num_workers=2)
+    print(
+        f"{'concurrent(8 clients)':24s} {concurrent['samples_per_s']:10.1f} samples/s "
+        f"(fill {concurrent['stats']['batch_fill_ratio']:.2f})"
+    )
+
+    obfuscated = bench_obfuscated(tiny, seed)
+    print(
+        f"{'obfuscated batched@32':24s} "
+        f"{obfuscated['batched_32']['samples_per_s']:10.1f} samples/s "
+        f"({obfuscated['speedup_batch32_vs_single']:.2f}x vs single)"
+    )
+
+    plain_speedup = batched["32"]["samples_per_s"] / single["samples_per_s"]
+    speedup = obfuscated["speedup_batch32_vs_single"]
+    print(f"{'plain speedup@32':24s} {plain_speedup:10.2f}x")
+    print(f"{'speedup_batch32_vs_single':24s} {speedup:10.2f}x  (obfuscated serving path)")
+
+    report: Dict[str, object] = {
+        "suite": "bench_serving",
+        "scale": scale,
+        "seed": seed,
+        "model": "lenet",
+        "default_dtype": str(np.dtype(nn.get_default_dtype())),
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "plain": {
+            "single_request": single,
+            "batched": batched,
+            "concurrent": concurrent,
+            "speedup_batch32_vs_single": round(plain_speedup, 2),
+        },
+        "obfuscated": obfuscated,
+        "speedup_batch32_vs_single": round(speedup, 2),
+    }
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {output_path}")
+
+    if min_speedup > 0 and speedup < min_speedup:
+        print(
+            f"SERVING GATE FAILED: obfuscated batched@32 speedup {speedup:.2f}x < "
+            f"required {min_speedup:.1f}x"
+        )
+        raise SystemExit(1)
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_serving.json", help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_SCALE", "full"),
+        choices=("tiny", "full"),
+        help="workload size",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed for weights/inputs")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero when batched@32 throughput is below this "
+        "multiple of single-request throughput (0 disables)",
+    )
+    args = parser.parse_args()
+    run(args.output, args.scale, args.seed, args.min_speedup)
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,8 @@ Public entry points:
 * :mod:`repro.core` — the Amalgam framework itself: dataset augmenter, model
   augmenter, extractor, trainer and the end-to-end pipeline.
 * :mod:`repro.cloud` — simulated cloud training environment.
+* :mod:`repro.serve` — inference serving: model registry, request-batching
+  scheduler, concurrent server and the client-side extraction proxy.
 * :mod:`repro.privacy` — privacy-loss model and the adversarial attacks from
   Section 6.
 * :mod:`repro.baselines` — privacy-preserving training baselines used in the

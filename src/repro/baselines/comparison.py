@@ -10,7 +10,6 @@ attached for comparison.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 

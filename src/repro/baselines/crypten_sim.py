@@ -16,8 +16,8 @@ a small batch with (b) the paper-calibrated slowdown factor for the full run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
@@ -90,7 +90,7 @@ class MPCProtocol:
     # Arithmetic
     # ------------------------------------------------------------------
     def add(self, left: SharedTensor, right: SharedTensor) -> SharedTensor:
-        return SharedTensor([l + r for l, r in zip(left.shares, right.shares)])
+        return SharedTensor([a + b for a, b in zip(left.shares, right.shares)])
 
     def add_public(self, shared: SharedTensor, public: np.ndarray) -> SharedTensor:
         shares = [share.copy() for share in shared.shares]

@@ -15,7 +15,6 @@ harness reports it next to the paper-calibrated factor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

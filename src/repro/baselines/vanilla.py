@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from .. import nn
 from ..core.trainer import ClassificationTrainer, TrainingResult
 from ..data.dataloader import DataLoader

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from .. import nn
 from ..core.model_augmenter import AugmentedModel
 from ..core.trainer import (
     AugmentedClassificationTrainer,

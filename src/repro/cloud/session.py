@@ -8,8 +8,12 @@ artefacts, train remotely, download, extract locally.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:
+    from ..serve.registry import ModelRegistry, RegistryEntry
 
 from .. import nn
 from ..core.extractor import ExtractionReport, ModelExtractor
@@ -56,6 +60,37 @@ class CloudSession:
         dataset = job.train_data.dataset
         return pack_arrays({"name": dataset.info.name, "kind": dataset.info.kind},
                            samples=dataset.samples, labels=dataset.labels)
+
+    # ------------------------------------------------------------------
+    # Serving hand-off
+    # ------------------------------------------------------------------
+    @staticmethod
+    def publish(job: ObfuscationJob, registry: "ModelRegistry", model_id: str,
+                metadata: Optional[Dict[str, object]] = None,
+                replace: bool = False) -> "RegistryEntry":
+        """Upload the job's (trained) augmented model into a serving registry.
+
+        Only augmented artefacts cross this boundary: the registry receives
+        the packed :class:`ModelBundle` plus a structural clone of the
+        augmented architecture (the stand-in for a TorchScript export — the
+        simulated :class:`~repro.cloud.environment.CloudEnvironment` ships
+        model objects the same way).  The job's secrets stay with the caller,
+        who should wrap the returned ids in a
+        :class:`~repro.serve.proxy.ExtractionProxy` to query the server.
+        """
+        bundle = pack_model(job.augmented_model, task=job.augmented_model.task)
+        architecture = copy.deepcopy(job.augmented_model)
+
+        def factory():
+            # A fresh clone per call: the registry may evict and later rebuild
+            # the instance, and a shared object would let a reload mutate a
+            # model another worker thread is still running.
+            return copy.deepcopy(architecture)
+
+        entry_metadata = dict(metadata or {})
+        entry_metadata.setdefault("task", job.metadata.get("task", "image-classification"))
+        return registry.register(model_id, bundle, factory, metadata=entry_metadata,
+                                 replace=replace)
 
     # ------------------------------------------------------------------
     # Full round trip

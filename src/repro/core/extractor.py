@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterable, List, Sequence
 
 import numpy as np
 
 from .. import nn
-from .model_augmenter import AugmentedModel
+from .model_augmenter import AugmentedModel, subnetwork_body_prefix
 
 
 @dataclass
@@ -45,19 +45,55 @@ class ModelExtractor:
     @nn.no_grad()
     def extract(self, augmented_model: AugmentedModel) -> ExtractionReport:
         """Copy the trained original weights out of ``augmented_model``."""
+        return self.extract_from_state(augmented_model.state_dict(),
+                                       augmented_model.original_index)
+
+    @nn.no_grad()
+    def extract_from_state(self, state: Dict[str, np.ndarray],
+                           original_index: int) -> ExtractionReport:
+        """Extract directly from a raw augmented state dict (serving download path).
+
+        This is what the serving :class:`~repro.serve.proxy.ExtractionProxy`
+        uses on a downloaded :class:`~repro.cloud.serialization.ModelBundle`:
+        no :class:`AugmentedModel` instance is required, only the state dict
+        and the secret original sub-network index.
+        """
         start = time.perf_counter()
-        original_state = self.extract_state(augmented_model)
+        original_state = self.extract_state_dict(state, original_index)
         model = self.model_factory()
         model.load_state_dict(original_state, strict=True)
         elapsed = time.perf_counter() - start
         copied = int(sum(np.asarray(value).size for value in original_state.values()))
         return ExtractionReport(model=model, elapsed=elapsed, copied_parameters=copied)
 
+    def extract_many(self, augmented_models: Iterable[AugmentedModel]) -> List[ExtractionReport]:
+        """Batch extraction: one report per augmented model.
+
+        Each extraction is a constant-time state-dict copy, so the batch path
+        scales linearly with the number of models, not with the augmentation
+        amount of any of them.
+        """
+        return [self.extract(model) for model in augmented_models]
+
+    def extract_many_states(self, states: Sequence[Dict[str, np.ndarray]],
+                            original_indices: Sequence[int]) -> List[ExtractionReport]:
+        """Batch extraction from raw state dicts (e.g. a shelf of downloaded bundles)."""
+        if len(states) != len(original_indices):
+            raise ValueError("states and original_indices must have the same length")
+        return [self.extract_from_state(state, index)
+                for state, index in zip(states, original_indices)]
+
     @staticmethod
     def extract_state(augmented_model: AugmentedModel) -> Dict[str, np.ndarray]:
         """Return the original sub-network body's state dict with clean names."""
-        prefix = augmented_model.original_parameter_prefix()
-        state = augmented_model.state_dict()
+        return ModelExtractor.extract_state_dict(augmented_model.state_dict(),
+                                                 augmented_model.original_index)
+
+    @staticmethod
+    def extract_state_dict(state: Dict[str, np.ndarray],
+                           original_index: int) -> Dict[str, np.ndarray]:
+        """Strip the original sub-network's prefix out of a raw state dict."""
+        prefix = subnetwork_body_prefix(original_index)
         extracted = {
             name[len(prefix):]: value
             for name, value in state.items()
@@ -65,8 +101,8 @@ class ModelExtractor:
         }
         if not extracted:
             raise ValueError(
-                "augmented model contains no parameters under the original prefix "
-                f"'{prefix}' — was it built by ModelAugmenter?"
+                "augmented state dict contains no parameters under the original prefix "
+                f"'{prefix}' — was the model built by ModelAugmenter?"
             )
         return extracted
 

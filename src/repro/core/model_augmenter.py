@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -75,6 +75,16 @@ class OriginalTokenSubnetwork(nn.Module):
         return self.body(self.selector(augmented_tokens))
 
 
+def subnetwork_body_prefix(index: int) -> str:
+    """State-dict prefix of sub-network ``index``'s body inside an AugmentedModel.
+
+    Single source of truth for the naming scheme: the extractor's raw-state
+    paths (serving bundle downloads) rebuild the prefix from just the secret
+    index, without an :class:`AugmentedModel` instance in hand.
+    """
+    return f"subnetworks.{index}.body."
+
+
 class AugmentedModel(nn.Module):
     """Container holding all sub-networks of an obfuscated model.
 
@@ -110,7 +120,7 @@ class AugmentedModel(nn.Module):
 
     def original_parameter_prefix(self) -> str:
         """State-dict prefix under which the original body's weights live."""
-        return f"subnetworks.{self._route_index}.body."
+        return subnetwork_body_prefix(self._route_index)
 
     # -- forward / loss ------------------------------------------------
     def forward(self, augmented_input) -> List[Tensor]:

@@ -18,17 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-import numpy as np
-
 from .. import nn
-from ..data.dataset import ArrayDataset, SequenceDataset, TrainValSplit
+from ..data.dataset import SequenceDataset, TrainValSplit
 from ..data.dataloader import DataLoader
 from ..utils.rng import get_rng
 from .config import AmalgamConfig
 from .dataset_augmenter import (
-    AugmentedImageDataset,
     AugmentedSequenceDataset,
-    AugmentedTokenDataset,
     DatasetAugmenter,
 )
 from .extractor import ExtractionReport, ModelExtractor

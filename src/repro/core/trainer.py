@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -19,7 +19,6 @@ from .. import nn
 from ..nn import Tensor
 from ..nn import functional as F
 from ..data.dataloader import DataLoader
-from ..data.dataset import ArrayDataset
 from ..utils.metrics import MetricHistory, RunningAverage
 from .model_augmenter import AugmentedModel
 

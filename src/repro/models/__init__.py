@@ -4,7 +4,7 @@ from .cbam import CBAM, ChannelAttention, SpatialAttention, VGG16WithCBAM
 from .densenet import DenseLayer, DenseNet, TransitionLayer, densenet121, densenet_small
 from .lenet import LeNet
 from .mobilenet import InvertedResidual, MobileNetV2, mobilenet_v2, mobilenet_v2_small
-from .registry import CV_MODEL_NAMES, available_models, create_model
+from .registry import CV_MODEL_NAMES, available_models, create_model, model_factory
 from .resnet import BasicBlock, ResNet, resnet18, resnet34
 from .text_classifier import TextClassifier
 from .transformer import TransformerLM
@@ -28,6 +28,7 @@ __all__ = [
     "CV_MODEL_NAMES",
     "available_models",
     "create_model",
+    "model_factory",
     "BasicBlock",
     "ResNet",
     "resnet18",

@@ -87,3 +87,21 @@ def create_model(name: str, num_classes: int = 10, in_channels: int = 3,
         return LeNet(num_classes=num_classes, in_channels=in_channels,
                      image_size=image_size, rng=rng)
     return factories[name](num_classes, in_channels, rng)
+
+
+def model_factory(name: str, num_classes: int = 10, in_channels: int = 3,
+                  scale: str = "tiny", seed: int = 0,
+                  image_size: int = 28) -> Callable[[], Module]:
+    """A zero-argument, deterministic constructor for ``name``.
+
+    The serving :class:`~repro.serve.registry.ModelRegistry` instantiates
+    architectures lazily and may rebuild one after an LRU eviction, so it
+    needs a factory that yields the *same* architecture every call; fixing
+    the init seed makes the rebuilt instance byte-identical once the bundle's
+    parameters are loaded over it.
+    """
+    def factory() -> Module:
+        return create_model(name, num_classes=num_classes, in_channels=in_channels,
+                            scale=scale, rng=np.random.default_rng(seed),
+                            image_size=image_size)
+    return factory

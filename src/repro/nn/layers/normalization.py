@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from .. import functional as F
 from .. import init
 from ..tensor import Tensor

@@ -14,6 +14,7 @@ autograd engines used by mainstream frameworks.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -58,12 +59,15 @@ def set_default_dtype(dtype) -> np.dtype:
 # ---------------------------------------------------------------------------
 # Gradient-mode switch (``no_grad``)
 # ---------------------------------------------------------------------------
-_GRAD_ENABLED = True
+# Grad mode is *per thread*: the serving worker threads run forwards under
+# ``no_grad`` concurrently with (potentially) a training thread, so a global
+# flag would let one thread's context leak into another's graph construction.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Whether new operations record the autograd graph."""
-    return _GRAD_ENABLED
+    """Whether new operations on this thread record the autograd graph."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 class no_grad:
@@ -72,24 +76,24 @@ class no_grad:
     Inside the context every operation produces plain result tensors: no
     ``_backward`` closure is stored, no parent references are kept, and the
     forward arrays become garbage-collectable as soon as the next layer has
-    consumed them.  This is what evaluation loops, the extractor and the
-    forward-only privacy attacks run under.
+    consumed them.  This is what evaluation loops, the extractor, the
+    serving batcher and the forward-only privacy attacks run under.
+
+    The mode is thread-local, and the save/restore stack lives on the thread
+    as well, so one ``no_grad`` instance (e.g. a ``@nn.no_grad()`` decorator
+    on a shared method) may be entered from many threads at once.
     """
 
-    def __init__(self) -> None:
-        # A stack rather than a single slot: the same no_grad instance may be
-        # re-entered (nested ``with`` on one object, or decorator recursion).
-        self._previous: list = []
-
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous.append(_GRAD_ENABLED)
-        _GRAD_ENABLED = False
+        stack = getattr(_GRAD_STATE, "stack", None)
+        if stack is None:
+            stack = _GRAD_STATE.stack = []
+        stack.append(is_grad_enabled())
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous.pop()
+        _GRAD_STATE.enabled = _GRAD_STATE.stack.pop()
 
     def __call__(self, fn):
         import functools
@@ -238,7 +242,7 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
+        requires = is_grad_enabled() and any(parent.requires_grad for parent in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._backward = backward
@@ -623,7 +627,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(grad[tuple(index)])
             offset += size
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires)
     if requires:
         out._backward = backward
@@ -641,7 +645,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(np.take(grad, position, axis=axis))
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires)
     if requires:
         out._backward = backward

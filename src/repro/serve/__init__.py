@@ -1,0 +1,33 @@
+"""Obfuscated inference serving: registry, batching scheduler, server, proxy.
+
+This package turns a trained augmented model into a multi-client service:
+
+* :class:`~repro.serve.registry.ModelRegistry` — catalogues uploaded
+  :class:`~repro.cloud.serialization.ModelBundle`\\ s and LRU-caches live
+  instances;
+* :class:`~repro.serve.batcher.Batcher` — coalesces single-sample requests
+  into padded batches run under ``nn.no_grad()``;
+* :class:`~repro.serve.server.InferenceServer` — synchronous facade plus a
+  thread-based concurrent mode with per-model latency/fill statistics;
+* :class:`~repro.serve.proxy.ExtractionProxy` — the client-side trust
+  boundary that augments inputs and selects the original sub-network's
+  output, so the server only ever sees augmented artefacts.
+"""
+
+from .batcher import PADDING_MODES, Batcher, bucket_size
+from .proxy import ExtractionProxy
+from .registry import ModelRegistry, RegistryEntry
+from .server import InferenceServer
+from .stats import LatencyWindow, ModelStats
+
+__all__ = [
+    "PADDING_MODES",
+    "Batcher",
+    "bucket_size",
+    "ExtractionProxy",
+    "ModelRegistry",
+    "RegistryEntry",
+    "InferenceServer",
+    "LatencyWindow",
+    "ModelStats",
+]

@@ -1,0 +1,170 @@
+"""Client-side extraction proxy: the trust boundary of the serving threat model.
+
+The server catalogues and executes *augmented* models only.  Everything
+secret — the dataset plan's insertion positions, and which sub-network is the
+original — lives in :class:`~repro.core.augmentation_plan.ObfuscationSecrets`
+and never crosses the wire.  The proxy sits in front of a server (or any
+object with the same ``predict`` / ``predict_batch`` surface) and:
+
+1. **augments** each outgoing raw sample, inserting fresh noise at the secret
+   positions so the server only ever sees augmented inputs (the same
+   vectorised insertion the dataset augmenter applies at training time);
+2. **selects** the original sub-network's logits out of the stacked
+   per-subnetwork outputs the server returns, discarding the decoy outputs;
+3. can **extract** the original model from a downloaded trained bundle via
+   :class:`~repro.core.extractor.ModelExtractor`, should the client want to
+   stop paying the serving round trip altogether.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..core.augmentation_plan import (
+    ImageAugmentationPlan,
+    ObfuscationSecrets,
+    TextAugmentationPlan,
+)
+from ..core.config import NoiseSpec
+from ..core.extractor import ExtractionReport, ModelExtractor
+from ..core.noise import NoiseGenerator
+from ..utils.rng import get_rng
+
+
+class ExtractionProxy:
+    """Applies the user's secrets on the client side of the serving boundary."""
+
+    def __init__(
+        self,
+        secrets: ObfuscationSecrets,
+        noise: Optional[NoiseGenerator] = None,
+        value_range: Tuple[float, float] = (0.0, 1.0),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if secrets.dataset_plan is None:
+            raise ValueError("secrets must carry a dataset plan to augment inputs")
+        self.secrets = secrets
+        self.noise = noise if noise is not None else NoiseGenerator(NoiseSpec())
+        self.value_range = value_range
+        self.rng = rng if rng is not None else get_rng(secrets.config_seed + 17)
+
+    @property
+    def plan(self):
+        return self.secrets.dataset_plan
+
+    @property
+    def original_index(self) -> int:
+        return self.secrets.original_subnetwork_index
+
+    # ------------------------------------------------------------------
+    # Outbound: raw sample -> augmented sample
+    # ------------------------------------------------------------------
+    def augment(self, sample: np.ndarray) -> np.ndarray:
+        """Augment a single raw sample (image ``(C, H, W)`` or token row ``(L,)``)."""
+        return self.augment_batch(np.asarray(sample)[None])[0]
+
+    def augment_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Augment a stacked batch of raw samples with fresh noise."""
+        plan = self.plan
+        samples = np.asarray(samples)
+        if isinstance(plan, ImageAugmentationPlan):
+            return self._augment_images(samples, plan)
+        if isinstance(plan, TextAugmentationPlan):
+            return self._augment_tokens(samples, plan)
+        raise TypeError(f"unsupported dataset plan type {type(plan).__name__}")
+
+    def _augment_images(self, samples: np.ndarray, plan: ImageAugmentationPlan) -> np.ndarray:
+        if samples.shape[1:] != plan.original_shape:
+            raise ValueError(
+                f"expected samples of shape (N,) + {plan.original_shape}, got {samples.shape}"
+            )
+        count = samples.shape[0]
+        channels = plan.channels
+        flat = samples.reshape(count, channels, plan.original_pixels)
+        augmented = np.empty((count, channels, plan.augmented_pixels), dtype=samples.dtype)
+        noise_positions = plan.noise_positions()
+        noise_count = noise_positions.shape[1]
+        for channel in range(channels):
+            values = self.noise.sample_pixels(count * noise_count, self.rng, self.value_range)
+            augmented[:, channel, plan.channel_positions[channel]] = flat[:, channel]
+            augmented[:, channel, noise_positions[channel]] = values.reshape(
+                count, noise_count
+            ).astype(samples.dtype)
+        return augmented.reshape((count,) + plan.augmented_shape)
+
+    def _augment_tokens(self, samples: np.ndarray, plan: TextAugmentationPlan) -> np.ndarray:
+        if samples.ndim != 2 or samples.shape[1] != plan.original_length:
+            raise ValueError(
+                f"expected token samples of shape (N, {plan.original_length}), got {samples.shape}"
+            )
+        vocab_size = self.secrets.metadata.get("vocab_size")
+        if vocab_size is None:
+            raise ValueError("secrets.metadata must carry 'vocab_size' for token augmentation")
+        count = samples.shape[0]
+        augmented = np.empty((count, plan.augmented_length), dtype=np.int64)
+        noise_positions = plan.noise_positions()[0]
+        values = self.noise.sample_tokens(count * len(noise_positions), self.rng, int(vocab_size))
+        augmented[:, plan.positions[0]] = samples
+        augmented[:, noise_positions] = values.reshape(count, len(noise_positions))
+        return augmented
+
+    # ------------------------------------------------------------------
+    # Inbound: stacked sub-network outputs -> original output
+    # ------------------------------------------------------------------
+    def select(self, stacked_outputs: np.ndarray) -> np.ndarray:
+        """Pick the original sub-network's logits out of a stacked server reply."""
+        stacked_outputs = np.asarray(stacked_outputs)
+        if stacked_outputs.ndim < 2:
+            raise ValueError(
+                "expected stacked per-subnetwork outputs; did the server run a plain model?"
+            )
+        return stacked_outputs[self.original_index]
+
+    # ------------------------------------------------------------------
+    # Round trips
+    # ------------------------------------------------------------------
+    def predict(self, server, model_id: str, sample: np.ndarray) -> np.ndarray:
+        """One obfuscated round trip: augment, serve, select."""
+        return self.select(server.predict(model_id, self.augment(sample)))
+
+    def predict_batch(
+        self, server, model_id: str, samples: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        augmented = self.augment_batch(np.asarray(samples))
+        outputs = server.predict_batch(model_id, list(augmented))
+        return [self.select(output) for output in outputs]
+
+    def submit(self, server, model_id: str, sample: np.ndarray):
+        """Concurrent-mode round trip; returns a future resolving to original logits."""
+        future = server.submit(model_id, self.augment(sample))
+        wrapped: Future = Future()
+
+        def _resolve(done) -> None:
+            # Exceptions raised inside a done-callback are logged and dropped
+            # by concurrent.futures, which would leave ``wrapped`` pending
+            # forever — route every failure into the wrapped future instead.
+            try:
+                error = done.exception()
+                result = self.select(done.result()) if error is None else None
+            except Exception as selection_error:  # noqa: BLE001
+                wrapped.set_exception(selection_error)
+                return
+            if error is not None:
+                wrapped.set_exception(error)
+            else:
+                wrapped.set_result(result)
+
+        future.add_done_callback(_resolve)
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # Offline extraction (download path)
+    # ------------------------------------------------------------------
+    def extract_model(self, bundle, model_factory: Callable[[], nn.Module]) -> ExtractionReport:
+        """Recover the trained original model from a downloaded augmented bundle."""
+        extractor = ModelExtractor(model_factory)
+        return extractor.extract_from_state(bundle.state_dict(), self.original_index)

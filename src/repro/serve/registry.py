@@ -1,0 +1,173 @@
+"""Model registry: uploaded bundles plus a bounded LRU cache of live instances.
+
+The registry is the server-side catalogue of everything that can be served.
+Registration stores only the (cheap) serialized bundle and a zero-argument
+architecture factory; instantiation — building the module tree and loading
+the bundle's parameters into it via :mod:`repro.cloud.serialization` — is
+deferred to the first ``get`` and cached.  The instance cache is an LRU
+bounded by ``capacity`` so a server can catalogue many more models than fit
+in memory at once.
+
+Consistent with the paper's threat model, entries hold only augmented
+artefacts: the bundle's architecture digest (names/shapes) and the factory.
+Nothing in the registry identifies which sub-network of an augmented model is
+the original — that knowledge stays client-side in
+:class:`~repro.serve.proxy.ExtractionProxy`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .. import nn
+from ..cloud.serialization import ModelBundle, unpack_into_model
+
+
+@dataclass
+class RegistryEntry:
+    """A registered model: its uploaded bundle plus an architecture factory."""
+
+    model_id: str
+    bundle: ModelBundle
+    factory: Callable[[], nn.Module]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def checksum(self) -> str:
+        return self.bundle.checksum
+
+    @property
+    def size_bytes(self) -> int:
+        return self.bundle.size_bytes
+
+
+class ModelRegistry:
+    """Thread-safe catalogue of serveable models with LRU instance caching."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
+        self._cache: "OrderedDict[str, nn.Module]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.loads = 0
+
+    # ------------------------------------------------------------------
+    # Catalogue management
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        model_id: str,
+        bundle: ModelBundle,
+        factory: Callable[[], nn.Module],
+        metadata: Optional[Dict[str, object]] = None,
+        replace: bool = False,
+    ) -> RegistryEntry:
+        """Catalogue ``bundle`` under ``model_id``; no instantiation happens here."""
+        entry = RegistryEntry(model_id, bundle, factory, dict(metadata or {}))
+        with self._lock:
+            if model_id in self._entries and not replace:
+                raise ValueError(f"model '{model_id}' is already registered (pass replace=True)")
+            self._entries[model_id] = entry
+            self._cache.pop(model_id, None)
+        return entry
+
+    def unregister(self, model_id: str) -> None:
+        with self._lock:
+            if model_id not in self._entries:
+                raise KeyError(f"unknown model '{model_id}'")
+            del self._entries[model_id]
+            self._cache.pop(model_id, None)
+
+    def entry(self, model_id: str) -> RegistryEntry:
+        with self._lock:
+            if model_id not in self._entries:
+                raise KeyError(f"unknown model '{model_id}'; registered: {self.model_ids()}")
+            return self._entries[model_id]
+
+    def model_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def cached_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._cache)
+
+    def __contains__(self, model_id: str) -> bool:
+        with self._lock:
+            return model_id in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Instance cache
+    # ------------------------------------------------------------------
+    def get(self, model_id: str) -> nn.Module:
+        """Return a live, eval-mode instance of ``model_id`` (LRU-cached).
+
+        The expensive load (architecture build + parameter unpack) runs
+        *outside* the registry lock so a cache miss on one model never blocks
+        concurrent lookups of already-cached models.  Two threads missing on
+        the same model may both load it; the second loader finds the cache
+        populated and discards its copy.
+        """
+        with self._lock:
+            cached = self._cache.get(model_id)
+            if cached is not None:
+                self._cache.move_to_end(model_id)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            entry = self._entries.get(model_id)
+            if entry is None:
+                raise KeyError(f"unknown model '{model_id}'; registered: {list(self._entries)}")
+        model = self._load(entry)
+        with self._lock:
+            self.loads += 1
+            if self._entries.get(model_id) is not entry:
+                # Replaced or unregistered while we loaded: don't cache a
+                # stale instance; let the caller's next get() see the new
+                # entry (or its KeyError).
+                return model
+            existing = self._cache.get(model_id)
+            if existing is not None:
+                self._cache.move_to_end(model_id)
+                return existing
+            self._cache[model_id] = model
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+                self.evictions += 1
+            return model
+
+    @staticmethod
+    def _load(entry: RegistryEntry) -> nn.Module:
+        model = entry.factory()
+        unpack_into_model(entry.bundle, model)
+        model.eval()
+        return model
+
+    def clear_cache(self) -> None:
+        """Drop every cached instance (bundles stay catalogued)."""
+        with self._lock:
+            self._cache.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "registered": len(self._entries),
+                "cached": len(self._cache),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "loads": self.loads,
+            }

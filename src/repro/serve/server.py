@@ -1,0 +1,233 @@
+"""Inference server: a synchronous facade plus a thread-based concurrent mode.
+
+Synchronous mode (``predict`` / ``predict_batch``) serves the caller's thread
+directly and is what the benchmarks use to measure the raw batching win.
+
+Concurrent mode (``start`` / ``submit`` / ``stop``) is the middleware story:
+many clients enqueue single-sample requests, worker threads drain the shared
+queue, coalesce whatever arrived within ``batcher.max_wait`` (up to
+``batcher.max_batch_size``), group it by model and execute each group as one
+padded batch.  Every request resolves a :class:`concurrent.futures.Future`,
+so clients block only on their own result.
+
+Per-model statistics (request/batch counts, batch-fill ratio, p50/p95
+latency) are tracked in :class:`~repro.serve.stats.ModelStats`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .batcher import Batcher
+from .registry import ModelRegistry
+from .stats import ModelStats
+
+
+@dataclass
+class _Request:
+    """One enqueued single-sample prediction."""
+
+    model_id: str
+    sample: np.ndarray
+    future: Future
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+_SHUTDOWN = object()
+
+
+class InferenceServer:
+    """Serves registered models, coalescing concurrent requests into batches."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        batcher: Optional[Batcher] = None,
+        num_workers: int = 2,
+        queue_size: int = 4096,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.registry = registry
+        self.batcher = batcher if batcher is not None else Batcher()
+        self.num_workers = num_workers
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
+        self._workers: List[threading.Thread] = []
+        self._running = False
+        self._lifecycle_lock = threading.Lock()
+        self._stats: Dict[str, ModelStats] = {}
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _model_stats(self, model_id: str) -> ModelStats:
+        with self._stats_lock:
+            stats = self._stats.get(model_id)
+            if stats is None:
+                stats = ModelStats(self.batcher.max_batch_size)
+                self._stats[model_id] = stats
+            return stats
+
+    def stats(self, model_id: Optional[str] = None) -> Dict[str, object]:
+        """Per-model serving stats; pass a model id for one model's snapshot."""
+        if model_id is not None:
+            return self._model_stats(model_id).snapshot()
+        with self._stats_lock:
+            ids = list(self._stats)
+        return {mid: self._model_stats(mid).snapshot() for mid in ids}
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Synchronous API
+    # ------------------------------------------------------------------
+    def predict(self, model_id: str, sample: np.ndarray) -> np.ndarray:
+        """Serve one sample on the caller's thread (a batch of one)."""
+        return self.predict_batch(model_id, [sample])[0]
+
+    def predict_batch(self, model_id: str, samples: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Serve many samples on the caller's thread, chunked into padded batches."""
+        model = self.registry.get(model_id)
+        stats = self._model_stats(model_id)
+        outputs: List[np.ndarray] = []
+        for start in range(0, len(samples), self.batcher.max_batch_size):
+            chunk = samples[start : start + self.batcher.max_batch_size]
+            begin = time.perf_counter()
+            try:
+                outputs.extend(self.batcher.run_batch(model, chunk))
+            except Exception:
+                stats.record_error(len(chunk))
+                raise
+            elapsed = time.perf_counter() - begin
+            stats.record_batch(
+                len(chunk), self.batcher.padded_size(len(chunk)), [elapsed] * len(chunk)
+            )
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Concurrent mode
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "InferenceServer":
+        """Spawn the worker threads that drain the request queue."""
+        with self._lifecycle_lock:
+            if self._running:
+                return self
+            self._running = True
+            self._workers = [
+                threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+                )
+                for index in range(self.num_workers)
+            ]
+            for worker in self._workers:
+                worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the workers, then drain and serve anything still queued."""
+        with self._lifecycle_lock:
+            if not self._running:
+                return
+            self._running = False
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
+            for worker in self._workers:
+                worker.join()
+            self._workers = []
+            leftovers: List[_Request] = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SHUTDOWN:
+                    leftovers.append(item)
+            if leftovers:
+                self._execute_groups(leftovers)
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def submit(self, model_id: str, sample: np.ndarray) -> Future:
+        """Enqueue one sample; the returned future resolves to its output array.
+
+        The running check and the enqueue happen under the lifecycle lock so a
+        request can never slip into the queue after ``stop()`` has drained it
+        (which would leave its future unresolved forever).
+        """
+        request = _Request(model_id, np.asarray(sample), Future())
+        with self._lifecycle_lock:
+            if not self._running:
+                raise RuntimeError("server is not started; call start() or use predict()")
+            self._queue.put(request)
+        return request.future
+
+    def submit_many(self, model_id: str, samples: Sequence[np.ndarray]) -> List[Future]:
+        return [self.submit(model_id, sample) for sample in samples]
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            requests = [item]
+            deadline = time.perf_counter() + self.batcher.max_wait
+            saw_shutdown = False
+            while len(requests) < self.batcher.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    saw_shutdown = True
+                    break
+                requests.append(item)
+            self._execute_groups(requests)
+            if saw_shutdown:
+                return
+
+    def _execute_groups(self, requests: List[_Request]) -> None:
+        groups: Dict[str, List[_Request]] = {}
+        for request in requests:
+            groups.setdefault(request.model_id, []).append(request)
+        for model_id, group in groups.items():
+            self._execute(model_id, group)
+
+    def _execute(self, model_id: str, group: List[_Request]) -> None:
+        stats = self._model_stats(model_id)
+        try:
+            model = self.registry.get(model_id)
+            outputs = self.batcher.run_batch(model, [request.sample for request in group])
+        except Exception as error:  # noqa: BLE001 - failures propagate via futures
+            stats.record_error(len(group))
+            for request in group:
+                request.future.set_exception(error)
+            return
+        now = time.perf_counter()
+        latencies = [now - request.submitted_at for request in group]
+        stats.record_batch(len(group), self.batcher.padded_size(len(group)), latencies)
+        for request, output in zip(group, outputs):
+            request.future.set_result(output)

@@ -1,0 +1,85 @@
+"""Serving statistics: request counters, batch-fill accounting, latency percentiles.
+
+Each served model gets one :class:`ModelStats` instance, updated by whichever
+thread executed the batch.  Snapshots are cheap dictionaries so the server can
+expose them from a monitoring endpoint without holding locks for long.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterable
+
+import numpy as np
+
+
+class LatencyWindow:
+    """Rolling window of per-request latencies, in seconds."""
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile over the window (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+
+class ModelStats:
+    """Per-model serving counters.
+
+    ``batch_fill_ratio`` is the mean executed batch size divided by the
+    batcher's ``max_batch_size`` — 1.0 means every batch left the queue full,
+    values near ``1 / max_batch_size`` mean the scheduler is effectively
+    serving one request at a time.
+    """
+
+    def __init__(self, max_batch_size: int, window: int = 4096) -> None:
+        self.max_batch_size = max_batch_size
+        self.requests = 0
+        self.batches = 0
+        self.padded_samples = 0
+        self.errors = 0
+        self.latency = LatencyWindow(window)
+        self._lock = threading.Lock()
+
+    def record_batch(self, batch_size: int, padded_size: int, latencies: Iterable[float]) -> None:
+        with self._lock:
+            self.requests += batch_size
+            self.batches += 1
+            self.padded_samples += padded_size
+            for value in latencies:
+                self.latency.record(value)
+
+    def record_error(self, count: int = 1) -> None:
+        with self._lock:
+            self.errors += count
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy of the counters plus derived ratios."""
+        with self._lock:
+            batches = self.batches
+            requests = self.requests
+            mean_batch = requests / batches if batches else 0.0
+            fill = mean_batch / self.max_batch_size if self.max_batch_size else 0.0
+            pad_overhead = self.padded_samples / requests if requests else 0.0
+            return {
+                "requests": requests,
+                "batches": batches,
+                "errors": self.errors,
+                "mean_batch_size": round(mean_batch, 3),
+                "batch_fill_ratio": round(fill, 4),
+                "padding_overhead_x": round(pad_overhead, 3),
+                "p50_latency_ms": round(self.latency.percentile(50) * 1e3, 4),
+                "p95_latency_ms": round(self.latency.percentile(95) * 1e3, 4),
+            }

@@ -11,7 +11,7 @@ from repro.cloud import (
     pack_model,
     unpack_into_model,
 )
-from repro.core import Amalgam, AmalgamConfig
+from repro.core import Amalgam
 from repro.models import LeNet, TextClassifier, TransformerLM
 
 

@@ -1,0 +1,92 @@
+"""Round-trip tests for cloud serialization across dtypes (serving satellite).
+
+``pack_model``/``unpack_into_model`` and ``pack_arrays`` carry every served
+artefact, so value/dtype fidelity across the wire is load-bearing for the
+whole serving subsystem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import pack_arrays, pack_model, unpack_into_model
+from repro.models import LeNet
+
+
+def make_model(dtype=None, seed: int = 11) -> LeNet:
+    model = LeNet(10, 1, 28, rng=np.random.default_rng(seed))
+    if dtype is not None:
+        for parameter in model.parameters():
+            parameter.data = parameter.data.astype(dtype)
+    return model
+
+
+class TestModelBundleRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_parameters_survive_byte_exact(self, dtype):
+        model = make_model(dtype)
+        bundle = pack_model(model, task="classification")
+        target = make_model(dtype, seed=99)
+        unpack_into_model(bundle, target)
+        want = model.state_dict()
+        got = target.state_dict()
+        assert set(got) == set(want)
+        for name in want:
+            assert got[name].dtype == want[name].dtype
+            assert np.array_equal(got[name], want[name])
+
+    def test_architecture_digest_matches_state(self):
+        model = make_model()
+        bundle = pack_model(model, task="classification")
+        state = model.state_dict()
+        assert bundle.architecture["task"] == "classification"
+        assert bundle.architecture["parameters"] == {
+            name: list(value.shape) for name, value in state.items()
+        }
+        assert bundle.architecture["total_parameters"] == sum(v.size for v in state.values())
+
+    def test_checksum_is_content_addressed(self):
+        first = pack_model(make_model(seed=1), task="classification")
+        same = pack_model(make_model(seed=1), task="classification")
+        other = pack_model(make_model(seed=2), task="classification")
+        assert first.checksum == same.checksum
+        assert first.checksum != other.checksum
+
+    def test_shape_mismatch_rejected_on_unpack(self):
+        bundle = pack_model(make_model(), task="classification")
+        wrong = LeNet(10, 3, 28, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            unpack_into_model(bundle, wrong)
+
+
+class TestArrayBundleRoundTrip:
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.float32, np.float64, np.int64, np.int32, np.uint8, np.bool_],
+    )
+    def test_arrays_survive_byte_exact(self, dtype):
+        rng = np.random.default_rng(5)
+        if np.issubdtype(dtype, np.floating):
+            samples = rng.standard_normal((4, 3, 8, 8)).astype(dtype)
+        elif dtype is np.bool_:
+            samples = rng.integers(0, 2, size=(4, 3, 8, 8)).astype(dtype)
+        else:
+            samples = rng.integers(0, 100, size=(4, 3, 8, 8)).astype(dtype)
+        labels = rng.integers(0, 10, size=4)
+        bundle = pack_arrays({"name": "t", "kind": "image"}, samples=samples, labels=labels)
+        arrays = bundle.arrays()
+        assert set(arrays) == {"samples", "labels"}
+        assert arrays["samples"].dtype == samples.dtype
+        assert np.array_equal(arrays["samples"], samples)
+        assert np.array_equal(arrays["labels"], labels)
+
+    def test_description_is_copied_not_aliased(self):
+        description = {"name": "t", "kind": "image"}
+        bundle = pack_arrays(description, x=np.zeros(3))
+        description["name"] = "mutated"
+        assert bundle.description["name"] == "t"
+
+    def test_size_bytes_matches_payload(self):
+        bundle = pack_arrays({"name": "t"}, x=np.zeros((16, 16), np.float32))
+        assert bundle.size_bytes == len(bundle.payload) > 0

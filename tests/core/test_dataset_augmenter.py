@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import AmalgamConfig, DatasetAugmenter, NoiseSpec, NoiseType
-from repro.data import make_agnews, make_mnist, make_wikitext2
+from repro.data import make_mnist
 
 
 @pytest.fixture

@@ -103,6 +103,66 @@ class TestExtractor:
         assert report.copied_parameters >= model.num_parameters()
 
 
+class TestBatchExtraction:
+    """The serving download path: extraction from raw state dicts, many at a time."""
+
+    def test_extract_from_state_matches_extract(self, augmented_lenet):
+        _, result = augmented_lenet
+        extractor = ModelExtractor(lambda: LeNet(10, 1, 28))
+        via_model = extractor.extract(result.augmented_model)
+        via_state = extractor.extract_from_state(
+            result.augmented_model.state_dict(),
+            result.augmented_model.original_index,
+        )
+        assert via_state.copied_parameters == via_model.copied_parameters
+        for name, value in via_model.model.state_dict().items():
+            assert np.array_equal(via_state.model.state_dict()[name], value)
+
+    def test_extract_state_dict_strips_prefix(self, augmented_lenet):
+        _, result = augmented_lenet
+        state = ModelExtractor.extract_state_dict(
+            result.augmented_model.state_dict(),
+            result.augmented_model.original_index,
+        )
+        assert "conv1.weight" in state
+        assert not any(name.startswith("subnetworks") for name in state)
+
+    def test_extract_state_dict_rejects_wrong_index(self, augmented_lenet):
+        _, result = augmented_lenet
+        bad_index = result.augmented_model.num_subnetworks + 5
+        with pytest.raises(ValueError):
+            ModelExtractor.extract_state_dict(result.augmented_model.state_dict(), bad_index)
+
+    def test_extract_many(self, mnist_tiny):
+        models = []
+        for seed in (1, 2):
+            config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=seed)
+            plan = DatasetAugmenter(config).augment_images(mnist_tiny.train).plan
+            model = LeNet(10, 1, 28, rng=np.random.default_rng(seed))
+            result = ModelAugmenter(config).augment_image_model(model, plan, num_classes=10)
+            models.append((model, result.augmented_model))
+        extractor = ModelExtractor(lambda: LeNet(10, 1, 28))
+        reports = extractor.extract_many(augmented for _, augmented in models)
+        assert len(reports) == 2
+        for (model, _), report in zip(models, reports):
+            assert np.array_equal(report.model.conv1.weight.data, model.conv1.weight.data)
+
+    def test_extract_many_states(self, mnist_tiny):
+        config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=4)
+        plan = DatasetAugmenter(config).augment_images(mnist_tiny.train).plan
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(4))
+        result = ModelAugmenter(config).augment_image_model(model, plan, num_classes=10)
+        augmented = result.augmented_model
+        extractor = ModelExtractor(lambda: LeNet(10, 1, 28))
+        reports = extractor.extract_many_states(
+            [augmented.state_dict(), augmented.state_dict()],
+            [augmented.original_index, augmented.original_index],
+        )
+        assert len(reports) == 2
+        with pytest.raises(ValueError):
+            extractor.extract_many_states([augmented.state_dict()], [0, 1])
+
+
 class TestTransferLearning:
     def test_apply_pretrained_loads_matching_parameters(self, rng):
         source = TextClassifier(30, 8, 4, rng=np.random.default_rng(1))

@@ -49,7 +49,6 @@ class TestMaskedConv2d:
     def test_equivalent_to_plain_conv_on_original_input(self, rng):
         """Equation 1: skipping augmented pixels == convolving the original image."""
         original = rng.random((2, 3, 8, 8))
-        amount = 0.5
         augmented_side = 12
         positions = np.stack([
             draw_insertion_positions(64, augmented_side * augmented_side,

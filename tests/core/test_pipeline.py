@@ -1,7 +1,5 @@
 """End-to-end tests of the Amalgam pipeline, including the training-equivalence invariant."""
 
-import copy
-
 import numpy as np
 import pytest
 

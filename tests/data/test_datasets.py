@@ -119,8 +119,8 @@ class TestSyntheticImages:
         split = make_mnist(train_count=64, val_count=8, seed=5, noise_level=0.05)
         samples, labels = split.train.samples, split.train.labels
         label_a = labels[0]
-        same = [s for s, l in zip(samples[1:], labels[1:]) if l == label_a]
-        other = [s for s, l in zip(samples[1:], labels[1:]) if l != label_a]
+        same = [s for s, y in zip(samples[1:], labels[1:]) if y == label_a]
+        other = [s for s, y in zip(samples[1:], labels[1:]) if y != label_a]
         if same and other:
             distance_same = np.mean([np.abs(samples[0] - s).mean() for s in same])
             distance_other = np.mean([np.abs(samples[0] - s).mean() for s in other])

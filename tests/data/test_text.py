@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import (
-    Vocabulary,
     batchify,
     build_vocabulary,
     lm_batches,

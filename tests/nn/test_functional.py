@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import nn
 from repro.nn import Tensor
 from repro.nn import functional as F
 

@@ -142,3 +142,61 @@ class TestMaskedLayersUnderNoGrad:
         assert out_grad.requires_grad
         out_grad.sum().backward()
         assert masked.conv.weight.grad is not None
+
+
+class TestThreadLocalGradMode:
+    """Grad mode is per-thread: serving workers under no_grad must not leak
+    inference mode into (or inherit it from) other threads."""
+
+    def test_no_grad_in_worker_does_not_affect_main_thread(self):
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        states = {}
+
+        def worker():
+            with nn.no_grad():
+                states["worker_inside"] = nn.is_grad_enabled()
+                entered.set()
+                release.wait(timeout=30)
+            states["worker_after"] = nn.is_grad_enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=30)
+        # The worker sits inside no_grad right now; this thread must still
+        # record graphs.
+        assert nn.is_grad_enabled()
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).sum()
+        assert y._backward is not None
+        y.backward()
+        assert np.array_equal(x.grad, np.full(3, 2.0))
+        release.set()
+        thread.join()
+        assert states["worker_inside"] is False
+        assert states["worker_after"] is True
+
+    def test_shared_decorator_instance_is_thread_safe(self):
+        import threading
+
+        guard = nn.no_grad()  # one instance shared by all threads
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(200):
+                    with guard:
+                        assert not nn.is_grad_enabled()
+                    assert nn.is_grad_enabled()
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert nn.is_grad_enabled()

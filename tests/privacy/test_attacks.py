@@ -175,8 +175,6 @@ class TestModelInversion:
         """Figure 17: attribution maps before and after augmentation decorrelate."""
         config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=6)
         amalgam = Amalgam(config)
-        plain_model = SmallMLP(in_features=28 * 28, classes=10, seed=2)
-        # Wrap so the plain model accepts (1, 28, 28) images.
         job = amalgam.prepare_image_job(LeNet(10, 1, 28, rng=np.random.default_rng(1)),
                                         mnist_tiny)
         sample = mnist_tiny.train.samples[0].astype(float)

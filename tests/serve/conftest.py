@@ -1,0 +1,35 @@
+"""Shared fixtures for the serving tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import pack_model
+from repro.models import LeNet, model_factory
+from repro.serve import Batcher, InferenceServer, ModelRegistry
+
+
+def make_lenet(seed: int = 3) -> LeNet:
+    return LeNet(10, 1, 28, rng=np.random.default_rng(seed))
+
+
+def lenet_bundle(seed: int = 3):
+    return pack_model(make_lenet(seed), task="classification")
+
+
+@pytest.fixture
+def registry() -> ModelRegistry:
+    registry = ModelRegistry(capacity=2)
+    registry.register("lenet", lenet_bundle(), model_factory("lenet", in_channels=1, seed=3))
+    return registry
+
+
+@pytest.fixture
+def server(registry: ModelRegistry) -> InferenceServer:
+    return InferenceServer(registry, Batcher(max_batch_size=8, max_wait=0.01))
+
+
+@pytest.fixture
+def images() -> np.ndarray:
+    return np.random.default_rng(7).standard_normal((16, 1, 28, 28)).astype(np.float32)

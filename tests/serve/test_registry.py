@@ -1,0 +1,134 @@
+"""ModelRegistry: lazy loading, cache hits, LRU eviction, bundle reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import pack_model
+from repro.models import model_factory
+from repro.serve import Batcher, ModelRegistry
+
+from .conftest import make_lenet
+
+
+def register_lenet(registry: ModelRegistry, model_id: str, seed: int, replace: bool = False):
+    return registry.register(
+        model_id,
+        pack_model(make_lenet(seed), task="classification"),
+        model_factory("lenet", in_channels=1, seed=seed),
+        replace=replace,
+    )
+
+
+class TestCatalogue:
+    def test_register_is_lazy(self):
+        registry = ModelRegistry(capacity=2)
+        register_lenet(registry, "a", 1)
+        assert registry.stats()["loads"] == 0
+        assert "a" in registry
+        assert registry.cached_ids() == []
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        registry = ModelRegistry(capacity=2)
+        register_lenet(registry, "a", 1)
+        with pytest.raises(ValueError):
+            register_lenet(registry, "a", 2)
+        register_lenet(registry, "a", 2, replace=True)
+        assert len(registry) == 1
+
+    def test_replace_invalidates_cached_instance(self):
+        registry = ModelRegistry(capacity=2)
+        register_lenet(registry, "a", 1)
+        before = registry.get("a")
+        register_lenet(registry, "a", 2, replace=True)
+        after = registry.get("a")
+        assert before is not after
+        assert not np.array_equal(
+            before.state_dict()["conv1.weight"], after.state_dict()["conv1.weight"]
+        )
+
+    def test_unknown_model_raises_keyerror(self):
+        registry = ModelRegistry(capacity=2)
+        with pytest.raises(KeyError):
+            registry.get("nope")
+        with pytest.raises(KeyError):
+            registry.entry("nope")
+        with pytest.raises(KeyError):
+            registry.unregister("nope")
+
+    def test_unregister_drops_entry_and_instance(self):
+        registry = ModelRegistry(capacity=2)
+        register_lenet(registry, "a", 1)
+        registry.get("a")
+        registry.unregister("a")
+        assert "a" not in registry
+        assert registry.cached_ids() == []
+
+    def test_entry_exposes_bundle_provenance(self):
+        registry = ModelRegistry(capacity=2)
+        entry = register_lenet(registry, "a", 1)
+        assert entry.size_bytes > 0
+        assert len(entry.checksum) == 64
+        assert registry.entry("a") is entry
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(capacity=0)
+
+
+class TestInstanceCache:
+    def test_cache_hit_returns_same_instance(self):
+        registry = ModelRegistry(capacity=2)
+        register_lenet(registry, "a", 1)
+        first = registry.get("a")
+        second = registry.get("a")
+        assert first is second
+        stats = registry.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["loads"] == 1
+
+    def test_loaded_instance_is_eval_mode_with_bundle_weights(self):
+        registry = ModelRegistry(capacity=2)
+        register_lenet(registry, "a", 5)
+        model = registry.get("a")
+        assert model.training is False
+        expected = make_lenet(5).state_dict()
+        got = model.state_dict()
+        for name in expected:
+            assert np.array_equal(expected[name], got[name])
+
+    def test_lru_eviction_order(self):
+        registry = ModelRegistry(capacity=2)
+        for model_id, seed in (("a", 1), ("b", 2), ("c", 3)):
+            register_lenet(registry, model_id, seed)
+        registry.get("a")
+        registry.get("b")
+        registry.get("a")  # refresh "a" so "b" is the least recently used
+        registry.get("c")
+        assert registry.cached_ids() == ["a", "c"]
+        assert registry.stats()["evictions"] == 1
+
+    def test_reload_after_eviction_is_equivalent(self):
+        registry = ModelRegistry(capacity=1)
+        register_lenet(registry, "a", 1)
+        register_lenet(registry, "b", 2)
+        x = np.random.default_rng(0).standard_normal((2, 1, 28, 28)).astype(np.float32)
+        batcher = Batcher(max_batch_size=2, padding="full")
+        before = batcher.run_batch(registry.get("a"), list(x))
+        registry.get("b")  # evicts "a"
+        assert registry.cached_ids() == ["b"]
+        after = batcher.run_batch(registry.get("a"), list(x))
+        for got, want in zip(after, before):
+            assert np.array_equal(got, want)
+
+    def test_clear_cache_keeps_catalogue(self):
+        registry = ModelRegistry(capacity=2)
+        register_lenet(registry, "a", 1)
+        registry.get("a")
+        registry.clear_cache()
+        assert registry.cached_ids() == []
+        assert "a" in registry
+        registry.get("a")
+        assert registry.stats()["loads"] == 2

@@ -1,0 +1,151 @@
+"""InferenceServer: sync/concurrent parity, stats, error paths, concurrency determinism."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cloud import pack_model
+from repro.models import model_factory
+from repro.serve import Batcher, InferenceServer, ModelRegistry
+
+from .conftest import make_lenet
+
+
+def bit_reproducible_server(max_batch_size: int = 8, num_workers: int = 4) -> InferenceServer:
+    """A LeNet server whose batcher pads every batch to one fixed shape."""
+    registry = ModelRegistry(capacity=2)
+    registry.register(
+        "lenet",
+        pack_model(make_lenet(3), task="classification"),
+        model_factory("lenet", in_channels=1, seed=3),
+    )
+    batcher = Batcher(max_batch_size=max_batch_size, max_wait=0.005, padding="full")
+    return InferenceServer(registry, batcher, num_workers=num_workers)
+
+
+class TestSyncApi:
+    def test_predict_matches_direct_forward(self, server, images):
+        model = make_lenet(3).eval()
+        with nn.no_grad():
+            want = model(nn.Tensor(images[:1])).data[0]
+        got = server.predict("lenet", images[0])
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_predict_batch_matches_per_sample_predict(self, server, images):
+        batched = server.predict_batch("lenet", list(images[:6]))
+        singles = [server.predict("lenet", sample) for sample in images[:6]]
+        assert len(batched) == 6
+        for got, want in zip(batched, singles):
+            np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_unknown_model_raises(self, server, images):
+        with pytest.raises(KeyError):
+            server.predict("missing", images[0])
+
+    def test_stats_accounting(self, server, images):
+        server.predict_batch("lenet", list(images[:6]))
+        server.predict("lenet", images[0])
+        stats = server.stats("lenet")
+        assert stats["requests"] == 7
+        assert stats["batches"] == 2
+        assert stats["mean_batch_size"] == 3.5
+        assert 0 < stats["batch_fill_ratio"] <= 1
+        assert stats["p95_latency_ms"] >= stats["p50_latency_ms"] > 0
+        assert server.stats()["lenet"] == stats
+
+
+class TestConcurrentMode:
+    def test_submit_requires_started_server(self, server, images):
+        with pytest.raises(RuntimeError):
+            server.submit("lenet", images[0])
+
+    def test_start_stop_idempotent(self, server):
+        server.start()
+        server.start()
+        server.stop()
+        server.stop()
+        assert not server.running
+
+    def test_futures_resolve_to_batch_outputs(self, server, images):
+        with server:
+            futures = server.submit_many("lenet", list(images))
+            results = [future.result(timeout=30) for future in futures]
+        singles = [server.predict("lenet", sample) for sample in images]
+        for got, want in zip(results, singles):
+            np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_unknown_model_fails_the_future(self, server, images):
+        with server:
+            future = server.submit("missing", images[0])
+            with pytest.raises(KeyError):
+                future.result(timeout=30)
+        assert server.stats("missing")["errors"] == 1
+
+    def test_stop_drains_pending_requests(self, registry, images):
+        # One sleepy worker plus a burst of requests leaves work queued at
+        # stop(); stop must serve the stragglers rather than drop them.
+        server = InferenceServer(
+            registry, Batcher(max_batch_size=2, max_wait=0.0), num_workers=1
+        )
+        server.start()
+        futures = server.submit_many("lenet", list(images))
+        server.stop()
+        for future in futures:
+            assert future.result(timeout=30).shape == (10,)
+
+    def test_hammering_threads_get_byte_identical_results(self, images):
+        """N client threads through dynamic batching == sequential calls, bitwise.
+
+        With ``padding="full"`` every executed batch has the same shape, so
+        per-row kernel behaviour cannot depend on how the scheduler coalesced
+        requests — results must match the sequential reference exactly.
+        """
+        server = bit_reproducible_server(max_batch_size=8, num_workers=4)
+        sequential = [server.predict("lenet", sample) for sample in images]
+
+        results: dict[int, np.ndarray] = {}
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def client(thread_index: int) -> None:
+            try:
+                for round_index in range(3):
+                    sample_index = (thread_index * 3 + round_index) % len(images)
+                    future = server.submit("lenet", images[sample_index])
+                    output = future.result(timeout=30)
+                    with lock:
+                        previous = results.get(sample_index)
+                        if previous is not None:
+                            assert np.array_equal(previous, output)
+                        results[sample_index] = output
+            except Exception as error:  # noqa: BLE001 - surfaced to the main thread
+                with lock:
+                    errors.append(error)
+
+        with server:
+            threads = [threading.Thread(target=client, args=(index,)) for index in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert not errors
+        assert results  # at least one sample exercised
+        for sample_index, output in results.items():
+            assert np.array_equal(output, sequential[sample_index]), (
+                f"threaded result for sample {sample_index} differs from sequential"
+            )
+
+    def test_threaded_batches_actually_coalesce(self, images):
+        server = bit_reproducible_server(max_batch_size=8, num_workers=1)
+        with server:
+            futures = server.submit_many("lenet", list(images))
+            for future in futures:
+                future.result(timeout=30)
+        stats = server.stats("lenet")
+        assert stats["requests"] == len(images)
+        assert stats["batches"] < len(images), "scheduler never batched anything"
