@@ -19,7 +19,20 @@ from repro.cloud import CloudSession, bundle_manifest
 from repro.core import Amalgam, AmalgamConfig
 from repro.data import make_mnist
 from repro.models import LeNet
-from repro.serve import Batcher, ExtractionProxy, InferenceServer, ModelRegistry
+from repro.serve import (
+    Batcher,
+    ExtractionProxy,
+    InferenceServer,
+    ModelRegistry,
+    ObfuscationGuard,
+    ObfuscationViolation,
+    RateLimiter,
+    RateLimitExceeded,
+    ResponseCache,
+    Telemetry,
+    ValidationError,
+    Validator,
+)
 
 
 def main() -> None:
@@ -82,9 +95,75 @@ def main() -> None:
     print(f"registry: {registry.stats()}")
 
     # ------------------------------------------------------------------
-    # 4. The download path still works: extract the original model.
+    # 4. Middleware stack: cache, admission control, validation, telemetry
+    #    server-side; the obfuscation guard on the client.
     # ------------------------------------------------------------------
-    print("\n=== 4. offline extraction from the served bundle ===")
+    print("\n=== 4. middleware interception chain ===")
+    cache = ResponseCache(capacity=256)
+    guarded_server = InferenceServer(
+        registry,
+        Batcher(max_batch_size=16, padding="bucket"),
+        middleware=[
+            Telemetry(),
+            cache,
+            RateLimiter(rate=500.0, capacity=500),
+            Validator(registry),
+        ],
+    )
+
+    # Identical queries: the second pass is served from the response cache.
+    augmented = [proxy.augment(sample) for sample in data.validation.samples[:8]]
+    for _ in range(2):
+        guarded_server.predict_batch("mnist-lenet", augmented)
+    print(f"{2 * len(augmented)} requests; cache: {cache.stats()}")
+
+    # The Validator rejects a raw-shaped sample against the published contract
+    # (CloudSession.publish recorded input_shape/input_dtype in the registry)...
+    try:
+        guarded_server.predict("mnist-lenet", data.validation.samples[0])
+    except ValidationError as error:
+        print(f"validator: {error}")
+
+    # ...and the ObfuscationGuard stops the leak before it leaves the client.
+    class BuggyProxy(ExtractionProxy):
+        def augment_batch(self, samples):
+            return np.asarray(samples)  # forgot to augment!
+
+    buggy = BuggyProxy(job.secrets, middleware=[ObfuscationGuard(job.secrets)])
+    try:
+        buggy.predict(guarded_server, "mnist-lenet", data.validation.samples[0])
+    except ObfuscationViolation as error:
+        print(f"obfuscation guard: {error}")
+
+    # Token-bucket admission control rejects bursts with a typed error.
+    burst_server = InferenceServer(
+        registry,
+        Batcher(max_batch_size=16),
+        middleware=[RateLimiter(rate=1.0, capacity=2)],
+    )
+    admitted, rejected, retry_after = 0, 0, 0.0
+    for sample in augmented:
+        try:
+            burst_server.predict("mnist-lenet", sample)
+            admitted += 1
+        except RateLimitExceeded as error:
+            rejected += 1
+            retry_after = error.retry_after
+    print(
+        f"burst of {len(augmented)}: {admitted} admitted, {rejected} rejected "
+        f"(retry in {retry_after:.2f}s)"
+    )
+
+    # Telemetry exported the per-stage latency breakdown through ModelStats.
+    stages = guarded_server.stats("mnist-lenet")["stages"]
+    for stage in ("request.total", "model", "ResponseCache.on_request"):
+        breakdown = stages[stage]
+        print(f"  {stage:28s} count={breakdown['count']:3d} mean={breakdown['mean_ms']:.2f}ms")
+
+    # ------------------------------------------------------------------
+    # 5. The download path still works: extract the original model.
+    # ------------------------------------------------------------------
+    print("\n=== 5. offline extraction from the served bundle ===")
     report = proxy.extract_model(
         entry.bundle, lambda: LeNet(10, 1, 28, rng=np.random.default_rng(0))
     )

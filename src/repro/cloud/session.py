@@ -16,6 +16,7 @@ if TYPE_CHECKING:
     from ..serve.registry import ModelRegistry, RegistryEntry
 
 from .. import nn
+from ..core.augmentation_plan import ImageAugmentationPlan, TextAugmentationPlan
 from ..core.extractor import ExtractionReport, ModelExtractor
 from ..core.pipeline import ObfuscationJob
 from ..core.trainer import TrainingResult
@@ -89,6 +90,17 @@ class CloudSession:
 
         entry_metadata = dict(metadata or {})
         entry_metadata.setdefault("task", job.metadata.get("task", "image-classification"))
+        # Publish the *public* input contract so the serving Validator can
+        # reject malformed samples before they reach the batcher.  Augmented
+        # shapes are public knowledge (the provider sees augmented tensors);
+        # insertion positions and the original index stay in job.secrets.
+        plan = getattr(job.secrets, "dataset_plan", None)
+        if isinstance(plan, ImageAugmentationPlan):
+            entry_metadata.setdefault("input_shape", list(plan.augmented_shape))
+            entry_metadata.setdefault("input_dtype", "float32")
+        elif isinstance(plan, TextAugmentationPlan):
+            entry_metadata.setdefault("input_shape", [plan.augmented_length])
+            entry_metadata.setdefault("input_dtype", "int64")
         return registry.register(model_id, bundle, factory, metadata=entry_metadata,
                                  replace=replace)
 

@@ -9,12 +9,31 @@ This package turns a trained augmented model into a multi-client service:
   into padded batches run under ``nn.no_grad()``;
 * :class:`~repro.serve.server.InferenceServer` — synchronous facade plus a
   thread-based concurrent mode with per-model latency/fill statistics;
+* :class:`~repro.serve.middleware.MiddlewareChain` — the composable
+  interception pipeline (cache, rate limiting, validation, telemetry, the
+  obfuscation guard) every request path runs through;
 * :class:`~repro.serve.proxy.ExtractionProxy` — the client-side trust
   boundary that augments inputs and selects the original sub-network's
   output, so the server only ever sees augmented artefacts.
 """
 
 from .batcher import PADDING_MODES, Batcher, bucket_size
+from .middleware import (
+    BatchContext,
+    MiddlewareChain,
+    MiddlewareError,
+    ObfuscationGuard,
+    ObfuscationViolation,
+    RateLimitExceeded,
+    RateLimiter,
+    RequestContext,
+    ResponseCache,
+    ServeMiddleware,
+    Telemetry,
+    ValidationError,
+    Validator,
+    sample_fingerprint,
+)
 from .proxy import ExtractionProxy
 from .registry import ModelRegistry, RegistryEntry
 from .server import InferenceServer
@@ -22,12 +41,26 @@ from .stats import LatencyWindow, ModelStats
 
 __all__ = [
     "PADDING_MODES",
+    "BatchContext",
     "Batcher",
     "bucket_size",
     "ExtractionProxy",
-    "ModelRegistry",
-    "RegistryEntry",
     "InferenceServer",
     "LatencyWindow",
+    "MiddlewareChain",
+    "MiddlewareError",
+    "ModelRegistry",
     "ModelStats",
+    "ObfuscationGuard",
+    "ObfuscationViolation",
+    "RateLimitExceeded",
+    "RateLimiter",
+    "RegistryEntry",
+    "RequestContext",
+    "ResponseCache",
+    "ServeMiddleware",
+    "Telemetry",
+    "ValidationError",
+    "Validator",
+    "sample_fingerprint",
 ]

@@ -1,0 +1,51 @@
+"""Composable middleware interception chain for the serving stack.
+
+Cross-cutting serving concerns — caching, admission control, validation,
+telemetry, the obfuscation trust boundary — are expressed as interceptors
+(:class:`ServeMiddleware`) composed by a :class:`MiddlewareChain` that wraps
+every request path: the server's sync API, its queue/worker concurrent mode
+(hooks run around the *coalesced* batch) and the client-side proxy.
+
+Built-ins:
+
+* :class:`ResponseCache` — LRU content-hash memoization of identical samples;
+* :class:`RateLimiter` — per-(tenant, model) token-bucket admission control;
+* :class:`Validator` — shape/dtype contract against registry bundle metadata;
+* :class:`Telemetry` — per-middleware and end-to-end latency breakdown
+  exported through :class:`~repro.serve.stats.ModelStats`;
+* :class:`ObfuscationGuard` — asserts outgoing samples carry the augmentation
+  plan's expected input width (the paper's client-side trust boundary).
+"""
+
+from .base import (
+    BatchContext,
+    MiddlewareError,
+    ObfuscationViolation,
+    RateLimitExceeded,
+    RequestContext,
+    ServeMiddleware,
+    ValidationError,
+)
+from .cache import ResponseCache, sample_fingerprint
+from .chain import MiddlewareChain
+from .guard import ObfuscationGuard
+from .limiter import RateLimiter
+from .telemetry import Telemetry
+from .validator import Validator
+
+__all__ = [
+    "BatchContext",
+    "MiddlewareChain",
+    "MiddlewareError",
+    "ObfuscationGuard",
+    "ObfuscationViolation",
+    "RateLimitExceeded",
+    "RateLimiter",
+    "RequestContext",
+    "ResponseCache",
+    "ServeMiddleware",
+    "Telemetry",
+    "ValidationError",
+    "Validator",
+    "sample_fingerprint",
+]

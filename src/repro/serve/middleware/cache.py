@@ -1,0 +1,134 @@
+"""Response cache: content-hash memoization of identical samples.
+
+Serving workloads repeat themselves — the same canned prompt, the same probe
+image, the same health-check sample — and a forward pass is the most
+expensive thing in the stack.  The cache keys on the *content* of the sample
+(model id + dtype + shape + raw bytes, SHA-256), so two byte-identical
+requests hit regardless of which client or mode sent them.
+
+Hits short-circuit the chain on descent (inner middlewares and the model
+never run); misses are recorded on the unwind, only for successful
+responses.  The store is LRU-bounded and every operation happens under one
+lock, so the cache is safe to share across the server's worker threads.
+
+Cached responses are returned by reference and stored **frozen**
+(``writeable=False``): a caller that tries to mutate a served hit in place
+gets a ``ValueError`` rather than corrupting what every later request sees.
+Copy before mutating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict
+
+import numpy as np
+
+from .base import RequestContext, ServeMiddleware
+
+
+def sample_fingerprint(model_id: str, sample: np.ndarray) -> str:
+    """SHA-256 over the model id and the sample's dtype, shape and bytes.
+
+    This runs on every request, so it avoids per-call copies: a contiguous
+    sample is hashed straight through its buffer.  The dtype/shape header
+    keeps byte-identical-but-differently-typed samples distinct.
+    """
+    sample = np.asarray(sample)
+    if not sample.flags.c_contiguous:
+        sample = np.ascontiguousarray(sample)
+    digest = hashlib.sha256(model_id.encode("utf-8"))
+    digest.update(sample.dtype.str.encode("ascii"))
+    digest.update(np.asarray(sample.shape, dtype=np.int64).tobytes())
+    digest.update(sample.data)
+    return digest.hexdigest()
+
+
+class ResponseCache(ServeMiddleware):
+    """LRU-bounded, thread-safe memoization of per-sample responses."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._store: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every entry *and* reset the hit/miss/eviction counters, so
+        post-clear ``stats()`` describes only post-clear traffic."""
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._store),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+            }
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_request(self, context: RequestContext) -> None:
+        # A caller may pre-set metadata["cache_key"] to control request
+        # identity — the ExtractionProxy keys on the *raw* sample this way,
+        # since its augmented samples carry fresh noise and would never
+        # collide by content.
+        key = context.metadata.get("cache_key")
+        if not isinstance(key, str):
+            key = sample_fingerprint(context.model_id, context.sample)
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._store.move_to_end(key)
+                self.hits += 1
+                context.response = cached
+                context.metadata["cache"] = "hit"
+                return
+            self.misses += 1
+        context.metadata["cache"] = "miss"
+        context.metadata["cache_key"] = key
+
+    def on_response(self, context: RequestContext) -> None:
+        if context.error is not None or context.response is None:
+            return
+        if context.metadata.get("cache") != "miss":
+            return
+        key = context.metadata.get("cache_key")
+        if not isinstance(key, str):
+            return
+        # Copy on store: server responses are views into the whole padded
+        # batch output, and caching the view would pin that array in memory.
+        # The copy is frozen so a caller mutating a served result in place
+        # gets an immediate ValueError instead of silently poisoning the
+        # cache; the miss caller receives the same frozen copy a later hit
+        # would, so writability does not vary by cache outcome.
+        response = np.array(context.response)
+        response.setflags(write=False)
+        context.response = response
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                return
+            self._store[key] = response
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1

@@ -1,0 +1,203 @@
+"""The interception chain: composes middlewares around model execution.
+
+``MiddlewareChain`` is the one pipeline all request flow passes through —
+the server's sync path, its queue/worker concurrent path, and the client
+proxy all build :class:`RequestContext` objects and hand them here, so a
+middleware written once observes every mode identically.
+
+Semantics (pinned by ``tests/serve/test_middleware.py``):
+
+* ``on_request`` runs in registration order; the first middleware to set a
+  response (short-circuit) or raise (rejection) stops the descent.
+* ``on_batch`` runs in registration order once per coalesced batch, over the
+  contexts that still need the model.
+* On the way out, ``on_error`` (when an error is set) and ``on_response`` run
+  in reverse order for exactly the middlewares whose ``on_request``
+  completed — an error raised by middleware *i* still unwinds middlewares
+  ``0..i-1``, so outer telemetry always observes rejected requests.
+* ``on_error`` may recover (clear ``context.error``, set a response); outer
+  middlewares then see a success.
+
+Every hook invocation is timed into ``context.timings`` so telemetry can
+export a per-middleware latency breakdown without instrumenting each class.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from .base import BatchContext, MiddlewareError, RequestContext, ServeMiddleware
+
+RunModel = Callable[[List[RequestContext]], None]
+
+
+class MiddlewareChain:
+    """An ordered, immutable-by-iteration stack of :class:`ServeMiddleware`."""
+
+    def __init__(self, middlewares: Iterable[ServeMiddleware] = ()) -> None:
+        self._middlewares: List[ServeMiddleware] = []
+        for middleware in middlewares:
+            self.add(middleware)
+
+    @classmethod
+    def coerce(
+        cls, middleware: "Union[MiddlewareChain, Iterable[ServeMiddleware], None]"
+    ) -> "MiddlewareChain":
+        """Normalize a constructor argument: a chain passes through (shared
+        state intact), an iterable becomes a new chain, ``None`` an empty one."""
+        if isinstance(middleware, cls):
+            return middleware
+        return cls(middleware or ())
+
+    def add(self, middleware: ServeMiddleware) -> "MiddlewareChain":
+        """Append ``middleware`` (outermost first: registration order = descent order)."""
+        if not isinstance(middleware, ServeMiddleware):
+            raise TypeError(f"expected a ServeMiddleware, got {type(middleware).__name__}")
+        self._middlewares.append(middleware)
+        return self
+
+    @property
+    def middlewares(self) -> Tuple[ServeMiddleware, ...]:
+        return tuple(self._middlewares)
+
+    def __len__(self) -> int:
+        return len(self._middlewares)
+
+    def __iter__(self) -> Iterator[ServeMiddleware]:
+        return iter(self._middlewares)
+
+    def __bool__(self) -> bool:
+        return bool(self._middlewares)
+
+    # ------------------------------------------------------------------
+    # Hook plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _timed(
+        context: RequestContext, key: str, hook: Callable[..., None], *args: object
+    ) -> None:
+        begin = time.perf_counter()
+        try:
+            hook(*args)
+        finally:
+            context.timings[key] = context.timings.get(key, 0.0) + time.perf_counter() - begin
+
+    def enter(self, context: RequestContext) -> List[ServeMiddleware]:
+        """Run the ``on_request`` descent; returns the middlewares that entered.
+
+        Exposed (with :meth:`exit`) so callers that cross an async boundary —
+        the proxy's ``submit`` — can split the descent from the unwind.
+        """
+        entered: List[ServeMiddleware] = []
+        for middleware in self._middlewares:
+            try:
+                self._timed(
+                    context,
+                    f"{middleware.name}.on_request",
+                    middleware.on_request,
+                    context,
+                )
+            except Exception as error:  # noqa: BLE001 - typed rejections included
+                context.error = error
+                break
+            entered.append(middleware)
+            if context.response is not None:
+                context.metadata.setdefault("short_circuited_by", middleware.name)
+                break
+        return entered
+
+    def exit(self, context: RequestContext, entered: Sequence[ServeMiddleware]) -> None:
+        """Unwind ``on_error``/``on_response`` in reverse order over ``entered``."""
+        for middleware in reversed(entered):
+            if context.error is not None:
+                try:
+                    self._timed(
+                        context,
+                        f"{middleware.name}.on_error",
+                        middleware.on_error,
+                        context,
+                    )
+                except Exception as error:  # noqa: BLE001
+                    context.error = error
+            try:
+                self._timed(
+                    context,
+                    f"{middleware.name}.on_response",
+                    middleware.on_response,
+                    context,
+                )
+            except Exception as error:  # noqa: BLE001
+                context.error = error
+        context.timings["total"] = time.perf_counter() - context.created_at
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, context: RequestContext, run_model: RunModel) -> RequestContext:
+        """Run one request through the full chain (a batch of one)."""
+        self.execute_batch([context], run_model)
+        return context
+
+    def execute_batch(
+        self, contexts: Sequence[RequestContext], run_model: RunModel
+    ) -> Sequence[RequestContext]:
+        """Run one coalesced batch of same-model requests through the chain.
+
+        ``run_model`` receives the contexts that were neither short-circuited
+        nor rejected and must set each one's ``response``.  Each context ends
+        up with exactly one outcome: a response or an error.
+        """
+        if not contexts:
+            return contexts
+        model_id = contexts[0].model_id
+        for context in contexts:
+            if context.model_id != model_id:
+                raise ValueError(
+                    "execute_batch requires same-model contexts; got "
+                    f"'{context.model_id}' alongside '{model_id}'"
+                )
+
+        entered = [self.enter(context) for context in contexts]
+        pending = [context for context in contexts if not context.answered]
+        if pending:
+            self._run_pending(model_id, pending, run_model)
+        for context, middlewares in zip(contexts, entered):
+            self.exit(context, middlewares)
+        return contexts
+
+    def _run_pending(
+        self, model_id: str, pending: List[RequestContext], run_model: RunModel
+    ) -> None:
+        # Batch-level stages happen once for the whole coalesced batch, so
+        # each context records its per-request *share* — stage totals stay
+        # additive when Telemetry sums them across requests.
+        batch = BatchContext(model_id=model_id, contexts=pending)
+        for middleware in self._middlewares:
+            try:
+                begin = time.perf_counter()
+                middleware.on_batch(batch)
+                share = (time.perf_counter() - begin) / len(pending)
+                key = f"{middleware.name}.on_batch"
+                for context in pending:
+                    context.timings[key] = context.timings.get(key, 0.0) + share
+            except Exception as error:  # noqa: BLE001 - fails the whole batch
+                for context in pending:
+                    context.error = error
+                return
+        begin = time.perf_counter()
+        try:
+            run_model(pending)
+        except Exception as error:  # noqa: BLE001 - fails every unanswered request
+            for context in pending:
+                if not context.answered:
+                    context.error = error
+        finally:
+            share = (time.perf_counter() - begin) / len(pending)
+            for context in pending:
+                context.timings["model"] = share
+        for context in pending:
+            if not context.answered:
+                context.error = MiddlewareError(
+                    f"model execution produced no response for '{model_id}'"
+                )

@@ -1,0 +1,63 @@
+"""ObfuscationGuard: the paper's client-side trust boundary as an interceptor.
+
+The whole point of the augmentation scheme is that only *augmented* tensors
+ever reach the untrusted provider.  That invariant used to live implicitly
+in ``ExtractionProxy.augment`` call sites; this middleware makes it an
+explicit, reusable assertion: every outgoing sample must carry the
+augmentation plan's expected input width.  A raw-shaped sample — the exact
+leak the threat model forbids — is rejected with a typed
+:class:`~repro.serve.middleware.base.ObfuscationViolation` before it can
+cross the wire.
+
+Install it in a client proxy chain (outbound enforcement) or in a server
+chain (a provider-side check that clients are sending augmented-resolution
+inputs, which reveals nothing secret — the augmented shape is public).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ...core.augmentation_plan import ImageAugmentationPlan, TextAugmentationPlan
+from .base import ObfuscationViolation, RequestContext, ServeMiddleware
+
+
+class ObfuscationGuard(ServeMiddleware):
+    """Asserts outgoing samples match the plan's augmented input width.
+
+    Accepts an :class:`ImageAugmentationPlan`, a :class:`TextAugmentationPlan`
+    or an :class:`~repro.core.augmentation_plan.ObfuscationSecrets` (whose
+    ``dataset_plan`` is used).  Only the plan's public *shapes* are read —
+    the guard never touches insertion positions or the original index.
+    """
+
+    def __init__(self, plan_or_secrets) -> None:
+        plan = getattr(plan_or_secrets, "dataset_plan", plan_or_secrets)
+        if isinstance(plan, ImageAugmentationPlan):
+            self.expected_shape: Tuple[int, ...] = tuple(plan.augmented_shape)
+            self.raw_shape: Tuple[int, ...] = tuple(plan.original_shape)
+        elif isinstance(plan, TextAugmentationPlan):
+            self.expected_shape = (plan.augmented_length,)
+            self.raw_shape = (plan.original_length,)
+        else:
+            raise TypeError(
+                "ObfuscationGuard needs an augmentation plan or secrets, got "
+                f"{type(plan_or_secrets).__name__}"
+            )
+
+    def on_request(self, context: RequestContext) -> None:
+        shape = tuple(np.asarray(context.sample).shape)
+        if shape == self.expected_shape:
+            return
+        if shape == self.raw_shape:
+            raise ObfuscationViolation(
+                f"raw (un-augmented) sample of shape {shape} was about to cross "
+                "the trust boundary; augment it to "
+                f"{self.expected_shape} before serving"
+            )
+        raise ObfuscationViolation(
+            f"sample shape {shape} does not match the augmentation plan's "
+            f"expected input width {self.expected_shape}"
+        )

@@ -1,0 +1,87 @@
+"""Token-bucket admission control, keyed per (tenant, model) by default.
+
+Each key owns a bucket holding at most ``capacity`` tokens that refills
+continuously at ``rate`` tokens/second.  A request takes one token on
+``on_request``; an empty bucket raises the typed
+:class:`~repro.serve.middleware.base.RateLimitExceeded` carrying a
+``retry_after`` hint, so clients and futures see a structured rejection
+instead of silent queueing.
+
+The clock is injectable (``clock=...``) so tests can drive admission
+deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from .base import RateLimitExceeded, RequestContext, ServeMiddleware
+
+BucketKey = Callable[[RequestContext], Hashable]
+
+
+def _tenant_model_key(context: RequestContext) -> Hashable:
+    return (context.tenant, context.model_id)
+
+
+class RateLimiter(ServeMiddleware):
+    """Thread-safe token-bucket rate limiter."""
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: Optional[float] = None,
+        key: Optional[BucketKey] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/second")
+        capacity = float(rate) if capacity is None else float(capacity)
+        if capacity < 1:
+            raise ValueError("capacity must hold at least one token")
+        self.rate = float(rate)
+        self.capacity = capacity
+        self._key = key if key is not None else _tenant_model_key
+        self._clock = clock
+        self._buckets: Dict[Hashable, Tuple[float, float]] = {}  # key -> (tokens, stamp)
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected = 0
+
+    def tokens(self, context: RequestContext) -> float:
+        """Current token balance for ``context``'s bucket (for monitoring/tests)."""
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(self._key(context), (self.capacity, now))
+            return min(self.capacity, tokens + (now - stamp) * self.rate)
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "buckets": len(self._buckets),
+            }
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_request(self, context: RequestContext) -> None:
+        key = self._key(context)
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(key, (self.capacity, now))
+            tokens = min(self.capacity, tokens + (now - stamp) * self.rate)
+            if tokens < 1.0:
+                self._buckets[key] = (tokens, now)
+                self.rejected += 1
+                retry_after = (1.0 - tokens) / self.rate
+            else:
+                self._buckets[key] = (tokens - 1.0, now)
+                self.admitted += 1
+                retry_after = None
+        if retry_after is not None:
+            context.metadata["rate_limited"] = True
+            raise RateLimitExceeded(context.tenant, context.model_id, retry_after)

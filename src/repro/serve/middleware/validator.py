@@ -1,0 +1,62 @@
+"""Input validation against the registry's published bundle contract.
+
+``CloudSession.publish`` records the *public* input contract of an uploaded
+model in its registry entry metadata: ``input_shape`` (the augmented sample
+shape the model was trained on — public, since the provider sees augmented
+tensors anyway) and ``input_dtype`` (its dtype kind).  The validator rejects
+non-conforming samples with a typed
+:class:`~repro.serve.middleware.base.ValidationError` before they reach the
+batcher, where a shape mismatch would otherwise surface as an opaque
+broadcasting error deep inside a kernel — or worse, poison a whole coalesced
+batch.
+
+Dtype checking is by *kind* (float vs integer), not exact width, because the
+compute substrate up/down-casts floats to its default dtype.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import RequestContext, ServeMiddleware, ValidationError
+
+
+class Validator(ServeMiddleware):
+    """Checks each sample against the registered model's input contract.
+
+    ``require_contract=True`` additionally rejects models published without
+    an ``input_shape`` (useful for locked-down deployments); by default such
+    models pass through unchecked.
+    """
+
+    def __init__(self, registry, require_contract: bool = False) -> None:
+        self.registry = registry
+        self.require_contract = require_contract
+
+    def on_request(self, context: RequestContext) -> None:
+        entry = self.registry.entry(context.model_id)  # unknown model: KeyError
+        expected_shape: Optional[Sequence[int]] = entry.metadata.get("input_shape")
+        if expected_shape is None:
+            if self.require_contract:
+                raise ValidationError(
+                    f"model '{context.model_id}' was published without an "
+                    "input_shape contract and this validator requires one"
+                )
+            return
+        sample = np.asarray(context.sample)
+        if tuple(sample.shape) != tuple(expected_shape):
+            raise ValidationError(
+                f"sample shape {tuple(sample.shape)} does not match model "
+                f"'{context.model_id}' contract {tuple(expected_shape)}"
+            )
+        expected_dtype = entry.metadata.get("input_dtype")
+        if expected_dtype is not None:
+            expected_kind = np.dtype(str(expected_dtype)).kind
+            if sample.dtype.kind != expected_kind:
+                raise ValidationError(
+                    f"sample dtype {sample.dtype} (kind '{sample.dtype.kind}') does "
+                    f"not match model '{context.model_id}' contract kind "
+                    f"'{expected_kind}' ({expected_dtype})"
+                )

@@ -14,12 +14,28 @@ object with the same ``predict`` / ``predict_batch`` surface) and:
 3. can **extract** the original model from a downloaded trained bundle via
    :class:`~repro.core.extractor.ModelExtractor`, should the client want to
    stop paying the serving round trip altogether.
+
+The proxy owns a client-side
+:class:`~repro.serve.middleware.MiddlewareChain`: every augmented sample is
+routed through it before hitting the server, so client-local concerns —
+an :class:`~repro.serve.middleware.ObfuscationGuard` enforcing the trust
+boundary, a :class:`~repro.serve.middleware.ResponseCache` that skips whole
+round trips, telemetry — compose exactly as they do server-side.  The chain
+sees *augmented* samples and *stacked* (pre-``select``) server replies, so
+nothing secret leaks into cached or logged artefacts beyond what the server
+already observes.
+
+``tenant`` scopes the *client-side* chain only: it is deliberately not
+forwarded to the server (so any object with a plain ``predict`` /
+``predict_batch`` / ``submit`` surface keeps working), which means
+server-side per-tenant middleware sees every proxy request as the default
+tenant.  Call the server directly when server-side tenancy matters.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Future
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +49,13 @@ from ..core.config import NoiseSpec
 from ..core.extractor import ExtractionReport, ModelExtractor
 from ..core.noise import NoiseGenerator
 from ..utils.rng import get_rng
+from .middleware import (
+    MiddlewareChain,
+    RequestContext,
+    ResponseCache,
+    ServeMiddleware,
+    sample_fingerprint,
+)
 
 
 class ExtractionProxy:
@@ -44,6 +67,7 @@ class ExtractionProxy:
         noise: Optional[NoiseGenerator] = None,
         value_range: Tuple[float, float] = (0.0, 1.0),
         rng: Optional[np.random.Generator] = None,
+        middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None] = None,
     ) -> None:
         if secrets.dataset_plan is None:
             raise ValueError("secrets must carry a dataset plan to augment inputs")
@@ -51,6 +75,7 @@ class ExtractionProxy:
         self.noise = noise if noise is not None else NoiseGenerator(NoiseSpec())
         self.value_range = value_range
         self.rng = rng if rng is not None else get_rng(secrets.config_seed + 17)
+        self.middleware = MiddlewareChain.coerce(middleware)
 
     @property
     def plan(self):
@@ -127,21 +152,113 @@ class ExtractionProxy:
     # ------------------------------------------------------------------
     # Round trips
     # ------------------------------------------------------------------
-    def predict(self, server, model_id: str, sample: np.ndarray) -> np.ndarray:
-        """One obfuscated round trip: augment, serve, select."""
-        return self.select(server.predict(model_id, self.augment(sample)))
+    def _context(
+        self, model_id: str, augmented: np.ndarray, raw: np.ndarray, tenant: str
+    ) -> RequestContext:
+        """Chain context for one outbound request.
+
+        The context carries the *augmented* sample (middlewares like the
+        guard inspect the wire artifact) but caches key on the *raw* sample:
+        augmentation inserts fresh noise per call, so augmented content never
+        repeats even when the client's request does.
+        """
+        context = RequestContext(
+            model_id=model_id, sample=augmented, tenant=tenant, source="client"
+        )
+        if any(isinstance(middleware, ResponseCache) for middleware in self.middleware):
+            context.metadata["cache_key"] = sample_fingerprint(model_id, raw)
+        return context
+
+    def predict(
+        self, server, model_id: str, sample: np.ndarray, tenant: str = "default"
+    ) -> np.ndarray:
+        """One obfuscated round trip: augment, (middleware), serve, select.
+
+        Uses ``server.predict`` so any object exposing just that surface
+        keeps working for single-sample round trips.
+        """
+        raw = np.asarray(sample)
+        augmented = self.augment(raw)
+        if not self.middleware:
+            return self.select(server.predict(model_id, augmented))
+        context = self._context(model_id, augmented, raw, tenant)
+
+        def run_model(pending: List[RequestContext]) -> None:
+            for ctx in pending:
+                ctx.response = server.predict(model_id, ctx.sample)
+
+        self.middleware.execute(context, run_model)
+        if context.error is not None:
+            raise context.error
+        return self.select(context.response)
 
     def predict_batch(
-        self, server, model_id: str, samples: Sequence[np.ndarray]
+        self, server, model_id: str, samples: Sequence[np.ndarray], tenant: str = "default"
     ) -> List[np.ndarray]:
-        augmented = self.augment_batch(np.asarray(samples))
-        outputs = server.predict_batch(model_id, list(augmented))
-        return [self.select(output) for output in outputs]
+        raw = np.asarray(samples)
+        augmented = self.augment_batch(raw)
+        if not self.middleware:  # fast path: no per-sample context plumbing
+            outputs = server.predict_batch(model_id, list(augmented))
+            return [self.select(output) for output in outputs]
+        contexts = [
+            self._context(model_id, augmented_sample, raw_sample, tenant)
+            for augmented_sample, raw_sample in zip(augmented, raw)
+        ]
 
-    def submit(self, server, model_id: str, sample: np.ndarray):
-        """Concurrent-mode round trip; returns a future resolving to original logits."""
-        future = server.submit(model_id, self.augment(sample))
+        def run_model(pending: List[RequestContext]) -> None:
+            outputs = server.predict_batch(model_id, [context.sample for context in pending])
+            for context, output in zip(pending, outputs):
+                context.response = output
+
+        self.middleware.execute_batch(contexts, run_model)
+        results: List[np.ndarray] = []
+        for context in contexts:
+            if context.error is not None:
+                raise context.error
+            results.append(self.select(context.response))
+        return results
+
+    def submit(self, server, model_id: str, sample: np.ndarray, tenant: str = "default"):
+        """Concurrent-mode round trip; returns a future resolving to original logits.
+
+        The chain's descent (guard/cache/limiter) runs synchronously before
+        the request crosses to the server; the unwind runs in the server
+        future's done-callback, so ``on_response`` still observes the stacked
+        reply (or the failure) exactly as in the synchronous path.
+        """
+        raw = np.asarray(sample)
+        context = self._context(model_id, self.augment(raw), raw, tenant)
         wrapped: Future = Future()
+        entered = self.middleware.enter(context)
+
+        def _finish() -> None:
+            self.middleware.exit(context, entered)
+            if context.error is not None:
+                wrapped.set_exception(context.error)
+                return
+            try:
+                wrapped.set_result(self.select(context.response))
+            except Exception as selection_error:  # noqa: BLE001
+                wrapped.set_exception(selection_error)
+
+        if context.answered:  # short-circuited or rejected client-side
+            _finish()
+            return wrapped
+
+        # ``tenant`` scopes the client-side chain; it is not forwarded so any
+        # object with a plain ``submit(model_id, sample)`` surface still works.
+        # Once middlewares have entered, a synchronous submit failure (stopped
+        # server, full queue) must unwind them and arrive via the future like
+        # every other failure; with no chain state at stake it raises here,
+        # matching the pre-middleware behaviour existing callers rely on.
+        try:
+            future = server.submit(model_id, context.sample)
+        except Exception as submit_error:  # noqa: BLE001
+            if not entered:
+                raise
+            context.error = submit_error
+            _finish()
+            return wrapped
 
         def _resolve(done) -> None:
             # Exceptions raised inside a done-callback are logged and dropped
@@ -149,14 +266,13 @@ class ExtractionProxy:
             # forever — route every failure into the wrapped future instead.
             try:
                 error = done.exception()
-                result = self.select(done.result()) if error is None else None
-            except Exception as selection_error:  # noqa: BLE001
-                wrapped.set_exception(selection_error)
-                return
-            if error is not None:
-                wrapped.set_exception(error)
-            else:
-                wrapped.set_result(result)
+                if error is not None:
+                    context.error = error
+                else:
+                    context.response = done.result()
+                _finish()
+            except Exception as callback_error:  # noqa: BLE001
+                wrapped.set_exception(callback_error)
 
         future.add_done_callback(_resolve)
         return wrapped

@@ -10,8 +10,18 @@ queue, coalesce whatever arrived within ``batcher.max_wait`` (up to
 padded batch.  Every request resolves a :class:`concurrent.futures.Future`,
 so clients block only on their own result.
 
+Both modes funnel every request through one pipeline:
+:meth:`_serve_contexts` builds a :class:`RequestContext` per request and
+hands the coalesced group to the server's
+:class:`~repro.serve.middleware.MiddlewareChain`, whose hooks therefore run
+around the *coalesced* batch (not per-future) with identical semantics in
+sync and concurrent mode — a middleware may answer from cache, reject with a
+typed error, or observe timings, and the caller sees the same behaviour
+either way (sync raises, futures carry the exception).
+
 Per-model statistics (request/batch counts, batch-fill ratio, p50/p95
-latency) are tracked in :class:`~repro.serve.stats.ModelStats`.
+latency, middleware stage timings) are tracked in
+:class:`~repro.serve.stats.ModelStats`.
 """
 
 from __future__ import annotations
@@ -21,11 +31,12 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .batcher import Batcher
+from .middleware import MiddlewareChain, RequestContext, ServeMiddleware
 from .registry import ModelRegistry
 from .stats import ModelStats
 
@@ -37,6 +48,7 @@ class _Request:
     model_id: str
     sample: np.ndarray
     future: Future
+    tenant: str = "default"
     submitted_at: float = field(default_factory=time.perf_counter)
 
 
@@ -52,15 +64,18 @@ class InferenceServer:
         batcher: Optional[Batcher] = None,
         num_workers: int = 2,
         queue_size: int = 4096,
+        middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.registry = registry
         self.batcher = batcher if batcher is not None else Batcher()
         self.num_workers = num_workers
+        self.middleware = MiddlewareChain.coerce(middleware)
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
         self._workers: List[threading.Thread] = []
         self._running = False
+        self._stopped = False
         self._lifecycle_lock = threading.Lock()
         self._stats: Dict[str, ModelStats] = {}
         self._stats_lock = threading.Lock()
@@ -91,27 +106,41 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Synchronous API
     # ------------------------------------------------------------------
-    def predict(self, model_id: str, sample: np.ndarray) -> np.ndarray:
+    def predict(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> np.ndarray:
         """Serve one sample on the caller's thread (a batch of one)."""
-        return self.predict_batch(model_id, [sample])[0]
+        return self.predict_batch(model_id, [sample], tenant=tenant)[0]
 
-    def predict_batch(self, model_id: str, samples: Sequence[np.ndarray]) -> List[np.ndarray]:
-        """Serve many samples on the caller's thread, chunked into padded batches."""
-        model = self.registry.get(model_id)
-        stats = self._model_stats(model_id)
+    def predict_batch(
+        self, model_id: str, samples: Sequence[np.ndarray], tenant: str = "default"
+    ) -> List[np.ndarray]:
+        """Serve many samples on the caller's thread, chunked into padded batches.
+
+        The first per-request error (a middleware rejection or a model
+        failure) is raised; middleware short-circuits (e.g. cache hits) are
+        transparent.  Per-request *outcomes* match concurrent mode exactly
+        (pinned by the parity test), but delivery differs by API shape: a
+        list-returning sync call is fail-fast, so sibling results computed
+        before the first rejection are discarded, while ``submit_many``
+        futures deliver every outcome individually.  Use ``submit_many``
+        when partial results of a mixed batch matter.
+        """
         outputs: List[np.ndarray] = []
         for start in range(0, len(samples), self.batcher.max_batch_size):
             chunk = samples[start : start + self.batcher.max_batch_size]
-            begin = time.perf_counter()
-            try:
-                outputs.extend(self.batcher.run_batch(model, chunk))
-            except Exception:
-                stats.record_error(len(chunk))
-                raise
-            elapsed = time.perf_counter() - begin
-            stats.record_batch(
-                len(chunk), self.batcher.padded_size(len(chunk)), [elapsed] * len(chunk)
-            )
+            contexts = [
+                RequestContext(
+                    model_id=model_id,
+                    sample=np.asarray(sample),
+                    tenant=tenant,
+                    source="sync",
+                )
+                for sample in chunk
+            ]
+            self._serve_contexts(model_id, contexts)
+            for context in contexts:
+                if context.error is not None:
+                    raise context.error
+                outputs.append(context.response)
         return outputs
 
     # ------------------------------------------------------------------
@@ -127,6 +156,7 @@ class InferenceServer:
             if self._running:
                 return self
             self._running = True
+            self._stopped = False
             self._workers = [
                 threading.Thread(
                     target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
@@ -138,11 +168,19 @@ class InferenceServer:
         return self
 
     def stop(self) -> None:
-        """Stop the workers, then drain and serve anything still queued."""
+        """Stop the workers, then drain and serve anything still queued.
+
+        Idempotent: extra ``stop()`` calls (including before any ``start()``)
+        are no-ops.  After ``stop()`` the server can be started again;
+        ``submit()`` in between raises a clear ``RuntimeError`` instead of
+        enqueueing onto a dead queue.
+        """
         with self._lifecycle_lock:
             if not self._running:
+                self._stopped = True
                 return
             self._running = False
+            self._stopped = True
             for _ in self._workers:
                 self._queue.put(_SHUTDOWN)
             for worker in self._workers:
@@ -165,22 +203,36 @@ class InferenceServer:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
-    def submit(self, model_id: str, sample: np.ndarray) -> Future:
+    def submit(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> Future:
         """Enqueue one sample; the returned future resolves to its output array.
 
         The running check and the enqueue happen under the lifecycle lock so a
         request can never slip into the queue after ``stop()`` has drained it
-        (which would leave its future unresolved forever).
+        (which would leave its future unresolved forever).  The enqueue itself
+        is non-blocking: a full queue raises rather than deadlocking ``stop()``
+        against a blocked ``put`` holding the lifecycle lock.
         """
-        request = _Request(model_id, np.asarray(sample), Future())
+        request = _Request(model_id, np.asarray(sample), Future(), tenant=tenant)
         with self._lifecycle_lock:
             if not self._running:
+                if self._stopped:
+                    raise RuntimeError(
+                        "server has been stopped; call start() again before submit()"
+                    )
                 raise RuntimeError("server is not started; call start() or use predict()")
-            self._queue.put(request)
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                raise RuntimeError(
+                    f"request queue is full ({self._queue.maxsize} pending); "
+                    "add workers or apply back-pressure upstream"
+                ) from None
         return request.future
 
-    def submit_many(self, model_id: str, samples: Sequence[np.ndarray]) -> List[Future]:
-        return [self.submit(model_id, sample) for sample in samples]
+    def submit_many(
+        self, model_id: str, samples: Sequence[np.ndarray], tenant: str = "default"
+    ) -> List[Future]:
+        return [self.submit(model_id, sample, tenant=tenant) for sample in samples]
 
     # ------------------------------------------------------------------
     # Worker internals
@@ -217,17 +269,83 @@ class InferenceServer:
             self._execute(model_id, group)
 
     def _execute(self, model_id: str, group: List[_Request]) -> None:
+        """Serve one coalesced same-model group, resolving each future."""
+        contexts = [
+            RequestContext(
+                model_id=model_id,
+                sample=request.sample,
+                tenant=request.tenant,
+                source="concurrent",
+                created_at=request.submitted_at,
+            )
+            for request in group
+        ]
+        self._serve_contexts(model_id, contexts)
+        for request, context in zip(group, contexts):
+            if context.error is not None:
+                request.future.set_exception(context.error)
+            else:
+                request.future.set_result(context.response)
+
+    # ------------------------------------------------------------------
+    # The one pipeline both modes share
+    # ------------------------------------------------------------------
+    def _serve_contexts(self, model_id: str, contexts: List[RequestContext]) -> None:
+        """Run a coalesced same-model group through the middleware chain.
+
+        The model executes once over the contexts the chain left pending
+        (neither short-circuited nor rejected).  Stats accounting:
+        ``requests`` counts model-served requests; ``errors`` counts every
+        failed request from the caller's point of view — model/batcher
+        failures *and* middleware rejections such as rate limiting
+        (distinguish them via ``RateLimiter.stats()`` or the Telemetry
+        stage counters); requests a middleware answered (cache hits) appear
+        only in the Telemetry stages (``request.total`` /
+        ``request.cache_hit``).  An empty chain skips the hook plumbing
+        entirely — the common unconfigured server keeps the bare hot path.
+        """
         stats = self._model_stats(model_id)
+        if not self.middleware:
+            self._serve_direct(model_id, stats, contexts)
+            return
+        for context in contexts:
+            context.stats = stats
+        ran: List[RequestContext] = []
+
+        def run_model(pending: List[RequestContext]) -> None:
+            model = self.registry.get(model_id)
+            outputs = self.batcher.run_batch(model, [context.sample for context in pending])
+            for context, output in zip(pending, outputs):
+                context.response = output
+            ran.extend(pending)
+
+        self.middleware.execute_batch(contexts, run_model)
+
+        now = time.perf_counter()
+        failed = sum(1 for context in contexts if context.error is not None)
+        if failed:
+            stats.record_error(failed)
+        # A request that executed but errored on the unwind (an on_response
+        # hook raised) counts as an error, not a served request.
+        succeeded = [context for context in ran if context.error is None]
+        if succeeded:
+            latencies = [now - context.created_at for context in succeeded]
+            stats.record_batch(len(succeeded), self.batcher.padded_size(len(ran)), latencies)
+
+    def _serve_direct(
+        self, model_id: str, stats: ModelStats, contexts: List[RequestContext]
+    ) -> None:
+        """The middleware-free hot path: one registry lookup, one batch run."""
         try:
             model = self.registry.get(model_id)
-            outputs = self.batcher.run_batch(model, [request.sample for request in group])
-        except Exception as error:  # noqa: BLE001 - failures propagate via futures
-            stats.record_error(len(group))
-            for request in group:
-                request.future.set_exception(error)
+            outputs = self.batcher.run_batch(model, [context.sample for context in contexts])
+        except Exception as error:  # noqa: BLE001 - failures propagate per request
+            stats.record_error(len(contexts))
+            for context in contexts:
+                context.error = error
             return
         now = time.perf_counter()
-        latencies = [now - request.submitted_at for request in group]
-        stats.record_batch(len(group), self.batcher.padded_size(len(group)), latencies)
-        for request, output in zip(group, outputs):
-            request.future.set_result(output)
+        latencies = [now - context.created_at for context in contexts]
+        stats.record_batch(len(contexts), self.batcher.padded_size(len(contexts)), latencies)
+        for context, output in zip(contexts, outputs):
+            context.response = output

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, Dict, Iterable
+from typing import Deque, Dict, Iterable, List
 
 import numpy as np
 
@@ -51,6 +51,9 @@ class ModelStats:
         self.padded_samples = 0
         self.errors = 0
         self.latency = LatencyWindow(window)
+        # stage name -> [count, total_seconds]; fed by the Telemetry
+        # middleware with the chain's per-hook/model/total timings.
+        self._stages: Dict[str, List[float]] = {}
         self._lock = threading.Lock()
 
     def record_batch(self, batch_size: int, padded_size: int, latencies: Iterable[float]) -> None:
@@ -65,8 +68,32 @@ class ModelStats:
         with self._lock:
             self.errors += count
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate one timed occurrence of ``stage`` (e.g. ``"model"``,
+        ``"ResponseCache.on_request"``, ``"request.total"``)."""
+        with self._lock:
+            bucket = self._stages.get(stage)
+            if bucket is None:
+                self._stages[stage] = [1, float(seconds)]
+            else:
+                bucket[0] += 1
+                bucket[1] += float(seconds)
+
+    def stages(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage latency breakdown: count, total and mean milliseconds."""
+        with self._lock:
+            return {
+                stage: {
+                    "count": int(count),
+                    "total_ms": round(total * 1e3, 4),
+                    "mean_ms": round(total / count * 1e3, 4) if count else 0.0,
+                }
+                for stage, (count, total) in self._stages.items()
+            }
+
     def snapshot(self) -> Dict[str, float]:
         """A point-in-time copy of the counters plus derived ratios."""
+        stages = self.stages()
         with self._lock:
             batches = self.batches
             requests = self.requests
@@ -82,4 +109,5 @@ class ModelStats:
                 "padding_overhead_x": round(pad_overhead, 3),
                 "p50_latency_ms": round(self.latency.percentile(50) * 1e3, 4),
                 "p95_latency_ms": round(self.latency.percentile(95) * 1e3, 4),
+                "stages": stages,
             }

@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis): batcher sizing invariants, cache semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import Batcher, MiddlewareChain, RequestContext, ResponseCache, bucket_size
+
+# ----------------------------------------------------------------------
+# bucket_size / padded_size invariants
+# ----------------------------------------------------------------------
+
+counts = st.integers(min_value=1, max_value=512)
+max_batch_sizes = st.integers(min_value=1, max_value=256)
+paddings = st.sampled_from(("none", "bucket", "full"))
+
+
+@given(count=counts, max_batch_size=max_batch_sizes)
+def test_bucket_size_bounds(count, max_batch_size):
+    size = bucket_size(count, max_batch_size)
+    assert 1 <= size <= max_batch_size
+    # holds the count whenever the count fits at all
+    assert size >= min(count, max_batch_size)
+    # power of two unless clamped at the cap
+    assert size == max_batch_size or (size & (size - 1)) == 0
+
+
+@given(count=counts, max_batch_size=max_batch_sizes)
+def test_bucket_size_is_monotonic_in_count(count, max_batch_size):
+    assert bucket_size(count, max_batch_size) <= bucket_size(count + 1, max_batch_size)
+
+
+@given(count=counts, max_batch_size=max_batch_sizes, padding=paddings)
+def test_padded_size_invariants(count, max_batch_size, padding):
+    batcher = Batcher(max_batch_size=max_batch_size, padding=padding)
+    padded = batcher.padded_size(count)
+    effective = min(count, max_batch_size)
+    # >= the requests it holds, <= the configured cap
+    assert effective <= padded <= max_batch_size
+    if padding == "none":
+        assert padded == effective
+    if padding == "full":
+        assert padded == max_batch_size
+
+
+@given(count=counts, max_batch_size=max_batch_sizes, padding=paddings)
+def test_padded_size_is_monotonic_in_count(count, max_batch_size, padding):
+    batcher = Batcher(max_batch_size=max_batch_size, padding=padding)
+    assert batcher.padded_size(count) <= batcher.padded_size(count + 1)
+
+
+# ----------------------------------------------------------------------
+# ResponseCache hit/miss semantics under random sample streams
+# ----------------------------------------------------------------------
+
+# Streams of (pool_index) requests over a small pool of distinct samples; the
+# cache must behave exactly like an LRU dict keyed by sample content.
+streams = st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=64)
+
+
+def serve_stream(cache: ResponseCache, stream) -> list:
+    """Run a stream through a single-middleware chain; model returns the index."""
+    pool = [np.full(3, float(index), dtype=np.float32) for index in range(8)]
+    outcomes = []
+    for index in stream:
+        context = RequestContext(model_id="m", sample=pool[index])
+
+        def run_model(pending, index=index):
+            for ctx in pending:
+                ctx.response = np.asarray(float(index))
+
+        MiddlewareChain([cache]).execute(context, run_model)
+        assert context.error is None
+        assert float(np.asarray(context.response)) == float(index)
+        outcomes.append(context.metadata["cache"])
+    return outcomes
+
+
+@settings(deadline=None)
+@given(stream=streams)
+def test_unbounded_cache_misses_exactly_first_occurrences(stream):
+    cache = ResponseCache(capacity=1024)
+    outcomes = serve_stream(cache, stream)
+    seen = set()
+    for index, outcome in zip(stream, outcomes):
+        assert outcome == ("hit" if index in seen else "miss")
+        seen.add(index)
+    assert cache.hits + cache.misses == len(stream)
+    assert cache.misses == len(seen)
+    assert len(cache) == len(seen)
+    assert cache.evictions == 0
+
+
+@settings(deadline=None)
+@given(stream=streams, capacity=st.integers(min_value=1, max_value=4))
+def test_bounded_cache_matches_lru_model(stream, capacity):
+    cache = ResponseCache(capacity=capacity)
+    outcomes = serve_stream(cache, stream)
+    lru: list = []  # model: most recent last
+    for index, outcome in zip(stream, outcomes):
+        if index in lru:
+            assert outcome == "hit"
+            lru.remove(index)
+        else:
+            assert outcome == "miss"
+            if len(lru) == capacity:
+                lru.pop(0)
+        lru.append(index)
+    assert len(cache) == len(lru) <= capacity
+    assert cache.hits == sum(1 for o in outcomes if o == "hit")
+    assert cache.misses == sum(1 for o in outcomes if o == "miss")

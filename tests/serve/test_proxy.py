@@ -10,7 +10,17 @@ from repro.cloud import CloudSession
 from repro.core import Amalgam, AmalgamConfig, ModelExtractor
 from repro.data import make_agnews, make_mnist
 from repro.models import LeNet, TextClassifier
-from repro.serve import Batcher, ExtractionProxy, InferenceServer, ModelRegistry
+from repro.serve import (
+    Batcher,
+    ExtractionProxy,
+    InferenceServer,
+    ModelRegistry,
+    ObfuscationGuard,
+    ObfuscationViolation,
+    RateLimitExceeded,
+    RateLimiter,
+    ResponseCache,
+)
 from repro.utils.rng import get_rng
 
 
@@ -185,3 +195,100 @@ class TestOfflineExtraction:
         assert set(got) == set(want)
         for name in want:
             assert np.array_equal(got[name], want[name])
+
+
+class TestProxyMiddleware:
+    """The client-side chain: guard, cache and telemetry around round trips."""
+
+    def test_obfuscation_guard_passes_augmented_traffic(self, served_image_job):
+        data, job, _, server = served_image_job
+        proxy = ExtractionProxy(job.secrets, middleware=[ObfuscationGuard(job.secrets)])
+        output = proxy.predict(server, "lenet-aug", data.train.samples[0])
+        assert output.shape == (10,)
+
+    def test_obfuscation_guard_blocks_raw_leak(self, served_image_job):
+        data, job, _, server = served_image_job
+
+        class SkipAugmentation(ExtractionProxy):
+            def augment_batch(self, samples):  # a buggy client: no augmentation
+                return np.asarray(samples)
+
+        proxy = SkipAugmentation(job.secrets, middleware=[ObfuscationGuard(job.secrets)])
+        with pytest.raises(ObfuscationViolation, match="trust boundary"):
+            proxy.predict(server, "lenet-aug", data.train.samples[0])
+
+    def test_client_cache_hits_on_repeated_raw_samples(self, served_image_job):
+        """The cache keys on the *raw* sample even though every outbound
+        augmentation carries fresh noise — a repeated client request must hit
+        without any server round trip."""
+        data, job, registry, _ = served_image_job
+        cache = ResponseCache(capacity=16)
+
+        class CountingServer:
+            def __init__(self, inner):
+                self.inner, self.calls = inner, 0
+
+            def predict(self, model_id, sample):
+                self.calls += 1
+                return self.inner.predict(model_id, sample)
+
+            def predict_batch(self, model_id, samples):
+                self.calls += 1
+                return self.inner.predict_batch(model_id, samples)
+
+        counting = CountingServer(InferenceServer(registry, Batcher(max_batch_size=8)))
+        proxy = ExtractionProxy(job.secrets, middleware=[cache])
+        sample = data.train.samples[0]
+        first = proxy.predict(counting, "lenet-aug", sample)
+        second = proxy.predict(counting, "lenet-aug", sample)
+        assert counting.calls == 1  # the second round trip never left the client
+        assert np.array_equal(first, second)
+        assert cache.stats()["hits"] == 1
+
+    def test_submit_short_circuits_on_client_cache_hit(self, served_image_job):
+        data, job, registry, _ = served_image_job
+        cache = ResponseCache(capacity=16)
+        sample = data.train.samples[3]
+        proxy = ExtractionProxy(job.secrets, middleware=[cache])
+        server = InferenceServer(registry, Batcher(max_batch_size=4, max_wait=0.005))
+        with server:
+            warm = proxy.submit(server, "lenet-aug", sample).result(timeout=30)
+        # server stopped: a hit must resolve client-side without touching it
+        future = proxy.submit(server, "lenet-aug", sample)
+        assert np.array_equal(future.result(timeout=5), warm)
+        assert cache.stats()["hits"] == 1
+
+    def test_rejection_propagates_through_submit_future(self, served_image_job):
+        data, job, registry, _ = served_image_job
+        limiter = RateLimiter(rate=1.0, capacity=1, clock=lambda: 0.0)
+        proxy = ExtractionProxy(job.secrets, middleware=[limiter])
+        server = InferenceServer(registry, Batcher(max_batch_size=4, max_wait=0.005))
+        with server:
+            ok = proxy.submit(server, "lenet-aug", data.train.samples[0])
+            assert ok.result(timeout=30).shape == (10,)
+            rejected = proxy.submit(server, "lenet-aug", data.train.samples[1])
+            with pytest.raises(RateLimitExceeded):
+                rejected.result(timeout=5)
+
+    def test_submit_failure_on_stopped_server_arrives_via_future(self, served_image_job):
+        data, job, registry, _ = served_image_job
+        limiter = RateLimiter(rate=1e6, capacity=1e6)
+        proxy = ExtractionProxy(job.secrets, middleware=[limiter])
+        server = InferenceServer(registry, Batcher(max_batch_size=4))
+        server.start()
+        server.stop()
+        # the chain already entered (token taken) when submit fails; the
+        # failure must unwind it and arrive via the future, not raise here
+        future = proxy.submit(server, "lenet-aug", data.train.samples[0])
+        with pytest.raises(RuntimeError, match="stopped"):
+            future.result(timeout=5)
+        assert limiter.stats()["admitted"] == 1
+
+    def test_submit_without_middleware_raises_synchronously(self, served_image_job):
+        data, job, registry, _ = served_image_job
+        proxy = ExtractionProxy(job.secrets)  # no chain: pre-middleware behaviour
+        server = InferenceServer(registry, Batcher(max_batch_size=4))
+        server.start()
+        server.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            proxy.submit(server, "lenet-aug", data.train.samples[0])

@@ -140,6 +140,48 @@ class TestConcurrentMode:
                 f"threaded result for sample {sample_index} differs from sequential"
             )
 
+    def test_stop_is_idempotent_and_safe_before_start(self, server):
+        server.stop()  # never started: no-op
+        server.stop()
+        assert not server.running
+        server.start()
+        server.stop()
+        server.stop()  # double stop after a real run
+        assert not server.running
+
+    def test_submit_after_stop_raises_clear_error(self, server, images):
+        server.start()
+        server.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            server.submit("lenet", images[0])
+
+    def test_submit_before_first_start_names_the_remedy(self, server, images):
+        with pytest.raises(RuntimeError, match="start\\(\\)"):
+            server.submit("lenet", images[0])
+
+    def test_server_restarts_after_stop(self, server, images):
+        server.start()
+        first = server.submit("lenet", images[0]).result(timeout=30)
+        server.stop()
+        server.start()
+        second = server.submit("lenet", images[0]).result(timeout=30)
+        server.stop()
+        np.testing.assert_allclose(first, second, rtol=1e-5, atol=1e-6)
+
+    def test_full_queue_raises_instead_of_deadlocking(self, registry, images):
+        server = InferenceServer(
+            registry, Batcher(max_batch_size=2, max_wait=0.0), queue_size=2
+        )
+        # Simulate workers that never drain: mark running without threads.
+        server._running = True
+        try:
+            server.submit("lenet", images[0])
+            server.submit("lenet", images[1])
+            with pytest.raises(RuntimeError, match="queue is full"):
+                server.submit("lenet", images[2])
+        finally:
+            server._running = False
+
     def test_threaded_batches_actually_coalesce(self, images):
         server = bit_reproducible_server(max_batch_size=8, num_workers=1)
         with server:
