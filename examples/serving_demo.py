@@ -21,6 +21,9 @@ from repro.data import make_mnist
 from repro.models import LeNet
 from repro.serve import (
     Batcher,
+    ClusterRouter,
+    ConsistentHashPolicy,
+    DeadlineExceeded,
     ExtractionProxy,
     InferenceServer,
     ModelRegistry,
@@ -28,6 +31,7 @@ from repro.serve import (
     ObfuscationViolation,
     RateLimiter,
     RateLimitExceeded,
+    ReplicaWorker,
     ResponseCache,
     Telemetry,
     ValidationError,
@@ -161,9 +165,57 @@ def main() -> None:
         print(f"  {stage:28s} count={breakdown['count']:3d} mean={breakdown['mean_ms']:.2f}ms")
 
     # ------------------------------------------------------------------
-    # 5. The download path still works: extract the original model.
+    # 5. Cluster: shard the catalogue over replicas, survive a kill, shed
+    #    what cannot meet its deadline.
     # ------------------------------------------------------------------
-    print("\n=== 5. offline extraction from the served bundle ===")
+    print("\n=== 5. sharded cluster with failover and SLA admission ===")
+    router = ClusterRouter(
+        [
+            ReplicaWorker(
+                f"replica-{index}",
+                batcher=Batcher(max_batch_size=16, max_wait=0.002, padding="bucket"),
+            )
+            for index in range(3)
+        ],
+        placement=ConsistentHashPolicy(replication_factor=2, vnodes=64),
+        middleware=[RateLimiter(rate=10_000.0, capacity=10_000)],  # cluster-wide budget
+    )
+    # Shard-aware publish: the same CloudSession.publish call targets the
+    # cluster; the placement policy decides which replicas hold the model.
+    CloudSession.publish(job, router, "mnist-lenet")
+    print(f"shard map: {router.shard_map()}")
+
+    with router:
+        cluster_futures = [proxy.submit(router, "mnist-lenet", sample) for sample in queries]
+        primary = router.shard_map()["mnist-lenet"][0]
+        router.replica(primary).kill()  # a replica dies mid-run...
+        cluster_outputs = [future.result(timeout=60) for future in cluster_futures]
+    cluster_predictions = np.array([int(np.argmax(output)) for output in cluster_outputs])
+    cluster_accuracy = float(np.mean(cluster_predictions == labels))
+    router_stats = router.stats()
+    print(
+        f"killed '{primary}' mid-run: {len(cluster_outputs)}/{len(queries)} requests "
+        f"answered (accuracy {cluster_accuracy:.3f}, "
+        f"failovers {router_stats['router']['failovers']}, "
+        f"failed {router_stats['router']['failed']})"
+    )
+    merged = router_stats["models"]["mnist-lenet"]
+    print(
+        f"cluster-merged stats: {merged['requests']} requests  "
+        f"p50 {merged['p50_latency_ms']:.2f} ms  p95 {merged['p95_latency_ms']:.2f} ms"
+    )
+
+    # SLA admission: a request whose deadline already passed is shed with a
+    # typed error before any replica computes.
+    try:
+        router.predict("mnist-lenet", proxy.augment(queries[0]), deadline=-0.001)
+    except DeadlineExceeded as error:
+        print(f"admission: {error}")
+
+    # ------------------------------------------------------------------
+    # 6. The download path still works: extract the original model.
+    # ------------------------------------------------------------------
+    print("\n=== 6. offline extraction from the served bundle ===")
     report = proxy.extract_model(
         entry.bundle, lambda: LeNet(10, 1, 28, rng=np.random.default_rng(0))
     )

@@ -71,13 +71,20 @@ class CloudSession:
                 replace: bool = False) -> "RegistryEntry":
         """Upload the job's (trained) augmented model into a serving registry.
 
+        ``registry`` is anything with a :meth:`ModelRegistry.register`-shaped
+        surface: a single-server :class:`~repro.serve.registry.ModelRegistry`
+        or a :class:`~repro.serve.cluster.ClusterRouter`, whose placement
+        policy then decides which replicas hold the shard (shard-aware
+        publish).
+
         Only augmented artefacts cross this boundary: the registry receives
         the packed :class:`ModelBundle` plus a structural clone of the
         augmented architecture (the stand-in for a TorchScript export — the
         simulated :class:`~repro.cloud.environment.CloudEnvironment` ships
         model objects the same way).  The job's secrets stay with the caller,
         who should wrap the returned ids in a
-        :class:`~repro.serve.proxy.ExtractionProxy` to query the server.
+        :class:`~repro.serve.proxy.ExtractionProxy` to query the server or
+        cluster.
         """
         bundle = pack_model(job.augmented_model, task=job.augmented_model.task)
         architecture = copy.deepcopy(job.augmented_model)

@@ -14,10 +14,30 @@ This package turns a trained augmented model into a multi-client service:
   obfuscation guard) every request path runs through;
 * :class:`~repro.serve.proxy.ExtractionProxy` — the client-side trust
   boundary that augments inputs and selects the original sub-network's
-  output, so the server only ever sees augmented artefacts.
+  output, so the server only ever sees augmented artefacts;
+* :mod:`repro.serve.cluster` — the scale-out layer: sharded multi-replica
+  routing (:class:`~repro.serve.cluster.ClusterRouter`) with pluggable
+  placement, health-aware failover and SLA-aware admission, behind the same
+  serving surface as a single server.
 """
 
 from .batcher import PADDING_MODES, Batcher, bucket_size
+from .cluster import (
+    AdmissionScheduler,
+    ClusterError,
+    ClusterRouter,
+    ConsistentHashPolicy,
+    ConsistentHashRing,
+    DeadlineExceeded,
+    FailoverExhausted,
+    HealthMonitor,
+    LeastLoadedPolicy,
+    NoHealthyReplica,
+    PlacementPolicy,
+    PowerOfTwoChoicesPolicy,
+    ReplicaUnavailable,
+    ReplicaWorker,
+)
 from .middleware import (
     BatchContext,
     MiddlewareChain,
@@ -36,29 +56,45 @@ from .middleware import (
 )
 from .proxy import ExtractionProxy
 from .registry import ModelRegistry, RegistryEntry
-from .server import InferenceServer
+from .server import InferenceServer, ServerOverloaded, ServerStopped
 from .stats import LatencyWindow, ModelStats
 
 __all__ = [
     "PADDING_MODES",
+    "AdmissionScheduler",
     "BatchContext",
     "Batcher",
     "bucket_size",
+    "ClusterError",
+    "ClusterRouter",
+    "ConsistentHashPolicy",
+    "ConsistentHashRing",
+    "DeadlineExceeded",
     "ExtractionProxy",
+    "FailoverExhausted",
+    "HealthMonitor",
     "InferenceServer",
     "LatencyWindow",
+    "LeastLoadedPolicy",
     "MiddlewareChain",
     "MiddlewareError",
     "ModelRegistry",
     "ModelStats",
+    "NoHealthyReplica",
     "ObfuscationGuard",
     "ObfuscationViolation",
+    "PlacementPolicy",
+    "PowerOfTwoChoicesPolicy",
     "RateLimitExceeded",
     "RateLimiter",
     "RegistryEntry",
+    "ReplicaUnavailable",
+    "ReplicaWorker",
     "RequestContext",
     "ResponseCache",
     "ServeMiddleware",
+    "ServerOverloaded",
+    "ServerStopped",
     "Telemetry",
     "ValidationError",
     "Validator",

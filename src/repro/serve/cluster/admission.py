@@ -1,0 +1,209 @@
+"""SLA-aware admission: a priority/deadline-ordered queue that sheds dead work.
+
+Requests wait here between ``ClusterRouter.submit`` and dispatch to a
+replica.  Ordering is (tenant priority desc, deadline asc, arrival): urgent
+tenants jump the queue, and within a priority band the request closest to its
+deadline dispatches first (earliest-deadline-first keeps the most SLAs
+satisfiable).
+
+Shedding happens at *dequeue* time: a request whose deadline already passed
+is popped flagged as expired, and the router completes it with a typed
+:class:`~repro.serve.cluster.errors.DeadlineExceeded` instead of dispatching
+— the replica never spends a batch slot computing an answer the client has
+stopped waiting for.  ``max_pending`` bounds the queue; overflow rejects the
+*least urgent* entry (the newcomer, or the queue tail when the newcomer
+outranks it) with :class:`~repro.serve.server.ServerOverloaded`, so a burst
+of low-priority traffic cannot starve a high-priority tenant of queue space.
+
+The clock is injectable so tests drive deadlines deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..server import ServerOverloaded
+
+NO_DEADLINE = float("inf")
+
+
+@dataclass
+class AdmissionTicket:
+    """One queued cluster request, carrying its SLA terms."""
+
+    model_id: str
+    tenant: str
+    priority: int
+    deadline: float  # absolute clock() time; inf when the request has no SLA
+    payload: object = None  # the router's request record; opaque here
+    enqueued_at: float = 0.0
+
+    def sort_key(self, sequence: int) -> Tuple[int, float, int]:
+        return (-self.priority, self.deadline, sequence)
+
+
+class _Entry:
+    __slots__ = ("key", "ticket", "cancelled")
+
+    def __init__(self, key: Tuple[int, float, int], ticket: AdmissionTicket) -> None:
+        self.key = key
+        self.ticket = ticket
+        self.cancelled = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return self.key < other.key
+
+
+class AdmissionScheduler:
+    """Thread-safe priority/deadline queue with dequeue-time load shedding."""
+
+    def __init__(
+        self,
+        tenant_priorities: Optional[Dict[str, int]] = None,
+        default_priority: int = 0,
+        max_pending: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.tenant_priorities = dict(tenant_priorities or {})
+        self.default_priority = default_priority
+        self.max_pending = max_pending
+        self.clock = clock
+        # Router hook: called with the evicted ticket so its future resolves.
+        self.on_evict: Optional[Callable[[AdmissionTicket], None]] = None
+        self._heap: List[_Entry] = []
+        self._size = 0  # live (non-cancelled) entries
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+    def priority_for(self, tenant: str) -> int:
+        return self.tenant_priorities.get(tenant, self.default_priority)
+
+    def submit(
+        self,
+        model_id: str,
+        tenant: str,
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+        payload: object = None,
+    ) -> AdmissionTicket:
+        """Queue one request; returns its ticket.
+
+        ``deadline`` is an *absolute* ``clock()`` time (the router converts
+        relative SLA budgets).  Raises :class:`ServerOverloaded` when the
+        queue is full and the newcomer is not more urgent than the least
+        urgent queued entry; otherwise that entry is evicted through
+        ``on_evict`` to make room.
+        """
+        now = self.clock()
+        ticket = AdmissionTicket(
+            model_id=model_id,
+            tenant=tenant,
+            priority=self.priority_for(tenant) if priority is None else priority,
+            deadline=NO_DEADLINE if deadline is None else float(deadline),
+            payload=payload,
+            enqueued_at=now,
+        )
+        evicted: Optional[AdmissionTicket] = None
+        with self._lock:
+            entry = _Entry(ticket.sort_key(next(self._sequence)), ticket)
+            if self._size >= self.max_pending:
+                tail = self._least_urgent()
+                if tail is None or entry.key >= tail.key:
+                    self.rejected += 1
+                    raise ServerOverloaded(
+                        f"admission queue is full ({self.max_pending} pending); "
+                        f"request for tenant '{tenant}' rejected"
+                    )
+                tail.cancelled = True
+                self._size -= 1
+                self.rejected += 1
+                evicted = tail.ticket
+            heapq.heappush(self._heap, entry)
+            self._size += 1
+            self.admitted += 1
+            self._available.notify()
+        if evicted is not None and self.on_evict is not None:
+            self.on_evict(evicted)
+        return ticket
+
+    def _least_urgent(self) -> Optional[_Entry]:
+        candidates = [entry for entry in self._heap if not entry.cancelled]
+        return max(candidates, key=lambda entry: entry.key) if candidates else None
+
+    # ------------------------------------------------------------------
+    # Dequeue
+    # ------------------------------------------------------------------
+    def next_ready(self, timeout: Optional[float] = None) -> Optional[Tuple[AdmissionTicket, bool]]:
+        """Pop the most urgent live ticket, waiting up to ``timeout`` seconds.
+
+        Returns ``(ticket, expired)`` or ``None`` when the queue stays empty.
+        ``expired`` tickets are already counted as shed — the caller must
+        complete them with :class:`DeadlineExceeded` rather than dispatch
+        (they are returned, not dropped, because their futures must resolve).
+        """
+        with self._available:
+            if self._size == 0 and timeout is not None:
+                self._available.wait(timeout)
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                if entry.cancelled:
+                    continue
+                self._size -= 1
+                expired = entry.ticket.deadline < self.clock()
+                if expired:
+                    self.shed += 1
+                else:
+                    self.dispatched += 1
+                return entry.ticket, expired
+            return None
+
+    def drain(self) -> List[Tuple[AdmissionTicket, bool]]:
+        """Pop every live ticket in urgency order (used at router stop)."""
+        drained: List[Tuple[AdmissionTicket, bool]] = []
+        with self._lock:
+            now = self.clock()
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                if entry.cancelled:
+                    continue
+                expired = entry.ticket.deadline < now
+                if expired:
+                    self.shed += 1
+                else:
+                    self.dispatched += 1
+                drained.append((entry.ticket, expired))
+            self._size = 0
+        return drained
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._size
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "pending": self._size,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "dispatched": self.dispatched,
+            }

@@ -1,0 +1,76 @@
+"""Typed cluster errors: every routing/admission failure mode has a class.
+
+Clients of the cluster never see a bare ``RuntimeError`` fished out of a
+future — admission, placement and failover each reject with a type that says
+what to do next (re-submit later, relax the deadline, add replicas), and the
+router uses the same types internally to decide which failures are worth a
+failover retry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class ClusterError(RuntimeError):
+    """Base class for cluster routing/admission failures."""
+
+
+class DeadlineExceeded(ClusterError):
+    """The request's SLA deadline passed before (or while) it could be served.
+
+    Raised by the admission scheduler *before* wasted compute: an expired
+    request is shed at dequeue time instead of occupying a replica batch slot.
+    """
+
+    def __init__(self, model_id: str, tenant: str, deadline: float, now: float) -> None:
+        late_ms = max(now - deadline, 0.0) * 1e3
+        super().__init__(
+            f"deadline exceeded for tenant '{tenant}' on model '{model_id}': "
+            f"{late_ms:.1f}ms past the SLA deadline; request shed before compute"
+        )
+        self.model_id = model_id
+        self.tenant = tenant
+        self.deadline = deadline
+        self.late_seconds = max(now - deadline, 0.0)
+
+
+class ReplicaUnavailable(ClusterError):
+    """A replica could not take (or finish) a request: crashed, killed or stopped."""
+
+    def __init__(self, replica_id: str, reason: str = "replica is not serving") -> None:
+        super().__init__(f"replica '{replica_id}' unavailable: {reason}")
+        self.replica_id = replica_id
+
+
+class NoHealthyReplica(ClusterError):
+    """Placement found no healthy, non-draining replica to route to."""
+
+    def __init__(self, model_id: str, excluded: Iterable[str] = ()) -> None:
+        excluded = sorted(excluded)
+        detail = f" (excluded after failures: {excluded})" if excluded else ""
+        super().__init__(f"no healthy replica available for model '{model_id}'{detail}")
+        self.model_id = model_id
+        self.excluded = excluded
+
+
+class FailoverExhausted(ClusterError):
+    """Bounded retry ran out: every attempted replica failed the request."""
+
+    def __init__(
+        self,
+        model_id: str,
+        attempts: int,
+        tried: Iterable[str],
+        last_error: Optional[BaseException] = None,
+    ) -> None:
+        tried = list(tried)
+        detail = f"; last error: {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"failover exhausted for model '{model_id}' after {attempts} attempt(s) "
+            f"across replicas {tried}{detail}"
+        )
+        self.model_id = model_id
+        self.attempts = attempts
+        self.tried = tried
+        self.last_error = last_error

@@ -1,0 +1,108 @@
+"""Consistent-hash ring: stable model-id → replica mapping with minimal churn.
+
+Model ids and replica virtual nodes are hashed onto one 64-bit ring; a model
+lives on the first replica clockwise from its hash point.  Two properties make
+this the default placement substrate (pinned by the hypothesis suite in
+``tests/serve/cluster/test_hashring.py``):
+
+* **balance** — each replica projects ``vnodes`` points onto the ring, so
+  with enough virtual nodes every replica owns a near-equal arc and model ids
+  spread evenly without any central assignment table;
+* **minimal movement** — adding a replica only claims the arcs its new points
+  split (every moved key moves *to* the joiner), and removing one only moves
+  the keys it owned.  The rest of the catalogue stays put, so a scaling event
+  re-registers ~``1/n`` of the models instead of re-sharding everything.
+
+Hashing uses BLAKE2b rather than Python's ``hash()``: the builtin is salted
+per process, and a ring must agree with itself across restarts (and with any
+future peer process) for "minimal movement" to mean anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Tuple
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """A sorted ring of virtual nodes supporting lookup and preference lists."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []  # sorted (hash, node)
+        self._hashes: List[int] = []  # the same ring, hashes only (bisect key)
+        self._nodes: Dict[str, List[int]] = {}
+        for node in nodes:
+            self.add(node)
+
+    def _rebuild_hashes(self) -> None:
+        self._hashes = [point for point, _ in self._points]
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node '{node}' is already on the ring")
+        hashes = [stable_hash(f"{node}#{index}") for index in range(self.vnodes)]
+        self._nodes[node] = hashes
+        self._points.extend((point, node) for point in hashes)
+        self._points.sort()
+        self._rebuild_hashes()
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(f"node '{node}' is not on the ring")
+        del self._nodes[node]
+        self._points = [entry for entry in self._points if entry[1] != node]
+        self._rebuild_hashes()
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> str:
+        """The node owning ``key``: first ring point clockwise from its hash."""
+        if not self._points:
+            raise KeyError("ring is empty")
+        index = bisect_right(self._hashes, stable_hash(key))
+        if index == len(self._points):
+            index = 0  # wrap past 2**64 back to the first point
+        return self._points[index][1]
+
+    def preference_list(self, key: str, count: int = 0) -> List[str]:
+        """Distinct nodes in ring order starting at ``key``'s owner.
+
+        The order doubles as the failover sequence: the first entry owns the
+        key, later entries are where replication/retries land.  ``count``
+        bounds the list (0 = every node).
+        """
+        if not self._points:
+            return []
+        limit = len(self._nodes) if count < 1 else min(count, len(self._nodes))
+        start = bisect_right(self._hashes, stable_hash(key))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == limit:
+                    break
+        return seen

@@ -1,0 +1,216 @@
+"""Replica health tracking: heartbeats, failure counting, draining.
+
+The monitor is deliberately passive — it owns no threads.  The router feeds
+it from two directions:
+
+* **heartbeats** — :meth:`HealthMonitor.check` polls each replica's
+  ``heartbeat()`` (or the router calls :meth:`heartbeat` directly); a replica
+  whose last heartbeat is older than ``heartbeat_timeout`` stops being
+  routable until it reports in again;
+* **outcomes** — every dispatched request reports
+  :meth:`record_success` / :meth:`record_failure`; ``failure_threshold``
+  *consecutive* failures mark the replica ``UNHEALTHY``.  Recovery is
+  probe-style: an alive heartbeat re-admits the replica with its streak
+  intact, so one success clears it for good and one more failure benches it
+  again immediately.
+
+``DRAINING`` is an administrative state: the replica finishes what it has but
+receives no new placements, which is how the router removes a replica without
+dropping in-flight work.  The clock is injectable so tests drive timeouts
+deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+HEALTHY = "healthy"
+DRAINING = "draining"
+UNHEALTHY = "unhealthy"
+STOPPED = "stopped"
+
+
+@dataclass
+class ReplicaHealth:
+    """Mutable health record for one replica."""
+
+    replica_id: str
+    state: str = HEALTHY
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+    last_heartbeat: float = 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "last_heartbeat": self.last_heartbeat,
+        }
+
+
+class HealthMonitor:
+    """Thread-safe view of which replicas may receive new requests."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        heartbeat_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be > 0 seconds")
+        self.failure_threshold = failure_threshold
+        self.heartbeat_timeout = heartbeat_timeout
+        self._clock = clock
+        self._replicas: Dict[str, ReplicaHealth] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, replica_id: str) -> None:
+        with self._lock:
+            if replica_id in self._replicas:
+                raise ValueError(f"replica '{replica_id}' is already monitored")
+            self._replicas[replica_id] = ReplicaHealth(replica_id, last_heartbeat=self._clock())
+
+    def deregister(self, replica_id: str) -> None:
+        with self._lock:
+            self._replicas.pop(replica_id, None)
+
+    def _record(self, replica_id: str) -> ReplicaHealth:
+        record = self._replicas.get(replica_id)
+        if record is None:
+            raise KeyError(f"replica '{replica_id}' is not monitored")
+        return record
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def heartbeat(self, replica_id: str, alive: bool = True) -> None:
+        """Record a liveness report; ``alive=False`` marks the replica stopped.
+
+        Unknown ids are ignored (the replica may have been deregistered while
+        a health check held a membership snapshot).
+        """
+        with self._lock:
+            record = self._replicas.get(replica_id)
+            if record is None:
+                return
+            if not alive:
+                record.state = STOPPED
+                return
+            record.last_heartbeat = self._clock()
+            if record.state == STOPPED:
+                # A stopped replica reporting alive again (restart) is fully
+                # routable: its failure history belongs to the old process.
+                record.state = HEALTHY
+                record.consecutive_failures = 0
+            elif record.state == UNHEALTHY:
+                # Probe-style recovery: an alive heartbeat re-admits the
+                # replica, but the failure streak is kept, so a single further
+                # failure benches it again immediately while one success
+                # (record_success) clears the streak for good.  Without this,
+                # UNHEALTHY would be a trap: unroutable replicas receive no
+                # traffic, so the success that revives them could never occur.
+                record.state = HEALTHY
+
+    def record_success(self, replica_id: str) -> None:
+        with self._lock:
+            record = self._replicas.get(replica_id)
+            if record is None:  # removed while the request was in flight
+                return
+            record.total_successes += 1
+            record.consecutive_failures = 0
+            if record.state == UNHEALTHY:
+                record.state = HEALTHY
+
+    def record_failure(self, replica_id: str) -> None:
+        """Count one availability failure; a streak marks the replica unhealthy."""
+        with self._lock:
+            record = self._replicas.get(replica_id)
+            if record is None:
+                return
+            record.total_failures += 1
+            record.consecutive_failures += 1
+            unhealthy = record.consecutive_failures >= self.failure_threshold
+            if record.state == HEALTHY and unhealthy:
+                record.state = UNHEALTHY
+
+    def mark_draining(self, replica_id: str) -> None:
+        with self._lock:
+            self._record(replica_id).state = DRAINING
+
+    def mark_stopped(self, replica_id: str) -> None:
+        with self._lock:
+            self._record(replica_id).state = STOPPED
+
+    def revive(self, replica_id: str) -> None:
+        """Administratively restore a replica to the routable pool."""
+        with self._lock:
+            record = self._record(replica_id)
+            record.state = HEALTHY
+            record.consecutive_failures = 0
+            record.last_heartbeat = self._clock()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def state(self, replica_id: str) -> str:
+        with self._lock:
+            return self._record(replica_id).state
+
+    def is_routable(self, replica_id: str) -> bool:
+        """Healthy, not draining, and heard from within the heartbeat window."""
+        now = self._clock()
+        with self._lock:
+            record = self._replicas.get(replica_id)
+            if record is None or record.state != HEALTHY:
+                return False
+            return now - record.last_heartbeat <= self.heartbeat_timeout
+
+    def routable_ids(self) -> List[str]:
+        now = self._clock()
+        with self._lock:
+            return [
+                record.replica_id
+                for record in self._replicas.values()
+                if record.state == HEALTHY
+                and now - record.last_heartbeat <= self.heartbeat_timeout
+            ]
+
+    def check(self, replicas: Dict[str, "object"]) -> List[str]:
+        """Poll ``heartbeat()`` on each replica object; returns routable ids.
+
+        ``replicas`` maps replica id to any object exposing ``heartbeat() ->
+        dict`` with an ``"alive"`` key (:class:`ReplicaWorker` does).
+        """
+        for replica_id, replica in replicas.items():
+            try:
+                report = replica.heartbeat()
+                self.heartbeat(replica_id, alive=bool(report.get("alive", False)))
+            except Exception:  # noqa: BLE001 - a crashing heartbeat is a dead replica
+                self.heartbeat(replica_id, alive=False)
+        return self.routable_ids()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {replica_id: record.snapshot() for replica_id, record in self._replicas.items()}
+
+
+__all__ = [
+    "DRAINING",
+    "HEALTHY",
+    "STOPPED",
+    "UNHEALTHY",
+    "HealthMonitor",
+    "ReplicaHealth",
+]

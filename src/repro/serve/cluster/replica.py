@@ -1,0 +1,243 @@
+"""One cluster member: an ``InferenceServer`` plus its own registry stack.
+
+A :class:`ReplicaWorker` owns everything a serving process would own — a
+:class:`~repro.serve.registry.ModelRegistry` (its shard of the catalogue), a
+:class:`~repro.serve.batcher.Batcher`, an optional per-replica middleware
+chain and the :class:`~repro.serve.server.InferenceServer` wiring them
+together.  The router talks to replicas only through this wrapper, which adds
+the two things a single-process server never needed:
+
+* **attributable failure** — ``submit`` returns a replica-owned future; if
+  the replica is killed (crash simulation) or stops mid-flight, outstanding
+  futures fail with a typed
+  :class:`~repro.serve.cluster.errors.ReplicaUnavailable` naming the replica,
+  which is exactly the signal the router's failover needs to re-dispatch the
+  request elsewhere with the replica excluded;
+* **one-snapshot load** — ``snapshot()`` reads the server's combined stats
+  (``queue_depth`` + ``running`` + per-model counters) in a single call plus
+  the wrapper's in-flight count, so placement policies compare replicas
+  without stitching together racy property reads.
+
+Trust boundary: a replica is a *server-side* component.  Its registry holds
+only augmented bundles — sharding the serving plane never moves secrets; the
+client-side :class:`~repro.serve.proxy.ExtractionProxy` remains the only
+place that knows insertion positions or the original sub-network index.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, InvalidStateError
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..batcher import Batcher
+from ..middleware import MiddlewareChain, ServeMiddleware
+from ..registry import ModelRegistry
+from ..server import InferenceServer
+from .errors import ReplicaUnavailable
+
+
+class ReplicaWorker:
+    """A single serving replica addressable by the cluster router."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        registry: Optional[ModelRegistry] = None,
+        batcher: Optional[Batcher] = None,
+        num_workers: int = 1,
+        queue_size: int = 4096,
+        registry_capacity: int = 4,
+        middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None] = None,
+    ) -> None:
+        if not replica_id:
+            raise ValueError("replica_id must be a non-empty string")
+        self.replica_id = replica_id
+        self.registry = registry if registry is not None else ModelRegistry(registry_capacity)
+        self.server = InferenceServer(
+            self.registry,
+            batcher=batcher,
+            num_workers=num_workers,
+            queue_size=queue_size,
+            middleware=middleware,
+        )
+        self._killed = False
+        self._draining = False
+        self._sync_active = 0
+        self._outstanding: Dict[int, Future] = {}
+        self._next_handle = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._killed
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def start(self) -> "ReplicaWorker":
+        with self._lock:
+            self._killed = False
+            self._draining = False
+        self.server.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful stop: the inner server drains its queue before returning."""
+        self.server.stop()
+
+    def begin_drain(self) -> None:
+        """Refuse new requests; in-flight work continues (router calls this
+        before the slower :meth:`drain` so placement stops immediately)."""
+        with self._lock:
+            self._draining = True
+
+    def drain(self) -> None:
+        """Finish outstanding work, then stop.  New requests are refused."""
+        with self._lock:
+            self._draining = True
+            outstanding = list(self._outstanding.values())
+        self.server.stop()  # drains the queue, resolving every inner future
+        for future in outstanding:
+            if not future.done():  # pragma: no cover - stop() resolves these
+                future.exception(timeout=5)
+
+    def kill(self) -> None:
+        """Crash simulation: fail every in-flight request with a typed error.
+
+        Unlike :meth:`stop` (graceful: queued work still completes), ``kill``
+        models a replica dropping off the cluster mid-run.  Outstanding
+        futures fail *immediately* with :class:`ReplicaUnavailable` so the
+        router can re-dispatch them to surviving replicas — this is the
+        mechanism behind the zero-lost-requests failover guarantee.  The
+        inner server is reaped in the background.
+        """
+        with self._lock:
+            if self._killed:
+                return
+            self._killed = True
+            outstanding = list(self._outstanding.values())
+            self._outstanding.clear()
+        error = ReplicaUnavailable(self.replica_id, "replica was killed mid-flight")
+        for future in outstanding:
+            self._complete(future, error=error)
+        # Reap worker threads off the caller's thread; any results they still
+        # produce hit already-completed wrapper futures and are discarded.
+        threading.Thread(target=self.server.stop, daemon=True).start()
+
+    def __enter__(self) -> "ReplicaWorker":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Serving surface (mirrors InferenceServer)
+    # ------------------------------------------------------------------
+    def _check_serving(self) -> None:
+        if self._killed:
+            raise ReplicaUnavailable(self.replica_id, "replica was killed")
+        if self._draining:
+            raise ReplicaUnavailable(self.replica_id, "replica is draining")
+
+    def predict(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> np.ndarray:
+        return self.predict_batch(model_id, [sample], tenant=tenant)[0]
+
+    def predict_batch(
+        self, model_id: str, samples: Sequence[np.ndarray], tenant: str = "default"
+    ) -> List[np.ndarray]:
+        self._check_serving()
+        with self._lock:
+            self._sync_active += 1
+        try:
+            return self.server.predict_batch(model_id, samples, tenant=tenant)
+        finally:
+            with self._lock:
+                self._sync_active -= 1
+
+    def submit(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> Future:
+        """Enqueue one sample; the future fails typed if this replica dies.
+
+        The returned future is replica-owned: it resolves from the inner
+        server's future on success, and :meth:`kill` fails it with
+        :class:`ReplicaUnavailable` without waiting for the dead server.
+        """
+        self._check_serving()
+        wrapper: Future = Future()
+        with self._lock:
+            if self._killed:  # killed between the check and the registration
+                raise ReplicaUnavailable(self.replica_id, "replica was killed")
+            handle = self._next_handle
+            self._next_handle += 1
+            self._outstanding[handle] = wrapper
+        try:
+            inner = self.server.submit(model_id, sample, tenant=tenant)
+        except Exception:
+            with self._lock:
+                self._outstanding.pop(handle, None)
+            raise
+
+        def _resolve(done: Future) -> None:
+            with self._lock:
+                self._outstanding.pop(handle, None)
+            error = done.exception()
+            if error is not None:
+                self._complete(wrapper, error=error)
+            else:
+                self._complete(wrapper, result=done.result())
+
+        inner.add_done_callback(_resolve)
+        return wrapper
+
+    @staticmethod
+    def _complete(
+        future: Future, result: object = None, error: Optional[BaseException] = None
+    ) -> None:
+        """First completion wins: kill() and the inner callback may race."""
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:  # already completed by the other side
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._outstanding) + self._sync_active
+
+    def load(self) -> int:
+        """Outstanding requests on this replica (queued + executing)."""
+        return self.in_flight
+
+    def heartbeat(self) -> Dict[str, object]:
+        """One liveness report: alive flag plus the load signals."""
+        return {
+            "alive": self.alive and not self._draining,
+            "replica_id": self.replica_id,
+            "in_flight": self.in_flight,
+            "queue_depth": self.server.queue_depth,
+            "running": self.server.running,
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full state: lifecycle flags, load, registry and server stats."""
+        server_stats = self.server.stats()
+        return {
+            "replica_id": self.replica_id,
+            "alive": self.alive,
+            "draining": self._draining,
+            "in_flight": self.in_flight,
+            "registry": self.registry.stats(),
+            "server": server_stats,
+        }

@@ -1,0 +1,669 @@
+"""The cluster router: sharded placement, health-aware failover, SLA admission.
+
+``ClusterRouter`` presents the same serving surface as a single
+:class:`~repro.serve.server.InferenceServer` — ``predict`` /
+``predict_batch`` / ``submit`` / ``stats`` / ``register`` — backed by many
+:class:`~repro.serve.cluster.replica.ReplicaWorker` members, so existing
+clients (the :class:`~repro.serve.proxy.ExtractionProxy`,
+``CloudSession.publish``) work against a cluster unchanged.
+
+Request flow, concurrent mode::
+
+    submit() ──> cluster MiddlewareChain descent (rate limit, telemetry, ...)
+            ──> AdmissionScheduler (priority + earliest-deadline ordering,
+                dequeue-time shedding with typed DeadlineExceeded)
+            ──> dispatcher thread: PlacementPolicy.candidates()
+            ──> ReplicaWorker.submit() ──> replica's own middleware/batcher
+            └─ on a retryable failure (ReplicaUnavailable / ServerStopped /
+               ServerOverloaded / catalogue miss): record the failure with the
+               HealthMonitor, exclude the replica, re-dispatch to the next
+               candidate — bounded by ``max_retries``.  In-flight requests on
+               a killed replica fail fast with a typed error and take this
+               same path, which is the zero-lost-requests failover guarantee
+               the cluster tests pin.
+
+The sync path (``predict_batch``) runs the identical failover loop on the
+caller's thread.  Middleware composes at two scopes: the router's chain sees
+every request once, cluster-wide (one shared ``RateLimiter`` enforces a
+global tenant budget); each replica's chain sees only its shard's traffic.
+
+Trust boundary: the router is a *server-side* component and holds only what
+every replica holds — augmented bundles and architecture factories.  Sharding
+and failover never touch augmentation secrets, which stay client-side in the
+:class:`~repro.serve.proxy.ExtractionProxy`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from ..middleware import MiddlewareChain, RequestContext, ServeMiddleware
+from ..registry import RegistryEntry
+from ..server import ServerOverloaded, ServerStopped
+from ..stats import ModelStats
+from .admission import AdmissionScheduler, AdmissionTicket
+from .errors import (
+    DeadlineExceeded,
+    FailoverExhausted,
+    NoHealthyReplica,
+    ReplicaUnavailable,
+)
+from .health import HealthMonitor
+from .placement import ConsistentHashPolicy, PlacementPolicy
+from .replica import ReplicaWorker
+
+# Failures that justify trying another replica.  A catalogue miss (KeyError)
+# is retryable because the next candidate may own the shard, but it is not a
+# *health* signal — the replica is fine, the request was just misrouted.
+_RETRYABLE = (ReplicaUnavailable, ServerStopped, ServerOverloaded, KeyError)
+_HEALTH_FAILURES = (ReplicaUnavailable, ServerStopped, ServerOverloaded)
+
+
+@dataclass
+class _ClusterRequest:
+    """Router-side state for one concurrent-mode request."""
+
+    model_id: str
+    sample: np.ndarray
+    tenant: str
+    future: Future
+    context: Optional[RequestContext] = None
+    entered: Sequence[object] = ()
+    excluded: Set[str] = field(default_factory=set)
+    tried: List[str] = field(default_factory=list)
+
+
+class ClusterRouter:
+    """Routes requests across replicas with pluggable placement policies."""
+
+    def __init__(
+        self,
+        replicas: Iterable[ReplicaWorker] = (),
+        placement: Optional[PlacementPolicy] = None,
+        health: Optional[HealthMonitor] = None,
+        admission: Optional[AdmissionScheduler] = None,
+        middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None] = None,
+        max_retries: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.placement = placement if placement is not None else ConsistentHashPolicy()
+        self.health = health if health is not None else HealthMonitor(clock=clock)
+        self.admission = admission if admission is not None else AdmissionScheduler(clock=clock)
+        self.admission.on_evict = self._on_evicted
+        self.middleware = MiddlewareChain.coerce(middleware)
+        self.max_retries = max_retries
+        self._clock = clock
+        self._replicas: Dict[str, ReplicaWorker] = {}
+        self._catalogue: Dict[str, RegistryEntry] = {}
+        self._membership_lock = threading.RLock()
+        self._lifecycle_lock = threading.Lock()
+        self._running = False
+        self._stopped = False
+        self._dispatcher: Optional[threading.Thread] = None
+        self._stats: Dict[str, ModelStats] = {}
+        self._stats_lock = threading.Lock()
+        self._counters = {"completed": 0, "failed": 0, "shed": 0, "failovers": 0}
+        self._counters_lock = threading.Lock()
+        self._last_health_check = float("-inf")
+        for replica in replicas:
+            self.add_replica(replica)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_replica(self, replica: ReplicaWorker, resync: bool = True) -> None:
+        """Join ``replica``; with ``resync`` it receives its share of the catalogue.
+
+        Re-sharding is minimal by construction (the consistent-hash property
+        suite pins it): only models whose ownership moved are re-registered,
+        and only their (cheap) bundles travel — never live instances.
+        """
+        with self._membership_lock:
+            if replica.replica_id in self._replicas:
+                raise ValueError(f"replica '{replica.replica_id}' already joined")
+            self._replicas[replica.replica_id] = replica
+            self.health.register(replica.replica_id)
+            self.placement.on_membership_change(list(self._replicas))
+            if self._running and not replica.server.running:
+                replica.start()
+            if resync:
+                self._resync()
+
+    def remove_replica(self, replica_id: str, drain: bool = True) -> ReplicaWorker:
+        """Leave the cluster; ``drain`` finishes in-flight work first."""
+        with self._membership_lock:
+            if replica_id not in self._replicas:
+                raise KeyError(f"unknown replica '{replica_id}'")
+            replica = self._replicas[replica_id]
+            replica.begin_drain()  # refuse new work before the slow drain
+            self.health.mark_draining(replica_id)
+        if drain:
+            replica.drain()
+        with self._membership_lock:
+            del self._replicas[replica_id]
+            self.placement.on_membership_change(list(self._replicas))
+            self._resync()
+            self.health.deregister(replica_id)
+        return replica
+
+    def replica_ids(self) -> List[str]:
+        with self._membership_lock:
+            return list(self._replicas)
+
+    def replica(self, replica_id: str) -> ReplicaWorker:
+        with self._membership_lock:
+            return self._replicas[replica_id]
+
+    def __len__(self) -> int:
+        with self._membership_lock:
+            return len(self._replicas)
+
+    # ------------------------------------------------------------------
+    # Shard-aware catalogue (the surface CloudSession.publish targets)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        model_id: str,
+        bundle,
+        factory,
+        metadata: Optional[Dict[str, object]] = None,
+        replace: bool = False,
+    ) -> RegistryEntry:
+        """Catalogue a model and register it on its placement-chosen owners.
+
+        Signature-compatible with :meth:`ModelRegistry.register`, so
+        ``CloudSession.publish(job, cluster, ...)`` publishes straight into
+        the cluster: the policy decides which replicas hold the shard.
+        Returns the primary owner's entry.
+        """
+        with self._membership_lock:
+            if not self._replicas:
+                raise NoHealthyReplica(model_id)
+            if model_id in self._catalogue and not replace:
+                raise ValueError(f"model '{model_id}' is already registered (pass replace=True)")
+            owners = self.placement.owners(model_id, list(self._replicas.values()))
+            if not owners:
+                raise NoHealthyReplica(model_id)
+            entries = [
+                owner.registry.register(model_id, bundle, factory, metadata=metadata, replace=True)
+                for owner in owners
+            ]
+            self._catalogue[model_id] = entries[0]
+            return entries[0]
+
+    def unregister(self, model_id: str) -> None:
+        with self._membership_lock:
+            if model_id not in self._catalogue:
+                raise KeyError(f"unknown model '{model_id}'")
+            del self._catalogue[model_id]
+            for replica in self._replicas.values():
+                if model_id in replica.registry:
+                    replica.registry.unregister(model_id)
+
+    def model_ids(self) -> List[str]:
+        with self._membership_lock:
+            return list(self._catalogue)
+
+    def __contains__(self, model_id: str) -> bool:
+        with self._membership_lock:
+            return model_id in self._catalogue
+
+    def shard_map(self) -> Dict[str, List[str]]:
+        """model id → the replica ids currently holding its registry entry."""
+        with self._membership_lock:
+            return {
+                model_id: [
+                    replica_id
+                    for replica_id, replica in self._replicas.items()
+                    if model_id in replica.registry
+                ]
+                for model_id in self._catalogue
+            }
+
+    def _resync(self) -> None:
+        """Re-home catalogue entries after a membership change (lock held)."""
+        replicas = list(self._replicas.values())
+        for model_id, entry in self._catalogue.items():
+            owners = self.placement.owners(model_id, replicas)
+            owner_ids = {owner.replica_id for owner in owners}
+            for replica in replicas:
+                holds = model_id in replica.registry
+                if replica.replica_id in owner_ids and not holds:
+                    replica.registry.register(
+                        model_id, entry.bundle, entry.factory, metadata=entry.metadata
+                    )
+                elif replica.replica_id not in owner_ids and holds:
+                    replica.registry.unregister(model_id)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def check_health(self) -> List[str]:
+        """Heartbeat every replica once; returns the routable ids."""
+        with self._membership_lock:
+            replicas = dict(self._replicas)
+        self._last_health_check = self._clock()
+        return self.health.check(replicas)
+
+    def _routable(self, excluded: Set[str] = frozenset()) -> List[ReplicaWorker]:
+        if self._clock() - self._last_health_check > self.health.heartbeat_timeout / 2:
+            self.check_health()
+        ids = self.health.routable_ids()
+        with self._membership_lock:
+            return [
+                self._replicas[replica_id]
+                for replica_id in ids
+                if replica_id in self._replicas and replica_id not in excluded
+            ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "ClusterRouter":
+        with self._lifecycle_lock:
+            if self._running:
+                return self
+            self._running = True
+            self._stopped = False
+            with self._membership_lock:
+                for replica in self._replicas.values():
+                    if replica.alive and not replica.server.running:
+                        replica.start()
+            self.check_health()
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="cluster-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful stop: drain the admission queue, then stop every replica."""
+        with self._lifecycle_lock:
+            if not self._running:
+                self._stopped = True
+                return
+            self._running = False
+            self._stopped = True
+            dispatcher = self._dispatcher
+            self._dispatcher = None
+        if dispatcher is not None:
+            dispatcher.join()
+        self._drain_admission()  # anything the dispatcher exited before seeing
+        with self._membership_lock:
+            replicas = list(self._replicas.values())
+        for replica in replicas:
+            if replica.alive:
+                replica.stop()
+
+    def _drain_admission(self) -> None:
+        """Serve or shed every ticket still queued (stop-time + race cleanup)."""
+        for ticket, expired in self.admission.drain():
+            request = ticket.payload
+            if expired:
+                self._shed(request, ticket)
+            else:
+                self._dispatch_async(request, ticket)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Synchronous API (ExtractionProxy-compatible)
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        return self.predict_batch(model_id, [sample], tenant=tenant, deadline=deadline)[0]
+
+    def predict_batch(
+        self,
+        model_id: str,
+        samples: Sequence[np.ndarray],
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+    ) -> List[np.ndarray]:
+        """Serve on the caller's thread with the full failover loop.
+
+        ``deadline`` is a relative SLA budget in seconds; an expired budget
+        sheds with :class:`DeadlineExceeded` before any replica computes.
+        """
+        absolute = None if deadline is None else self._clock() + float(deadline)
+        arrays = [np.asarray(sample) for sample in samples]
+        if not self.middleware:
+            return self._dispatch_sync(model_id, arrays, tenant, absolute)
+        stats = self._model_stats(model_id)
+        contexts = [
+            RequestContext(model_id=model_id, sample=array, tenant=tenant, source="cluster")
+            for array in arrays
+        ]
+        for context in contexts:
+            context.stats = stats
+
+        def run_model(pending: List[RequestContext]) -> None:
+            outputs = self._dispatch_sync(
+                model_id, [context.sample for context in pending], tenant, absolute
+            )
+            for context, output in zip(pending, outputs):
+                context.response = output
+
+        self.middleware.execute_batch(contexts, run_model)
+        outputs: List[np.ndarray] = []
+        for context in contexts:
+            if context.error is not None:
+                raise context.error
+            outputs.append(context.response)
+        return outputs
+
+    def _dispatch_sync(
+        self,
+        model_id: str,
+        samples: List[np.ndarray],
+        tenant: str,
+        absolute_deadline: Optional[float],
+    ) -> List[np.ndarray]:
+        if absolute_deadline is not None and self._clock() > absolute_deadline:
+            self._count("shed")
+            raise DeadlineExceeded(model_id, tenant, absolute_deadline, self._clock())
+        excluded: Set[str] = set()
+        tried: List[str] = []
+        last_error: Optional[BaseException] = None
+        for _ in range(self.max_retries + 1):
+            candidates = self.placement.candidates(model_id, self._routable(excluded))
+            if not candidates:
+                break
+            replica = candidates[0]
+            tried.append(replica.replica_id)
+            try:
+                outputs = replica.predict_batch(model_id, samples, tenant=tenant)
+            except _RETRYABLE as error:
+                last_error = error
+                excluded.add(replica.replica_id)
+                if isinstance(error, _HEALTH_FAILURES):
+                    self.health.record_failure(replica.replica_id)
+                self._count("failovers")
+                continue
+            self.health.record_success(replica.replica_id)
+            self._count("completed", len(samples))
+            return outputs
+        self._count("failed", len(samples))
+        if not tried:
+            raise NoHealthyReplica(model_id, excluded)
+        raise FailoverExhausted(model_id, len(tried), tried, last_error)
+
+    # ------------------------------------------------------------------
+    # Concurrent API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> Future:
+        """Queue one sample through admission; resolves like a server future.
+
+        ``deadline`` (relative seconds) and ``priority`` (overrides the
+        tenant's configured priority) are the request's SLA terms.
+        """
+        with self._lifecycle_lock:
+            if not self._running:
+                if self._stopped:
+                    raise ServerStopped(
+                        "cluster has been stopped; call start() again before submit()"
+                    )
+                raise RuntimeError("cluster is not started; call start() or use predict()")
+        request = _ClusterRequest(
+            model_id=model_id, sample=np.asarray(sample), tenant=tenant, future=Future()
+        )
+        if self.middleware:
+            context = RequestContext(
+                model_id=model_id, sample=request.sample, tenant=tenant, source="cluster"
+            )
+            context.stats = self._model_stats(model_id)
+            request.context = context
+            request.entered = self.middleware.enter(context)
+            if context.answered:  # short-circuited or rejected cluster-wide
+                self._finish(request)
+                return request.future
+        absolute = None if deadline is None else self._clock() + float(deadline)
+        try:
+            self.admission.submit(
+                model_id, tenant, deadline=absolute, priority=priority, payload=request
+            )
+        except ServerOverloaded as error:
+            if not request.entered:
+                raise
+            self._fail(request, error)
+            return request.future
+        # stop() may have run between the lifecycle check and the enqueue; the
+        # dispatcher is gone then, so drain whatever raced in (ours included)
+        # ourselves — admission.drain() hands each ticket to exactly one
+        # caller, so this cannot double-complete a request stop() already saw.
+        if not self._running:
+            self._drain_admission()
+        return request.future
+
+    def submit_many(
+        self,
+        model_id: str,
+        samples: Sequence[np.ndarray],
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> List[Future]:
+        return [
+            self.submit(model_id, sample, tenant=tenant, deadline=deadline, priority=priority)
+            for sample in samples
+        ]
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self.admission.next_ready(timeout=0.05)
+            if item is None:
+                if not self._running:
+                    return
+                continue
+            ticket, expired = item
+            request: _ClusterRequest = ticket.payload
+            if expired:
+                self._shed(request, ticket)
+            else:
+                self._dispatch_async(request, ticket)
+
+    def _dispatch_async(self, request: _ClusterRequest, ticket: AdmissionTicket) -> None:
+        if ticket.deadline < self._clock():  # expired while failing over
+            self._shed(request, ticket)
+            return
+        candidates = self.placement.candidates(request.model_id, self._routable(request.excluded))
+        if not candidates:
+            if request.tried:
+                error: BaseException = FailoverExhausted(
+                    request.model_id, len(request.tried), request.tried
+                )
+            else:
+                error = NoHealthyReplica(request.model_id, request.excluded)
+            self._fail(request, error)
+            return
+        replica = candidates[0]
+        request.tried.append(replica.replica_id)
+        try:
+            inner = replica.submit(request.model_id, request.sample, tenant=request.tenant)
+        except _RETRYABLE as error:
+            self._after_failure(request, ticket, replica, error)
+            return
+        except Exception as error:  # noqa: BLE001 - non-retryable, pre-enqueue
+            self._fail(request, error)  # never reached the replica's accounting
+            return
+
+        def _resolve(done: Future) -> None:
+            error = done.exception()
+            if error is None:
+                self.health.record_success(replica.replica_id)
+                self._succeed(request, done.result())
+            elif isinstance(error, _RETRYABLE):
+                self._after_failure(request, ticket, replica, error)
+            else:
+                self._fail(request, error, record=False)  # the replica counted it
+
+        inner.add_done_callback(_resolve)
+
+    def _after_failure(
+        self,
+        request: _ClusterRequest,
+        ticket: AdmissionTicket,
+        replica: ReplicaWorker,
+        error: BaseException,
+    ) -> None:
+        """One replica failed the request: exclude it and retry if budget allows."""
+        request.excluded.add(replica.replica_id)
+        if isinstance(error, _HEALTH_FAILURES):
+            self.health.record_failure(replica.replica_id)
+        self._count("failovers")
+        if len(request.tried) <= self.max_retries:
+            self._dispatch_async(request, ticket)  # depth bounded by max_retries
+        else:
+            self._fail(
+                request,
+                FailoverExhausted(request.model_id, len(request.tried), request.tried, error),
+            )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _on_evicted(self, ticket: AdmissionTicket) -> None:
+        request: _ClusterRequest = ticket.payload
+        self._fail(
+            request,
+            ServerOverloaded(
+                f"request for tenant '{request.tenant}' evicted from a full "
+                "admission queue by a more urgent request"
+            ),
+        )
+
+    def _shed(self, request: _ClusterRequest, ticket: AdmissionTicket) -> None:
+        self._count("shed")
+        self._fail(
+            request,
+            DeadlineExceeded(request.model_id, request.tenant, ticket.deadline, self._clock()),
+            count_failed=False,
+        )
+
+    def _succeed(self, request: _ClusterRequest, result: object) -> None:
+        self._count("completed")
+        if request.context is not None:
+            request.context.response = result
+        self._finish(request, result=result)
+
+    def _fail(
+        self,
+        request: _ClusterRequest,
+        error: BaseException,
+        count_failed: bool = True,
+        record: bool = True,
+    ) -> None:
+        """Resolve ``request`` as failed.
+
+        ``record=False`` skips the router-level ``ModelStats`` error: a
+        non-retryable error *returned by a replica* was already counted by
+        that replica's server, and the merged view sums both scopes — routing
+        failures the replicas never saw (shed, no-healthy, rejections) are
+        what the router records.
+        """
+        if count_failed:
+            self._count("failed")
+        if record:
+            self._model_stats(request.model_id).record_error()
+        if request.context is not None:
+            request.context.error = error
+        self._finish(request, error=error)
+
+    def _finish(
+        self,
+        request: _ClusterRequest,
+        result: object = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Unwind the cluster chain (if entered) and resolve the caller's future."""
+        context = request.context
+        if context is not None:
+            self.middleware.exit(context, request.entered)
+            # on_error may have recovered (or on_response raised): trust the
+            # context's final word over our original outcome.
+            error = context.error
+            result = context.response
+        if error is not None:
+            request.future.set_exception(error)
+        else:
+            request.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _model_stats(self, model_id: str) -> ModelStats:
+        with self._stats_lock:
+            stats = self._stats.get(model_id)
+            if stats is None:
+                stats = ModelStats(max_batch_size=1)
+                self._stats[model_id] = stats
+            return stats
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[key] += amount
+
+    def stats(self, model_id: Optional[str] = None) -> Dict[str, object]:
+        """Cluster-wide view: merged per-model stats plus per-replica detail.
+
+        Per-model numbers aggregate across replicas with
+        :meth:`ModelStats.merged` — counters sum, p50/p95 are computed over
+        the union of the raw per-replica latency windows (averaging per-
+        replica percentiles would understate the tail).
+        """
+        if model_id is not None:
+            return self._merged_model(model_id).snapshot()
+        with self._membership_lock:
+            replicas = dict(self._replicas)
+            model_ids = list(self._catalogue)
+        with self._counters_lock:
+            counters = dict(self._counters)
+        return {
+            "models": {mid: self._merged_model(mid).snapshot() for mid in model_ids},
+            "replicas": {rid: replica.snapshot() for rid, replica in replicas.items()},
+            "health": self.health.snapshot(),
+            "admission": self.admission.stats(),
+            "router": {**counters, "placement": type(self.placement).__name__},
+            "shard_map": self.shard_map(),
+        }
+
+    def _merged_model(self, model_id: str) -> ModelStats:
+        with self._membership_lock:
+            replicas = list(self._replicas.values())
+        parts: List[ModelStats] = []
+        for replica in replicas:
+            served = replica.server.stats().get("models", {})
+            if model_id in served:
+                parts.append(replica.server.model_stats(model_id))
+        with self._stats_lock:
+            if model_id in self._stats:
+                parts.append(self._stats[model_id])
+        return ModelStats.merged(parts)

@@ -68,7 +68,7 @@ class RequestContext:
     model_id: str
     sample: np.ndarray
     tenant: str = "default"
-    source: str = "sync"  # "sync" | "concurrent" | "client"
+    source: str = "sync"  # "sync" | "concurrent" | "client" | "cluster"
     metadata: Dict[str, object] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
     response: Optional[np.ndarray] = None

@@ -3,8 +3,10 @@
 The server catalogues and executes *augmented* models only.  Everything
 secret — the dataset plan's insertion positions, and which sub-network is the
 original — lives in :class:`~repro.core.augmentation_plan.ObfuscationSecrets`
-and never crosses the wire.  The proxy sits in front of a server (or any
-object with the same ``predict`` / ``predict_batch`` surface) and:
+and never crosses the wire.  The proxy sits in front of a server — an
+:class:`~repro.serve.server.InferenceServer`, a sharded multi-replica
+:class:`~repro.serve.cluster.ClusterRouter`, or any object with the same
+``predict`` / ``predict_batch`` surface — and:
 
 1. **augments** each outgoing raw sample, inserting fresh noise at the secret
    positions so the server only ever sees augmented inputs (the same
@@ -247,10 +249,13 @@ class ExtractionProxy:
 
         # ``tenant`` scopes the client-side chain; it is not forwarded so any
         # object with a plain ``submit(model_id, sample)`` surface still works.
-        # Once middlewares have entered, a synchronous submit failure (stopped
-        # server, full queue) must unwind them and arrive via the future like
-        # every other failure; with no chain state at stake it raises here,
-        # matching the pre-middleware behaviour existing callers rely on.
+        # Once middlewares have entered, a synchronous submit failure must
+        # unwind them and arrive via the future like every other failure; with
+        # no chain state at stake it raises here, matching the pre-middleware
+        # behaviour existing callers rely on.  Either way the caller sees the
+        # server's *typed* lifecycle error (``ServerStopped`` for a server
+        # stopped mid-flight, ``ServerOverloaded`` for a full queue) rather
+        # than a bare exception fished out of a dead future.
         try:
             future = server.submit(model_id, context.sample)
         except Exception as submit_error:  # noqa: BLE001

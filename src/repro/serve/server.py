@@ -41,6 +41,25 @@ from .registry import ModelRegistry
 from .stats import ModelStats
 
 
+class ServerStopped(RuntimeError):
+    """Typed rejection: ``submit()`` was called on a server after ``stop()``.
+
+    Raised synchronously by :meth:`InferenceServer.submit`; callers that cross
+    an async boundary (the proxy's ``submit``, the cluster router's failover)
+    surface it through their futures, so clients can catch one exception type
+    whether the stop happened before or mid-flight.  The cluster layer treats
+    it as *retryable*: another replica may still be serving.
+    """
+
+
+class ServerOverloaded(RuntimeError):
+    """Typed rejection: the request queue is full (back-pressure signal).
+
+    Like :class:`ServerStopped` this is retryable from a router's point of
+    view — a different replica may have queue headroom.
+    """
+
+
 @dataclass
 class _Request:
     """One enqueued single-sample prediction."""
@@ -91,13 +110,36 @@ class InferenceServer:
                 self._stats[model_id] = stats
             return stats
 
+    def model_stats(self, model_id: str) -> ModelStats:
+        """The live :class:`ModelStats` for ``model_id`` (created on first use).
+
+        Exposed so a cluster router can merge per-replica latency windows
+        (:meth:`ModelStats.merged`) without going through rounded snapshots.
+        """
+        return self._model_stats(model_id)
+
     def stats(self, model_id: Optional[str] = None) -> Dict[str, object]:
-        """Per-model serving stats; pass a model id for one model's snapshot."""
+        """Serving stats; pass a model id for one model's snapshot.
+
+        Without a model id the snapshot covers the whole server: per-model
+        stats under ``"models"`` plus ``queue_depth`` and the
+        ``running``/``stopped`` lifecycle flags, read together so a placement
+        policy (e.g. least-loaded) sees one consistent view instead of
+        stitching racy property reads.
+        """
         if model_id is not None:
             return self._model_stats(model_id).snapshot()
         with self._stats_lock:
             ids = list(self._stats)
-        return {mid: self._model_stats(mid).snapshot() for mid in ids}
+        # Lifecycle flags are read without the lifecycle lock on purpose: a
+        # monitoring read must never block behind a stop() that is draining a
+        # long queue, and single-attribute reads are atomic under the GIL.
+        return {
+            "models": {mid: self._model_stats(mid).snapshot() for mid in ids},
+            "queue_depth": self._queue.qsize(),
+            "running": self._running,
+            "stopped": self._stopped,
+        }
 
     @property
     def queue_depth(self) -> int:
@@ -172,8 +214,8 @@ class InferenceServer:
 
         Idempotent: extra ``stop()`` calls (including before any ``start()``)
         are no-ops.  After ``stop()`` the server can be started again;
-        ``submit()`` in between raises a clear ``RuntimeError`` instead of
-        enqueueing onto a dead queue.
+        ``submit()`` in between raises a typed :class:`ServerStopped` instead
+        of enqueueing onto a dead queue.
         """
         with self._lifecycle_lock:
             if not self._running:
@@ -216,14 +258,14 @@ class InferenceServer:
         with self._lifecycle_lock:
             if not self._running:
                 if self._stopped:
-                    raise RuntimeError(
+                    raise ServerStopped(
                         "server has been stopped; call start() again before submit()"
                     )
                 raise RuntimeError("server is not started; call start() or use predict()")
             try:
                 self._queue.put_nowait(request)
             except queue.Full:
-                raise RuntimeError(
+                raise ServerOverloaded(
                     f"request queue is full ({self._queue.maxsize} pending); "
                     "add workers or apply back-pressure upstream"
                 ) from None

@@ -28,6 +28,10 @@ class LatencyWindow:
     def record(self, seconds: float) -> None:
         self._samples.append(float(seconds))
 
+    def values(self) -> List[float]:
+        """A copy of the raw window samples (for cross-replica merging)."""
+        return list(self._samples)
+
     def percentile(self, q: float) -> float:
         """The ``q``-th latency percentile over the window (0.0 when empty)."""
         if not self._samples:
@@ -67,6 +71,38 @@ class ModelStats:
     def record_error(self, count: int = 1) -> None:
         with self._lock:
             self.errors += count
+
+    @classmethod
+    def merged(cls, parts: Iterable["ModelStats"]) -> "ModelStats":
+        """Aggregate per-replica stats for one model into a cluster-wide view.
+
+        Counters sum; latency percentiles are computed over the *union* of the
+        raw per-replica windows — averaging per-replica p95s would understate
+        tail latency whenever replicas see different load, so the merge keeps
+        every sample.  The merged window is sized to hold all parts' samples.
+        """
+        parts = list(parts)
+        max_batch = max((part.max_batch_size for part in parts), default=1)
+        window = max(sum(len(part.latency) for part in parts), 1)
+        merged = cls(max_batch, window=window)
+        for part in parts:
+            with part._lock:
+                merged.requests += part.requests
+                merged.batches += part.batches
+                merged.padded_samples += part.padded_samples
+                merged.errors += part.errors
+                values = part.latency.values()
+                stages = {stage: list(bucket) for stage, bucket in part._stages.items()}
+            for value in values:
+                merged.latency.record(value)
+            for stage, (count, total) in stages.items():
+                bucket = merged._stages.get(stage)
+                if bucket is None:
+                    merged._stages[stage] = [count, total]
+                else:
+                    bucket[0] += count
+                    bucket[1] += total
+        return merged
 
     def record_stage(self, stage: str, seconds: float) -> None:
         """Accumulate one timed occurrence of ``stage`` (e.g. ``"model"``,

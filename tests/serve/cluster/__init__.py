@@ -1,0 +1,1 @@
+"""Cluster serving layer tests."""

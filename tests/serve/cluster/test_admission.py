@@ -1,0 +1,102 @@
+"""AdmissionScheduler: priority/deadline ordering, shedding, bounded queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServerOverloaded
+from repro.serve.cluster import AdmissionScheduler
+
+from .test_health import FakeClock
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_scheduler(clock, **kwargs) -> AdmissionScheduler:
+    kwargs.setdefault("tenant_priorities", {"gold": 10, "silver": 5})
+    return AdmissionScheduler(clock=clock, **kwargs)
+
+
+class TestOrdering:
+    def test_higher_priority_tenant_jumps_the_queue(self, clock):
+        scheduler = make_scheduler(clock)
+        scheduler.submit("m", "free", payload="first-in")
+        scheduler.submit("m", "gold", payload="vip")
+        scheduler.submit("m", "silver", payload="mid")
+        order = [scheduler.next_ready()[0].payload for _ in range(3)]
+        assert order == ["vip", "mid", "first-in"]
+
+    def test_earliest_deadline_first_within_a_priority_band(self, clock):
+        scheduler = make_scheduler(clock)
+        scheduler.submit("m", "gold", deadline=9.0, payload="later")
+        scheduler.submit("m", "gold", deadline=3.0, payload="urgent")
+        scheduler.submit("m", "gold", payload="no-sla")  # inf deadline: last
+        order = [scheduler.next_ready()[0].payload for _ in range(3)]
+        assert order == ["urgent", "later", "no-sla"]
+
+    def test_fifo_breaks_full_ties(self, clock):
+        scheduler = make_scheduler(clock)
+        for index in range(4):
+            scheduler.submit("m", "gold", deadline=5.0, payload=index)
+        assert [scheduler.next_ready()[0].payload for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_explicit_priority_overrides_tenant_map(self, clock):
+        scheduler = make_scheduler(clock)
+        scheduler.submit("m", "gold", payload="tenant-priority")
+        scheduler.submit("m", "free", priority=99, payload="override")
+        assert scheduler.next_ready()[0].payload == "override"
+
+
+class TestShedding:
+    def test_expired_ticket_pops_flagged_for_shedding(self, clock):
+        scheduler = make_scheduler(clock)
+        scheduler.submit("m", "free", deadline=1.0, payload="doomed")
+        scheduler.submit("m", "free", payload="fine")
+        clock.advance(2.0)
+        ticket, expired = scheduler.next_ready()
+        assert (ticket.payload, expired) == ("doomed", True)
+        ticket, expired = scheduler.next_ready()
+        assert (ticket.payload, expired) == ("fine", False)
+        stats = scheduler.stats()
+        assert stats["shed"] == 1
+        assert stats["dispatched"] == 1
+
+    def test_empty_queue_returns_none(self, clock):
+        scheduler = make_scheduler(clock)
+        assert scheduler.next_ready(timeout=0.01) is None
+
+
+class TestBoundedQueue:
+    def test_overflow_rejects_the_least_urgent(self, clock):
+        evicted = []
+        scheduler = make_scheduler(clock, max_pending=2)
+        scheduler.on_evict = lambda ticket: evicted.append(ticket.payload)
+        scheduler.submit("m", "gold", payload="keep-a")
+        scheduler.submit("m", "free", payload="tail")
+        # A newcomer more urgent than the tail evicts it...
+        scheduler.submit("m", "silver", payload="keep-b")
+        assert evicted == ["tail"]
+        # ...but a newcomer no more urgent than the tail is itself rejected.
+        with pytest.raises(ServerOverloaded):
+            scheduler.submit("m", "free", payload="bounced")
+        assert scheduler.pending == 2
+        order = [scheduler.next_ready()[0].payload for _ in range(2)]
+        assert order == ["keep-a", "keep-b"]
+        assert scheduler.stats()["rejected"] == 2
+
+    def test_drain_returns_everything_in_urgency_order(self, clock):
+        scheduler = make_scheduler(clock)
+        scheduler.submit("m", "free", payload="low")
+        scheduler.submit("m", "gold", deadline=1.0, payload="expiring")
+        scheduler.submit("m", "gold", payload="high")
+        clock.advance(2.0)
+        drained = scheduler.drain()
+        assert [(t.payload, expired) for t, expired in drained] == [
+            ("expiring", True),
+            ("high", False),
+            ("low", False),
+        ]
+        assert scheduler.pending == 0

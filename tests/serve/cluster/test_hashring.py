@@ -1,0 +1,131 @@
+"""Hypothesis property suite for the consistent-hash ring.
+
+The two contracts the cluster's re-sharding story rests on:
+
+* **balance** — with enough virtual nodes, 100+ model ids spread across the
+  replicas within a generous bound (no replica starves or hoards);
+* **minimal movement** — membership changes move exactly the keys they must:
+  every key that changes owner when a replica joins moves *to* the joiner,
+  and removing a replica only moves the keys it owned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.cluster import ConsistentHashRing, stable_hash
+
+# Distinct printable model ids; 100+ keys per the satellite contract.
+model_ids = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=24,
+    ),
+    min_size=100,
+    max_size=160,
+    unique=True,
+)
+
+replica_counts = st.integers(min_value=2, max_value=6)
+
+
+def build_ring(count: int, vnodes: int = 128) -> ConsistentHashRing:
+    return ConsistentHashRing([f"replica-{index}" for index in range(count)], vnodes=vnodes)
+
+
+@given(ids=model_ids, replicas=replica_counts)
+@settings(max_examples=50, deadline=None)
+def test_balance_within_bound(ids, replicas):
+    """Each replica owns between 20% and 250% of its fair share."""
+    ring = build_ring(replicas)
+    counts = {node: 0 for node in ring.nodes()}
+    for model_id in ids:
+        counts[ring.lookup(model_id)] += 1
+    fair = len(ids) / replicas
+    assert sum(counts.values()) == len(ids)
+    for node, owned in counts.items():
+        assert owned >= 0.2 * fair, f"{node} starved: {owned} of fair {fair:.1f}"
+        assert owned <= 2.5 * fair, f"{node} hoards: {owned} of fair {fair:.1f}"
+
+
+@given(ids=model_ids, replicas=replica_counts)
+@settings(max_examples=50, deadline=None)
+def test_join_moves_keys_only_to_the_joiner(ids, replicas):
+    """Adding a replica reassigns keys exclusively to the new replica."""
+    ring = build_ring(replicas)
+    before = {model_id: ring.lookup(model_id) for model_id in ids}
+    ring.add("replica-joining")
+    moved = 0
+    for model_id in ids:
+        after = ring.lookup(model_id)
+        if after != before[model_id]:
+            moved += 1
+            assert after == "replica-joining", (
+                f"'{model_id}' moved {before[model_id]} -> {after}, not to the joiner"
+            )
+    # Expected share is 1/(n+1); allow generous slack but forbid mass movement.
+    assert moved <= 0.6 * len(ids), f"join moved {moved}/{len(ids)} keys"
+
+
+@given(ids=model_ids, replicas=replica_counts)
+@settings(max_examples=50, deadline=None)
+def test_leave_moves_only_the_leavers_keys(ids, replicas):
+    """Removing a replica leaves every other key's owner untouched."""
+    ring = build_ring(replicas)
+    before = {model_id: ring.lookup(model_id) for model_id in ids}
+    leaver = ring.nodes()[0]
+    ring.remove(leaver)
+    for model_id in ids:
+        after = ring.lookup(model_id)
+        if before[model_id] != leaver:
+            assert after == before[model_id], (
+                f"'{model_id}' moved {before[model_id]} -> {after} though "
+                f"only '{leaver}' left"
+            )
+        else:
+            assert after != leaver
+
+
+@given(ids=model_ids, replicas=replica_counts)
+@settings(max_examples=25, deadline=None)
+def test_preference_list_starts_at_owner_and_covers_all(ids, replicas):
+    ring = build_ring(replicas)
+    for model_id in ids[:20]:
+        preference = ring.preference_list(model_id)
+        assert preference[0] == ring.lookup(model_id)
+        assert sorted(preference) == ring.nodes()
+        assert ring.preference_list(model_id, count=2) == preference[:2]
+
+
+def test_lookup_is_stable_across_instances():
+    """Same membership -> same mapping, regardless of construction order."""
+    forward = ConsistentHashRing(["a", "b", "c"], vnodes=64)
+    backward = ConsistentHashRing(["c", "b", "a"], vnodes=64)
+    for model_id in (f"model-{index}" for index in range(200)):
+        assert forward.lookup(model_id) == backward.lookup(model_id)
+
+
+def test_stable_hash_is_process_independent():
+    # Pinned digest: a salted hash (like Python's builtin) would break ring
+    # agreement across restarts, so the function must never drift.
+    assert stable_hash("model-0") == int.from_bytes(
+        hashlib.blake2b(b"model-0", digest_size=8).digest(), "big"
+    )
+
+
+def test_empty_ring_and_membership_errors():
+    ring = ConsistentHashRing(vnodes=8)
+    assert ring.preference_list("m") == []
+    with pytest.raises(KeyError):
+        ring.lookup("m")
+    ring.add("only")
+    with pytest.raises(ValueError):
+        ring.add("only")
+    with pytest.raises(KeyError):
+        ring.remove("ghost")
+    assert ring.lookup("anything") == "only"

@@ -1,0 +1,154 @@
+"""HealthMonitor: failure streaks, heartbeat windows, draining, revival."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.cluster import (
+    DRAINING,
+    HEALTHY,
+    STOPPED,
+    UNHEALTHY,
+    HealthMonitor,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def monitor(clock: FakeClock) -> HealthMonitor:
+    monitor = HealthMonitor(failure_threshold=3, heartbeat_timeout=5.0, clock=clock)
+    for replica_id in ("r0", "r1"):
+        monitor.register(replica_id)
+    return monitor
+
+
+class TestFailureStreaks:
+    def test_consecutive_failures_mark_unhealthy(self, monitor):
+        monitor.record_failure("r0")
+        monitor.record_failure("r0")
+        assert monitor.state("r0") == HEALTHY
+        monitor.record_failure("r0")
+        assert monitor.state("r0") == UNHEALTHY
+        assert not monitor.is_routable("r0")
+        assert monitor.routable_ids() == ["r1"]
+
+    def test_one_success_resets_the_streak(self, monitor):
+        monitor.record_failure("r0")
+        monitor.record_failure("r0")
+        monitor.record_success("r0")
+        monitor.record_failure("r0")
+        monitor.record_failure("r0")
+        assert monitor.state("r0") == HEALTHY, "streak must reset on success"
+
+    def test_success_revives_an_unhealthy_replica(self, monitor):
+        for _ in range(3):
+            monitor.record_failure("r0")
+        assert monitor.state("r0") == UNHEALTHY
+        monitor.record_success("r0")
+        assert monitor.state("r0") == HEALTHY
+        assert monitor.is_routable("r0")
+
+    def test_signals_for_deregistered_replicas_are_ignored(self, monitor):
+        monitor.deregister("r0")
+        monitor.record_failure("r0")  # request was in flight during removal
+        monitor.record_success("r0")
+        assert "r0" not in monitor.snapshot()
+
+
+class TestHeartbeats:
+    def test_stale_heartbeat_stops_routing(self, monitor, clock):
+        assert monitor.is_routable("r0")
+        clock.advance(5.1)
+        assert not monitor.is_routable("r0")
+        monitor.heartbeat("r0")
+        assert monitor.is_routable("r0")
+
+    def test_dead_heartbeat_marks_stopped_and_alive_restores(self, monitor):
+        monitor.heartbeat("r0", alive=False)
+        assert monitor.state("r0") == STOPPED
+        assert not monitor.is_routable("r0")
+        monitor.heartbeat("r0", alive=True)  # restart observed
+        assert monitor.state("r0") == HEALTHY
+
+    def test_alive_heartbeat_readmits_unhealthy_as_a_probe(self, monitor):
+        """UNHEALTHY must not be a trap: no traffic means no reviving success,
+        so a heartbeat re-admits the replica — but keeps the failure streak,
+        and one more failure benches it again immediately."""
+        for _ in range(3):
+            monitor.record_failure("r0")
+        monitor.heartbeat("r0")
+        assert monitor.state("r0") == HEALTHY
+        monitor.record_failure("r0")
+        assert monitor.state("r0") == UNHEALTHY, "streak survives the probe"
+        monitor.heartbeat("r0")
+        monitor.record_success("r0")
+        monitor.record_failure("r0")
+        assert monitor.state("r0") == HEALTHY, "a success clears the streak"
+
+    def test_heartbeat_for_deregistered_replica_is_ignored(self, monitor):
+        monitor.deregister("r0")
+        monitor.heartbeat("r0")  # health check raced a removal: no KeyError
+        monitor.heartbeat("r0", alive=False)
+        assert "r0" not in monitor.snapshot()
+
+    def test_check_polls_replica_objects(self, monitor):
+        class FakeReplica:
+            def __init__(self, alive: bool) -> None:
+                self._alive = alive
+
+            def heartbeat(self):
+                return {"alive": self._alive}
+
+        class CrashingReplica:
+            def heartbeat(self):
+                raise ConnectionError("boom")
+
+        routable = monitor.check({"r0": FakeReplica(True), "r1": CrashingReplica()})
+        assert routable == ["r0"]
+        assert monitor.state("r1") == STOPPED
+
+
+class TestAdministrativeStates:
+    def test_draining_is_not_routable(self, monitor):
+        monitor.mark_draining("r0")
+        assert monitor.state("r0") == DRAINING
+        assert monitor.routable_ids() == ["r1"]
+
+    def test_revive_restores_routing(self, monitor, clock):
+        monitor.mark_stopped("r0")
+        clock.advance(10.0)  # heartbeat is stale too
+        monitor.revive("r0")
+        assert monitor.is_routable("r0")
+
+    def test_unknown_replica_raises(self, monitor):
+        with pytest.raises(KeyError):
+            monitor.state("ghost")
+        with pytest.raises(KeyError):
+            monitor.mark_draining("ghost")
+
+    def test_double_register_raises(self, monitor):
+        with pytest.raises(ValueError):
+            monitor.register("r0")
+
+    def test_snapshot_reports_counters(self, monitor):
+        monitor.record_failure("r0")
+        monitor.record_success("r0")
+        snapshot = monitor.snapshot()
+        assert snapshot["r0"]["total_failures"] == 1
+        assert snapshot["r0"]["total_successes"] == 1
+        assert snapshot["r0"]["consecutive_failures"] == 0

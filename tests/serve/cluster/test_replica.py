@@ -1,0 +1,123 @@
+"""ReplicaWorker: lifecycle, typed refusals, wrapper-future semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import model_factory
+from repro.serve import Batcher, ReplicaUnavailable, ReplicaWorker
+
+from ..conftest import lenet_bundle
+
+
+def make_replica(replica_id: str = "r0") -> ReplicaWorker:
+    replica = ReplicaWorker(
+        replica_id, batcher=Batcher(max_batch_size=4, max_wait=0.005), num_workers=1
+    )
+    replica.registry.register(
+        "lenet", lenet_bundle(), model_factory("lenet", in_channels=1, seed=3)
+    )
+    return replica
+
+
+@pytest.fixture
+def images() -> np.ndarray:
+    return np.random.default_rng(5).standard_normal((4, 1, 28, 28)).astype(np.float32)
+
+
+class TestLifecycle:
+    def test_replica_id_must_be_non_empty(self):
+        with pytest.raises(ValueError):
+            ReplicaWorker("")
+
+    def test_context_manager_serves_and_stops(self, images):
+        replica = make_replica()
+        with replica:
+            future = replica.submit("lenet", images[0])
+            assert future.result(timeout=30).shape == (10,)
+        assert not replica.server.running
+
+    def test_kill_is_idempotent_and_refuses_new_work(self, images):
+        replica = make_replica()
+        replica.kill()
+        replica.kill()  # no-op
+        assert not replica.alive
+        with pytest.raises(ReplicaUnavailable, match="killed"):
+            replica.predict("lenet", images[0])
+        with pytest.raises(ReplicaUnavailable, match="killed"):
+            replica.submit("lenet", images[0])
+        assert replica.heartbeat()["alive"] is False
+
+    def test_drain_finishes_queued_work_then_refuses(self, images):
+        replica = make_replica()
+        replica.start()
+        futures = [replica.submit("lenet", sample) for sample in images]
+        replica.drain()
+        for future in futures:
+            assert future.result(timeout=30).shape == (10,)
+        assert replica.draining
+        with pytest.raises(ReplicaUnavailable, match="draining"):
+            replica.predict("lenet", images[0])
+        assert replica.heartbeat()["alive"] is False  # draining: not routable
+
+    def test_begin_drain_refuses_immediately(self, images):
+        replica = make_replica()
+        replica.begin_drain()
+        with pytest.raises(ReplicaUnavailable, match="draining"):
+            replica.submit("lenet", images[0])
+
+    def test_start_after_stop_restores_service(self, images):
+        replica = make_replica()
+        replica.start()
+        replica.stop()
+        replica.start()
+        try:
+            assert replica.submit("lenet", images[0]).result(timeout=30).shape == (10,)
+        finally:
+            replica.stop()
+
+
+class TestWrapperFutures:
+    def test_inner_errors_pass_through_the_wrapper(self, images):
+        replica = make_replica()
+        with replica:
+            future = replica.submit("ghost-model", images[0])
+            with pytest.raises(KeyError):
+                future.result(timeout=30)
+        assert replica.in_flight == 0
+
+    def test_failed_submit_leaves_no_outstanding_entry(self, images):
+        replica = make_replica()  # never started: inner submit raises
+        with pytest.raises(RuntimeError):
+            replica.submit("lenet", images[0])
+        assert replica.in_flight == 0
+
+    def test_kill_fails_outstanding_wrappers_typed(self, images):
+        replica = make_replica()
+        replica.start()
+        # enqueue without workers pulling fast enough to guarantee overlap is
+        # not needed: even resolved inners are raced safely by _complete
+        futures = [replica.submit("lenet", sample) for sample in images]
+        replica.kill()
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append(future.result(timeout=30))
+            except ReplicaUnavailable:
+                outcomes.append("failed-typed")
+        assert all(
+            isinstance(outcome, np.ndarray) or outcome == "failed-typed"
+            for outcome in outcomes
+        )
+
+    def test_snapshot_reports_load_and_registry(self, images):
+        replica = make_replica()
+        replica.predict_batch("lenet", list(images))
+        snapshot = replica.snapshot()
+        assert snapshot["replica_id"] == "r0"
+        assert snapshot["alive"] is True
+        assert snapshot["in_flight"] == 0
+        assert snapshot["registry"]["registered"] == 1
+        assert snapshot["server"]["models"]["lenet"]["requests"] == len(images)
+        assert replica.load() == 0

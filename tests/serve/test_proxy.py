@@ -20,6 +20,7 @@ from repro.serve import (
     RateLimitExceeded,
     RateLimiter,
     ResponseCache,
+    ServerStopped,
 )
 from repro.utils.rng import get_rng
 
@@ -284,11 +285,24 @@ class TestProxyMiddleware:
             future.result(timeout=5)
         assert limiter.stats()["admitted"] == 1
 
+    def test_submit_on_stopped_server_surfaces_typed_error_via_future(self, served_image_job):
+        """Regression: a server stopped mid-flight must fail the proxy future
+        with the typed ServerStopped, not a bare RuntimeError the client has
+        to string-match (the cluster router also keys failover on the type)."""
+        data, job, registry, _ = served_image_job
+        proxy = ExtractionProxy(job.secrets, middleware=[RateLimiter(rate=1e6)])
+        server = InferenceServer(registry, Batcher(max_batch_size=4))
+        server.start()
+        server.stop()
+        future = proxy.submit(server, "lenet-aug", data.train.samples[0])
+        with pytest.raises(ServerStopped):
+            future.result(timeout=5)
+
     def test_submit_without_middleware_raises_synchronously(self, served_image_job):
         data, job, registry, _ = served_image_job
         proxy = ExtractionProxy(job.secrets)  # no chain: pre-middleware behaviour
         server = InferenceServer(registry, Batcher(max_batch_size=4))
         server.start()
         server.stop()
-        with pytest.raises(RuntimeError, match="stopped"):
+        with pytest.raises(ServerStopped, match="stopped"):
             proxy.submit(server, "lenet-aug", data.train.samples[0])

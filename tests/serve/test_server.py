@@ -10,7 +10,13 @@ import pytest
 from repro import nn
 from repro.cloud import pack_model
 from repro.models import model_factory
-from repro.serve import Batcher, InferenceServer, ModelRegistry
+from repro.serve import (
+    Batcher,
+    InferenceServer,
+    ModelRegistry,
+    ServerOverloaded,
+    ServerStopped,
+)
 
 from .conftest import make_lenet
 
@@ -55,7 +61,23 @@ class TestSyncApi:
         assert stats["mean_batch_size"] == 3.5
         assert 0 < stats["batch_fill_ratio"] <= 1
         assert stats["p95_latency_ms"] >= stats["p50_latency_ms"] > 0
-        assert server.stats()["lenet"] == stats
+        assert server.stats()["models"]["lenet"] == stats
+
+    def test_stats_snapshot_carries_lifecycle_and_queue_depth(self, server, images):
+        """One stats() call gives placement policies queue depth + lifecycle.
+
+        The least-loaded policy must not stitch together racy property reads;
+        the combined snapshot is the satellite contract this test pins.
+        """
+        snapshot = server.stats()
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["running"] is False
+        assert snapshot["stopped"] is False
+        with server:
+            assert server.stats()["running"] is True
+        snapshot = server.stats()
+        assert snapshot["running"] is False
+        assert snapshot["stopped"] is True
 
 
 class TestConcurrentMode:
@@ -149,10 +171,12 @@ class TestConcurrentMode:
         server.stop()  # double stop after a real run
         assert not server.running
 
-    def test_submit_after_stop_raises_clear_error(self, server, images):
+    def test_submit_after_stop_raises_typed_error(self, server, images):
         server.start()
         server.stop()
-        with pytest.raises(RuntimeError, match="stopped"):
+        # ServerStopped subclasses RuntimeError, so pre-existing callers
+        # catching the broad class keep working while routers match the type.
+        with pytest.raises(ServerStopped, match="stopped"):
             server.submit("lenet", images[0])
 
     def test_submit_before_first_start_names_the_remedy(self, server, images):
@@ -177,7 +201,7 @@ class TestConcurrentMode:
         try:
             server.submit("lenet", images[0])
             server.submit("lenet", images[1])
-            with pytest.raises(RuntimeError, match="queue is full"):
+            with pytest.raises(ServerOverloaded, match="queue is full"):
                 server.submit("lenet", images[2])
         finally:
             server._running = False
