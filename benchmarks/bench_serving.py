@@ -51,9 +51,11 @@ from repro.serve import (
     ClusterRouter,
     ConsistentHashPolicy,
     ExtractionProxy,
+    GatewayServer,
     InferenceServer,
     ModelRegistry,
     RateLimiter,
+    RemoteClient,
     ReplicaWorker,
     ResponseCache,
     Telemetry,
@@ -340,6 +342,120 @@ def bench_cluster(tiny: bool, seed: int) -> Dict[str, object]:
     }
 
 
+def bench_gateway(tiny: bool, seed: int) -> Dict[str, object]:
+    """The network edge: loopback gateway vs the same cluster in-process.
+
+    N concurrent clients each run a request loop against a 2-replica cluster,
+    once through in-process ``submit`` futures and once through a
+    :class:`RemoteClient` over a loopback :class:`GatewayServer`.  Both
+    sections record aggregate requests/s plus the client-observed p95 — the
+    gap between them is the full wire cost (framing, loopback TCP, the
+    asyncio hop), which is the honest price of crossing a process boundary.
+    """
+    num_clients = 8
+    per_client = 8 if tiny else 32
+    registry_seed = seed
+
+    def build_router() -> ClusterRouter:
+        return ClusterRouter(
+            [
+                ReplicaWorker(
+                    f"replica-{index}",
+                    batcher=Batcher(max_batch_size=32, max_wait=0.002, padding="bucket"),
+                )
+                for index in range(2)
+            ]
+        )
+
+    model = LeNet(10, 1, 28, rng=np.random.default_rng(registry_seed))
+    bundle = pack_model(model, task="classification")
+    factory = model_factory("lenet", in_channels=1, seed=registry_seed)
+    images = (
+        np.random.default_rng(registry_seed)
+        .standard_normal((num_clients * per_client, 1, 28, 28))
+        .astype(np.float32)
+    )
+
+    def hammer(predict) -> Dict[str, float]:
+        """Run the client loops once; returns throughput + client-side p95."""
+        latencies: list = []
+        lock = threading.Lock()
+
+        def client(offset: int) -> None:
+            local = []
+            for index in range(per_client):
+                sample = images[offset + index]
+                start = time.perf_counter()
+                predict(sample)
+                local.append(time.perf_counter() - start)
+            with lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=client, args=(index * per_client,))
+            for index in range(num_clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        total = num_clients * per_client
+        return {
+            "requests": total,
+            "seconds": round(elapsed, 6),
+            "requests_per_s": round(total / elapsed, 2) if elapsed else float("inf"),
+            "p95_latency_ms": round(float(np.percentile(latencies, 95)) * 1e3, 3),
+        }
+
+    # In-process baseline: the same concurrent submit path, no socket.
+    router = build_router()
+    router.register("lenet", bundle, factory)
+    with router:
+        router.predict("lenet", images[0])  # warm the instance caches
+        in_process = hammer(lambda sample: router.submit("lenet", sample).result(timeout=60))
+
+    # Loopback gateway: every request crosses the wire.
+    router = build_router()
+    router.register("lenet", bundle, factory)
+    with router:
+        with GatewayServer(router, server_id="bench") as gateway:
+            clients = [
+                RemoteClient(*gateway.address, tenant=f"client-{index}")
+                for index in range(num_clients)
+            ]
+            try:
+                clients[0].predict("lenet", images[0])  # warm caches + connections
+                counter = {"next": 0}
+                counter_lock = threading.Lock()
+
+                def remote_predict(sample: np.ndarray) -> None:
+                    with counter_lock:
+                        client = clients[counter["next"] % num_clients]
+                        counter["next"] += 1
+                    client.predict("lenet", sample)
+
+                remote = hammer(remote_predict)
+            finally:
+                for client in clients:
+                    client.close()
+
+    overhead = (
+        in_process["requests_per_s"] / remote["requests_per_s"]
+        if remote["requests_per_s"]
+        else float("inf")
+    )
+    return {
+        "num_clients": num_clients,
+        "requests_per_client": per_client,
+        "num_replicas": 2,
+        "in_process": in_process,
+        "gateway_loopback": remote,
+        "wire_overhead_x": round(overhead, 2),
+    }
+
+
 def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str, object]:
     tiny = scale == "tiny"
     print(
@@ -394,6 +510,14 @@ def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str
         f"shards {list(cluster['cluster']['shard_sizes'].values())})"
     )
 
+    gateway = bench_gateway(tiny, seed)
+    print(
+        f"{'gateway loopback (8c)':24s} "
+        f"{gateway['gateway_loopback']['requests_per_s']:10.1f} requests/s "
+        f"(p95 {gateway['gateway_loopback']['p95_latency_ms']:.2f} ms, "
+        f"{gateway['wire_overhead_x']:.2f}x wire overhead vs in-process)"
+    )
+
     plain_speedup = batched["32"]["samples_per_s"] / single["samples_per_s"]
     speedup = obfuscated["speedup_batch32_vs_single"]
     print(f"{'plain speedup@32':24s} {plain_speedup:10.2f}x")
@@ -417,6 +541,7 @@ def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str
         "middleware": middleware,
         "obfuscated": obfuscated,
         "cluster": cluster,
+        "gateway": gateway,
         "speedup_batch32_vs_single": round(speedup, 2),
     }
     with open(output_path, "w", encoding="utf-8") as handle:

@@ -25,14 +25,17 @@ from repro.serve import (
     ConsistentHashPolicy,
     DeadlineExceeded,
     ExtractionProxy,
+    GatewayServer,
     InferenceServer,
     ModelRegistry,
     ObfuscationGuard,
     ObfuscationViolation,
     RateLimiter,
     RateLimitExceeded,
+    RemoteClient,
     ReplicaWorker,
     ResponseCache,
+    ServerStopped,
     Telemetry,
     ValidationError,
     Validator,
@@ -213,9 +216,73 @@ def main() -> None:
         print(f"admission: {error}")
 
     # ------------------------------------------------------------------
-    # 6. The download path still works: extract the original model.
+    # 6. Network gateway: remote clients reach the cluster over loopback.
+    #    The proxy works unchanged — obfuscated extraction over the wire.
     # ------------------------------------------------------------------
-    print("\n=== 6. offline extraction from the served bundle ===")
+    print("\n=== 6. network gateway: remote obfuscated serving ===")
+    edge_router = ClusterRouter(
+        [
+            ReplicaWorker(
+                f"edge-replica-{index}",
+                batcher=Batcher(max_batch_size=16, max_wait=0.002, padding="bucket"),
+            )
+            for index in range(2)
+        ]
+    )
+    # The gateway resolves architecture factories server-side: code never
+    # crosses the socket, only augmented bundle bytes do.
+    gateway = GatewayServer(
+        edge_router,
+        factories={"mnist-remote": CloudSession.architecture_factory(job)},
+        server_id="demo-edge",
+    )
+    with edge_router:
+        with gateway:
+            host, port = gateway.address
+            print(f"gateway listening on {host}:{port}")
+            with RemoteClient(host, port, tenant="demo-user") as remote:
+                # Publish over the wire: the same CloudSession.publish call,
+                # now crossing a socket as a REGISTER frame.
+                registration = CloudSession.publish(job, remote, "mnist-remote")
+                print(
+                    f"published '{registration.model_id}' over the wire "
+                    f"({registration.size_bytes} bytes, "
+                    f"sha256 {registration.checksum[:12]}...)"
+                )
+                # Obfuscated extraction over loopback: augment client-side,
+                # cross the wire, select the original sub-network's output.
+                remote_futures = [
+                    proxy.submit(remote, "mnist-remote", sample) for sample in queries
+                ]
+                remote_outputs = [future.result(timeout=60) for future in remote_futures]
+                remote_predictions = np.array(
+                    [int(np.argmax(output)) for output in remote_outputs]
+                )
+                remote_accuracy = float(np.mean(remote_predictions == labels))
+                print(
+                    f"served {len(remote_outputs)} requests over TCP, "
+                    f"accuracy {remote_accuracy:.3f} "
+                    f"(matches in-process serving: {remote_accuracy == served_accuracy})"
+                )
+                edge_stats = gateway.stats()
+                print(
+                    f"edge: {edge_stats['requests']} requests, "
+                    f"{edge_stats['responses']} responses, "
+                    f"window {remote.window}, "
+                    f"backpressure rejections {edge_stats['backpressure']}"
+                )
+                # Graceful drain: in-flight work completes, new requests are
+                # rejected with a typed ServerStopped.
+                gateway.stop()
+                try:
+                    remote.predict("mnist-remote", proxy.augment(queries[0]))
+                except ServerStopped as error:
+                    print(f"after drain: {error}")
+
+    # ------------------------------------------------------------------
+    # 7. The download path still works: extract the original model.
+    # ------------------------------------------------------------------
+    print("\n=== 7. offline extraction from the served bundle ===")
     report = proxy.extract_model(
         entry.bundle, lambda: LeNet(10, 1, 28, rng=np.random.default_rng(0))
     )

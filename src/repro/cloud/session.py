@@ -66,16 +66,43 @@ class CloudSession:
     # Serving hand-off
     # ------------------------------------------------------------------
     @staticmethod
+    def architecture_factory(job: ObfuscationJob) -> Callable[[], nn.Module]:
+        """A zero-argument factory for the job's *augmented* architecture.
+
+        The serving registry rebuilds evicted instances from such a factory,
+        and a network gateway resolves REGISTER frames with one (factories
+        are code and never cross the wire —
+        :class:`~repro.serve.gateway.GatewayServer` accepts them via its
+        ``factories`` table).  The augmented architecture is public under the
+        paper's threat model (the cloud trains it); only the plan's insertion
+        positions and the original sub-network index are secret, and those
+        stay in ``job.secrets``.
+        """
+        architecture = copy.deepcopy(job.augmented_model)
+
+        def factory() -> nn.Module:
+            # A fresh clone per call: the registry may evict and later rebuild
+            # the instance, and a shared object would let a reload mutate a
+            # model another worker thread is still running.
+            return copy.deepcopy(architecture)
+
+        return factory
+
+    @staticmethod
     def publish(job: ObfuscationJob, registry: "ModelRegistry", model_id: str,
                 metadata: Optional[Dict[str, object]] = None,
                 replace: bool = False) -> "RegistryEntry":
         """Upload the job's (trained) augmented model into a serving registry.
 
         ``registry`` is anything with a :meth:`ModelRegistry.register`-shaped
-        surface: a single-server :class:`~repro.serve.registry.ModelRegistry`
-        or a :class:`~repro.serve.cluster.ClusterRouter`, whose placement
-        policy then decides which replicas hold the shard (shard-aware
-        publish).
+        surface: a single-server :class:`~repro.serve.registry.ModelRegistry`,
+        a :class:`~repro.serve.cluster.ClusterRouter` (whose placement policy
+        then decides which replicas hold the shard — shard-aware publish), or
+        a :class:`~repro.serve.gateway.RemoteClient`, in which case the
+        publish happens *over the wire*: the bundle's bytes and public
+        architecture digest travel as a REGISTER frame and the gateway
+        resolves the architecture factory server-side (give it
+        :meth:`architecture_factory`'s result under the same model id).
 
         Only augmented artefacts cross this boundary: the registry receives
         the packed :class:`ModelBundle` plus a structural clone of the
@@ -87,14 +114,7 @@ class CloudSession:
         cluster.
         """
         bundle = pack_model(job.augmented_model, task=job.augmented_model.task)
-        architecture = copy.deepcopy(job.augmented_model)
-
-        def factory():
-            # A fresh clone per call: the registry may evict and later rebuild
-            # the instance, and a shared object would let a reload mutate a
-            # model another worker thread is still running.
-            return copy.deepcopy(architecture)
-
+        factory = CloudSession.architecture_factory(job)
         entry_metadata = dict(metadata or {})
         entry_metadata.setdefault("task", job.metadata.get("task", "image-classification"))
         # Publish the *public* input contract so the serving Validator can

@@ -18,7 +18,12 @@ This package turns a trained augmented model into a multi-client service:
 * :mod:`repro.serve.cluster` — the scale-out layer: sharded multi-replica
   routing (:class:`~repro.serve.cluster.ClusterRouter`) with pluggable
   placement, health-aware failover and SLA-aware admission, behind the same
-  serving surface as a single server.
+  serving surface as a single server;
+* :mod:`repro.serve.gateway` — the network edge: an asyncio TCP gateway
+  (:class:`~repro.serve.gateway.GatewayServer`) speaking a compact binary
+  wire protocol, with a :class:`~repro.serve.gateway.RemoteClient` that
+  plugs in wherever the in-process surface is used — including under the
+  proxy, for obfuscated extraction over the network.
 """
 
 from .batcher import PADDING_MODES, Batcher, bucket_size
@@ -37,6 +42,16 @@ from .cluster import (
     PowerOfTwoChoicesPolicy,
     ReplicaUnavailable,
     ReplicaWorker,
+)
+from .gateway import (
+    AsyncRemoteClient,
+    Backpressure,
+    ConnectionClosed,
+    GatewayError,
+    GatewayServer,
+    ProtocolError,
+    RemoteClient,
+    RemoteRegistration,
 )
 from .middleware import (
     BatchContext,
@@ -62,16 +77,21 @@ from .stats import LatencyWindow, ModelStats
 __all__ = [
     "PADDING_MODES",
     "AdmissionScheduler",
+    "AsyncRemoteClient",
+    "Backpressure",
     "BatchContext",
     "Batcher",
     "bucket_size",
     "ClusterError",
     "ClusterRouter",
+    "ConnectionClosed",
     "ConsistentHashPolicy",
     "ConsistentHashRing",
     "DeadlineExceeded",
     "ExtractionProxy",
     "FailoverExhausted",
+    "GatewayError",
+    "GatewayServer",
     "HealthMonitor",
     "InferenceServer",
     "LatencyWindow",
@@ -85,9 +105,12 @@ __all__ = [
     "ObfuscationViolation",
     "PlacementPolicy",
     "PowerOfTwoChoicesPolicy",
+    "ProtocolError",
     "RateLimitExceeded",
     "RateLimiter",
     "RegistryEntry",
+    "RemoteClient",
+    "RemoteRegistration",
     "ReplicaUnavailable",
     "ReplicaWorker",
     "RequestContext",

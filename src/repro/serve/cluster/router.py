@@ -352,7 +352,13 @@ class ClusterRouter:
             return self._dispatch_sync(model_id, arrays, tenant, absolute)
         stats = self._model_stats(model_id)
         contexts = [
-            RequestContext(model_id=model_id, sample=array, tenant=tenant, source="cluster")
+            RequestContext(
+                model_id=model_id,
+                sample=array,
+                tenant=tenant,
+                source="cluster",
+                deadline=absolute,
+            )
             for array in arrays
         ]
         for context in contexts:
@@ -432,12 +438,17 @@ class ClusterRouter:
                         "cluster has been stopped; call start() again before submit()"
                     )
                 raise RuntimeError("cluster is not started; call start() or use predict()")
+        absolute = None if deadline is None else self._clock() + float(deadline)
         request = _ClusterRequest(
             model_id=model_id, sample=np.asarray(sample), tenant=tenant, future=Future()
         )
         if self.middleware:
             context = RequestContext(
-                model_id=model_id, sample=request.sample, tenant=tenant, source="cluster"
+                model_id=model_id,
+                sample=request.sample,
+                tenant=tenant,
+                source="cluster",
+                deadline=absolute,
             )
             context.stats = self._model_stats(model_id)
             request.context = context
@@ -445,7 +456,6 @@ class ClusterRouter:
             if context.answered:  # short-circuited or rejected cluster-wide
                 self._finish(request)
                 return request.future
-        absolute = None if deadline is None else self._clock() + float(deadline)
         try:
             self.admission.submit(
                 model_id, tenant, deadline=absolute, priority=priority, payload=request

@@ -1,0 +1,68 @@
+"""Network gateway: the asyncio RPC edge in front of the serving stack.
+
+The in-process stack (registry → batcher → middleware → cluster router)
+serves callers in the same interpreter; the paper's middleware sits between
+*remote* clients and model owners.  This package crosses the process
+boundary:
+
+* :mod:`~repro.serve.gateway.wire` — the length-prefixed, versioned,
+  msgpack-free binary protocol (struct + raw ndarray framing, typed error
+  frames that round-trip the serving stack's exception types);
+* :class:`~repro.serve.gateway.server.GatewayServer` — an asyncio TCP server
+  fronting a :class:`~repro.serve.cluster.ClusterRouter` (or single
+  :class:`~repro.serve.server.InferenceServer`) with tenant handshake,
+  per-connection backpressure windows, pipelined request multiplexing and
+  graceful zero-loss drain;
+* :class:`~repro.serve.gateway.client.RemoteClient` /
+  :class:`~repro.serve.gateway.client.AsyncRemoteClient` — drop-in remote
+  counterparts of the in-process serving surface, so an
+  :class:`~repro.serve.proxy.ExtractionProxy` runs obfuscated extraction
+  end-to-end over the network unchanged.
+"""
+
+from .client import AsyncRemoteClient, RemoteClient, RemoteRegistration
+from .errors import Backpressure, ConnectionClosed, GatewayError, ProtocolError
+from .server import GatewayServer
+from .wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    Ack,
+    ErrorFrame,
+    Goodbye,
+    Hello,
+    HelloAck,
+    Register,
+    Request,
+    Response,
+    decode_error,
+    decode_payload,
+    encode_error,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "WIRE_VERSION",
+    "Ack",
+    "AsyncRemoteClient",
+    "Backpressure",
+    "ConnectionClosed",
+    "ErrorFrame",
+    "GatewayError",
+    "GatewayServer",
+    "Goodbye",
+    "Hello",
+    "HelloAck",
+    "ProtocolError",
+    "Register",
+    "RemoteClient",
+    "RemoteRegistration",
+    "Request",
+    "Response",
+    "decode_error",
+    "decode_payload",
+    "encode_error",
+    "encode_frame",
+    "read_frame",
+]

@@ -1,0 +1,478 @@
+"""Remote serving clients: an asyncio core and a sync connection-pool facade.
+
+:class:`AsyncRemoteClient` is one multiplexed connection to a
+:class:`~repro.serve.gateway.server.GatewayServer`: it performs the tenant
+handshake, gates sends on the granted in-flight window (so a well-behaved
+client never triggers server-side
+:class:`~repro.serve.gateway.errors.Backpressure`), and pipelines requests —
+responses arrive in completion order and are matched back by request id, so
+``predict_batch`` keeps the wire full without head-of-line blocking.
+
+:class:`RemoteClient` wraps a pool of those connections behind the exact
+synchronous surface the in-process stack exposes (``predict`` /
+``predict_batch`` / ``submit`` / ``register``), so it plugs in wherever an
+:class:`~repro.serve.server.InferenceServer` or
+:class:`~repro.serve.cluster.ClusterRouter` is used today — including under
+an :class:`~repro.serve.proxy.ExtractionProxy`, which makes obfuscated
+extraction work end-to-end over the network: samples are augmented
+client-side *before* they reach this client, so only augmented bytes ever
+touch the socket.
+
+Failure surface: server-side exceptions arrive as typed error frames and are
+re-raised as the *same* Python types (``RateLimitExceeded`` with its
+``retry_after``, ``DeadlineExceeded`` with its SLA terms, ``ServerStopped``,
+``ServerOverloaded`` …).  A graceful gateway drain resolves every in-flight
+request before the ``GOODBYE``; requests raced past the drain edge fail with
+``ServerStopped``, and only a socket that dies *unannounced* surfaces
+:class:`~repro.serve.gateway.errors.ConnectionClosed`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...cloud.serialization import ModelBundle
+from ..server import ServerStopped
+from .errors import ConnectionClosed, ProtocolError
+from .wire import (
+    Ack,
+    ErrorFrame,
+    Goodbye,
+    Hello,
+    HelloAck,
+    Register,
+    Request,
+    Response,
+    encode_frame,
+    read_frame,
+)
+
+
+@dataclass
+class RemoteRegistration:
+    """What a REGISTER round trip returns: the server-acknowledged identity."""
+
+    model_id: str
+    checksum: str
+    size_bytes: int
+
+
+class AsyncRemoteClient:
+    """One handshaked, window-limited, pipelined gateway connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+        window: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.deadline = deadline
+        self.window = window  # requested; replaced by the granted window
+        self.server_id = ""
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._write_lock = asyncio.Lock()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self._close_error: Optional[BaseException] = None
+
+    async def connect(self) -> "AsyncRemoteClient":
+        """Open the socket and run the HELLO/HELLO_ACK handshake."""
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            await self._send(
+                Hello(tenant=self.tenant, deadline=self.deadline, window=self.window)
+            )
+            ack = await read_frame(self._reader)
+            if isinstance(ack, ErrorFrame):
+                raise ack.error
+            if not isinstance(ack, HelloAck):
+                raise ProtocolError(f"expected HELLO_ACK, got {type(ack).__name__}")
+        except BaseException:
+            # A failed handshake must not leak the socket it just opened.
+            self._closed = True
+            self._writer.close()
+            raise
+        self.window = ack.window
+        self.server_id = ack.server_id
+        self._slots = asyncio.Semaphore(ack.window)
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        return self
+
+    async def _send(self, frame) -> None:
+        data = encode_frame(frame)
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        closer: BaseException = ConnectionClosed("gateway connection closed unexpectedly")
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                if isinstance(frame, (Response, Ack)):
+                    future = self._pending.pop(frame.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                elif isinstance(frame, ErrorFrame):
+                    if frame.request_id == 0:  # connection-level: fatal
+                        closer = frame.error
+                        break
+                    future = self._pending.pop(frame.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_exception(frame.error)
+                elif isinstance(frame, Goodbye):
+                    # Graceful drain: the server answered every accepted
+                    # request before this frame, so whatever is still pending
+                    # raced past the drain edge and was never accepted.
+                    closer = ServerStopped(f"gateway stopped: {frame.reason or 'drained'}")
+                    break
+                else:
+                    closer = ProtocolError(f"unexpected {type(frame).__name__} frame")
+                    break
+        except (OSError, ProtocolError, asyncio.IncompleteReadError) as error:
+            # OSError, not just ConnectionError: an ETIMEDOUT read raises
+            # TimeoutError, which must also settle pending requests and end
+            # the loop quietly instead of escaping into close().
+            closer = error if isinstance(error, ProtocolError) else ConnectionClosed(str(error))
+        except asyncio.CancelledError:
+            closer = ConnectionClosed("client closed the connection")
+        finally:
+            self._closed = True
+            self._close_error = closer
+            pending = list(self._pending.values())
+            self._pending.clear()
+            for future in pending:
+                if not future.done():
+                    future.set_exception(closer)
+            # Close our side promptly so a draining (half-closed) gateway's
+            # connection handler sees EOF and finishes its shutdown.
+            if self._writer is not None:
+                self._writer.close()
+
+    async def _roundtrip(self, build: Callable[[int], object]):
+        """Allocate an id, send the frame, await its matched reply frame.
+
+        The window slot is acquired before the send and — crucially — held
+        until the request is *settled on the wire*: a caller that cancels
+        mid-flight has already spent a server-side window slot, so releasing
+        ours early would let a sibling overrun the granted window and trip
+        spurious ``Backpressure``.  ``asyncio.shield`` keeps the wire-level
+        wait alive through caller cancellation; the deferred release fires
+        when the reply (or the connection close) resolves the entry.
+        """
+        if self._closed:
+            raise self._close_error or ConnectionClosed("connection is closed")
+        await self._slots.acquire()
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        sent = False
+        try:
+            try:
+                await self._send(build(request_id))
+                sent = True
+            except ProtocolError:
+                # Encode-time failure (object-dtype sample, oversize frame):
+                # the connection is healthy and the diagnosis is precise —
+                # surface it directly.  Must precede the handler below:
+                # ProtocolError *is* a RuntimeError.
+                raise
+            except (OSError, RuntimeError):
+                # The socket died under the send.  The reader loop owns the
+                # diagnosis — a drained gateway sent GOODBYE before closing
+                # (=> typed ServerStopped), an unannounced death did not
+                # (=> ConnectionClosed) — so wait for its verdict instead of
+                # leaking a raw ConnectionResetError.
+                if self._reader_task is not None:
+                    await asyncio.wait({self._reader_task}, timeout=5)
+                raise (
+                    self._close_error or ConnectionClosed("connection closed during send")
+                ) from None
+            return await asyncio.shield(future)
+        finally:
+            if future.done() or not sent:
+                self._pending.pop(request_id, None)
+                self._slots.release()
+            else:
+                # The caller abandoned a request that is already on the wire:
+                # keep the pending entry so the reader still matches the
+                # reply, and release the window slot only when it lands.
+                def _settle(settled: asyncio.Future) -> None:
+                    self._slots.release()
+                    if not settled.cancelled():
+                        settled.exception()  # consume: no 'never retrieved'
+
+                future.add_done_callback(_settle)
+
+    # ------------------------------------------------------------------
+    # Serving surface
+    # ------------------------------------------------------------------
+    async def predict(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> np.ndarray:
+        reply = await self._roundtrip(
+            lambda request_id: Request(
+                request_id=request_id,
+                model_id=model_id,
+                sample=np.asarray(sample),
+                deadline=deadline,
+                priority=priority,
+            )
+        )
+        return reply.output
+
+    async def predict_batch(
+        self,
+        model_id: str,
+        samples: Sequence[np.ndarray],
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        """Pipelined batch: up to ``window`` requests in flight at once.
+
+        One failure does not cancel siblings mid-wire (their requests occupy
+        server window slots until answered); every request runs to its reply
+        and the first error is raised after — the same fail-fast surface as
+        the in-process ``predict_batch``.
+        """
+        results = await asyncio.gather(
+            *(
+                self.predict(model_id, sample, deadline=deadline, priority=priority)
+                for sample in samples
+            ),
+            return_exceptions=True,
+        )
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
+
+    async def register(
+        self,
+        model_id: str,
+        bundle: ModelBundle,
+        metadata: Optional[Dict[str, object]] = None,
+        replace: bool = False,
+    ) -> RemoteRegistration:
+        """Publish a bundle over the wire (the gateway resolves the factory)."""
+        reply = await self._roundtrip(
+            lambda request_id: Register(
+                request_id=request_id,
+                model_id=model_id,
+                payload=bundle.payload,
+                architecture=dict(bundle.architecture),
+                metadata=dict(metadata or {}),
+                replace=replace,
+            )
+        )
+        return RemoteRegistration(
+            model_id=model_id, checksum=reply.message, size_bytes=bundle.size_bytes
+        )
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - platform noise
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class RemoteClient:
+    """Sync facade over a pool of gateway connections on a private event loop.
+
+    Drop-in for the in-process serving surface: ``predict(model_id, sample)``
+    blocks for one round trip, ``predict_batch`` fans a batch across the pool
+    (each connection pipelines up to its granted window), ``submit`` returns
+    a :class:`concurrent.futures.Future` exactly like ``InferenceServer`` and
+    ``ClusterRouter`` do — which is what lets ``ExtractionProxy.submit`` work
+    unchanged over the network — and ``register`` is signature-compatible
+    with :meth:`ModelRegistry.register` so ``CloudSession.publish`` targets a
+    remote gateway directly.  The tenant rides in the connection handshake
+    (the in-process surface deliberately does not forward a per-call tenant).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+        pool_size: int = 1,
+        window: int = 0,
+        connect_timeout: float = 30.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name=f"remote-client-{host}:{port}", daemon=True
+        )
+        self._thread.start()
+        self._pool: List[AsyncRemoteClient] = []
+        self._index = 0
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        try:
+            for _ in range(pool_size):
+                client = AsyncRemoteClient(
+                    host, port, tenant=tenant, deadline=deadline, window=window
+                )
+                future = asyncio.run_coroutine_threadsafe(client.connect(), self._loop)
+                try:
+                    self._pool.append(future.result(timeout=connect_timeout))
+                except BaseException:
+                    # A timed-out .result() leaves the connect coroutine (and
+                    # its half-open socket) alive on the loop: cancel it so
+                    # connect()'s cleanup closes the socket before we tear
+                    # the loop down.
+                    future.cancel()
+                    raise
+        except BaseException:
+            self.close()
+            raise
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+        self._loop.close()
+
+    def _connection(self) -> AsyncRemoteClient:
+        with self._pool_lock:
+            if self._closed:
+                raise ConnectionClosed("RemoteClient is closed")
+            connection = self._pool[self._index % len(self._pool)]
+            self._index += 1
+            return connection
+
+    @property
+    def window(self) -> int:
+        """Granted per-connection in-flight window (from the handshake)."""
+        return self._pool[0].window if self._pool else 0
+
+    # ------------------------------------------------------------------
+    # Serving surface (mirrors InferenceServer / ClusterRouter)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+    ):
+        """Enqueue one round trip; returns a ``concurrent.futures.Future``."""
+        connection = self._connection()
+        return asyncio.run_coroutine_threadsafe(
+            connection.predict(model_id, sample, deadline=deadline, priority=priority),
+            self._loop,
+        )
+
+    def submit_many(
+        self,
+        model_id: str,
+        samples: Sequence[np.ndarray],
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> List:
+        return [
+            self.submit(model_id, sample, deadline=deadline, priority=priority)
+            for sample in samples
+        ]
+
+    def predict(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.submit(model_id, sample, deadline=deadline, priority=priority).result()
+
+    def predict_batch(
+        self,
+        model_id: str,
+        samples: Sequence[np.ndarray],
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        futures = self.submit_many(model_id, samples, deadline=deadline, priority=priority)
+        return [future.result() for future in futures]
+
+    def register(
+        self,
+        model_id: str,
+        bundle: ModelBundle,
+        factory: Optional[Callable] = None,
+        metadata: Optional[Dict[str, object]] = None,
+        replace: bool = False,
+    ) -> RemoteRegistration:
+        """`ModelRegistry.register`-shaped publish: the bundle crosses the
+        wire; ``factory`` deliberately does not (code never travels — the
+        gateway resolves architectures server-side), so it is accepted for
+        signature compatibility and ignored."""
+        del factory
+        connection = self._connection()
+        return asyncio.run_coroutine_threadsafe(
+            connection.register(model_id, bundle, metadata=metadata, replace=replace),
+            self._loop,
+        ).result()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        with self._pool_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for connection in pool:
+            try:
+                asyncio.run_coroutine_threadsafe(connection.close(), self._loop).result(
+                    timeout=timeout
+                )
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,60 @@
+"""Typed gateway errors: every network-edge failure mode has a class.
+
+The in-process serving stack already rejects with typed errors
+(:class:`~repro.serve.server.ServerStopped`,
+:class:`~repro.serve.middleware.RateLimitExceeded`, the cluster's
+:mod:`~repro.serve.cluster.errors`).  The network edge adds three failure
+modes that only exist once a socket sits between client and cluster, and they
+get the same treatment — a type that tells the caller what to do next
+(resend slower, reconnect, fix the client), carried across the wire as typed
+error frames by :mod:`repro.serve.gateway.wire`.
+"""
+
+from __future__ import annotations
+
+
+class GatewayError(RuntimeError):
+    """Base class for network-gateway failures (and the decoded form of any
+    server-side exception that has no dedicated wire code)."""
+
+
+class ProtocolError(GatewayError):
+    """The peer sent a frame this endpoint cannot accept: wrong wire version,
+    unknown frame type, malformed payload, or a frame out of handshake order.
+
+    Protocol violations are not retryable — the connection is closed after
+    the error frame is sent; the client must reconnect with a correct
+    implementation.
+    """
+
+
+class ConnectionClosed(GatewayError):
+    """The connection dropped with requests still pending.
+
+    Distinct from :class:`~repro.serve.server.ServerStopped` (a *graceful*
+    drain: every accepted request was answered first): ``ConnectionClosed``
+    means the socket died mid-conversation and the fate of in-flight work is
+    unknown.  Callers should reconnect and re-send idempotent requests.
+    """
+
+
+class Backpressure(GatewayError):
+    """Typed per-connection backpressure: the in-flight window is full.
+
+    The gateway grants each connection a bounded window at handshake time
+    (the ``HELLO_ACK`` frame); a request arriving while ``limit`` requests
+    are already in flight on that connection is rejected with this frame
+    instead of being buffered without bound.  Well-behaved clients (the
+    bundled :class:`~repro.serve.gateway.client.AsyncRemoteClient` gates
+    sends on the granted window) never see it; it exists so a misbehaving or
+    hand-rolled client degrades with a typed, retryable signal rather than
+    unbounded server memory.
+    """
+
+    def __init__(self, limit: int, in_flight: int) -> None:
+        super().__init__(
+            f"connection in-flight window exceeded: {in_flight} requests in flight, "
+            f"window is {limit}; wait for responses before sending more"
+        )
+        self.limit = limit
+        self.in_flight = in_flight

@@ -1,0 +1,493 @@
+"""The asyncio RPC edge: ``GatewayServer`` fronts the in-process serving stack.
+
+One gateway owns one asyncio event loop on a dedicated thread and exposes a
+backend — a started :class:`~repro.serve.cluster.ClusterRouter`, a single
+:class:`~repro.serve.server.InferenceServer`, or anything with the same
+``predict``/``submit`` surface — over TCP using the framed wire protocol in
+:mod:`repro.serve.gateway.wire`.  The edge adds the concerns the in-process
+path never needed:
+
+* **tenant handshake** — the first frame on every connection is a ``HELLO``
+  carrying the tenant tag and an optional default SLA deadline; both flow
+  into every dispatch (``tenant=`` / ``deadline=`` keyword arguments), so the
+  cluster's :class:`~repro.serve.cluster.AdmissionScheduler` prioritises and
+  sheds network traffic exactly like in-process traffic and middleware
+  :class:`~repro.serve.middleware.RequestContext`\\ s carry the wire tenant;
+* **per-connection backpressure** — ``HELLO_ACK`` grants a bounded in-flight
+  window (``min(requested, max_inflight)``); requests beyond it are rejected
+  with a typed :class:`~repro.serve.gateway.errors.Backpressure` frame
+  instead of buffering without bound;
+* **pipelined multiplexing** — every request is served as its own asyncio
+  task and responses are written in *completion* order, matched to requests
+  by id, so one slow model never convoys a connection's fast requests;
+* **graceful drain** — ``stop()`` closes the listener, rejects new requests
+  with :class:`~repro.serve.server.ServerStopped`, waits for every in-flight
+  request to complete and be written, then sends ``GOODBYE`` and closes.
+  Zero accepted requests are lost (the e2e suite pins this under a
+  concurrent hammer).
+
+Dispatch prefers the backend's concurrent ``submit`` path (awaiting the
+returned future without blocking the loop) whenever the backend reports
+``running``; otherwise the synchronous ``predict`` runs on the loop's default
+thread-pool executor, keeping the event loop responsive either way.
+
+Trust boundary: the gateway is a *server-side* component.  It sees only
+augmented samples (clients augment through their
+:class:`~repro.serve.proxy.ExtractionProxy` before the bytes leave the
+process) and ships only augmented bundles on REGISTER frames — architecture
+factories never cross the socket; they are resolved from the server-side
+``factories`` table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import threading
+from functools import partial
+from typing import Callable, Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from ...cloud.serialization import ModelBundle
+from ..server import ServerStopped
+from .errors import Backpressure, ProtocolError
+from .wire import (
+    Ack,
+    ErrorFrame,
+    Goodbye,
+    Hello,
+    HelloAck,
+    Register,
+    Request,
+    Response,
+    encode_frame,
+    read_frame,
+)
+
+
+def _keyword_names(callable_obj) -> Set[str]:
+    """Parameter names a backend method accepts (capability detection)."""
+    try:
+        return set(inspect.signature(callable_obj).parameters)
+    except (TypeError, ValueError):  # builtins / C callables: assume minimal
+        return set()
+
+
+class _Connection:
+    """Per-connection state: handshake terms, window accounting, write lock."""
+
+    __slots__ = ("writer", "lock", "tenant", "deadline", "window", "inflight", "peer")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.tenant = "default"
+        self.deadline: Optional[float] = None
+        self.window = 0
+        self.inflight = 0
+        peer = writer.get_extra_info("peername")
+        self.peer = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) and len(peer) >= 2 else "?"
+
+    async def send(self, frame) -> None:
+        """Serialize and write one frame; writes are serialized per connection."""
+        await self.send_bytes(encode_frame(frame))
+
+    async def send_bytes(self, data: bytes) -> None:
+        async with self.lock:
+            if self.writer.is_closing():
+                return
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (OSError, RuntimeError):
+                pass  # peer vanished (or we half-closed); reader cleans up
+
+
+class GatewayServer:
+    """Asyncio TCP edge serving a cluster (or single server) over the wire."""
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 32,
+        server_id: str = "gateway",
+        factories: Optional[Dict[str, Callable]] = None,
+        factory_resolver: Optional[Callable[[str, Dict[str, object]], Callable]] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.backend = backend
+        self.host = host
+        self.port = port  # 0 until start() binds an ephemeral port
+        self.max_inflight = max_inflight
+        self.server_id = server_id
+        #: model id -> zero-arg architecture factory for REGISTER frames.  The
+        #: factory stays server-side by design: code never crosses the wire.
+        self.factories: Dict[str, Callable] = dict(factories or {})
+        self.factory_resolver = factory_resolver
+        self._requested_port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._startup_error: Optional[BaseException] = None
+        self._connections: Set[_Connection] = set()
+        self._handlers: Set[asyncio.Task] = set()
+        self._tasks: Set[asyncio.Task] = set()  # serving work (requests/registers)
+        self._sends: Set[asyncio.Task] = set()  # fire-and-forget rejection frames
+        self._lifecycle_lock = threading.Lock()
+        self._running = False
+        self._stopped = False
+        self._draining = False
+        self._counters = {
+            "connections": 0,
+            "requests": 0,
+            "responses": 0,
+            "errors": 0,
+            "backpressure": 0,
+            "rejected": 0,
+            "registered": 0,
+        }
+        submit = getattr(backend, "submit", None)
+        self._can_submit = callable(submit)
+        self._submit_params = _keyword_names(submit) if self._can_submit else set()
+        self._predict_params = _keyword_names(getattr(backend, "predict", None))
+        # Registration surface: a ClusterRouter registers directly; a plain
+        # InferenceServer exposes it through its registry.
+        register = getattr(backend, "register", None)
+        if not callable(register):
+            registry = getattr(backend, "registry", None)
+            register = getattr(registry, "register", None)
+        self._register = register
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — valid once :meth:`start` returned."""
+        return (self.host, self.port)
+
+    def start(self) -> "GatewayServer":
+        """Bind the listener and run the event loop on a background thread."""
+        with self._lifecycle_lock:
+            if self._running:
+                return self
+            self._startup_error = None
+            self._draining = False
+            self._loop = asyncio.new_event_loop()
+            ready = threading.Event()
+            self._thread = threading.Thread(
+                target=self._run_loop, args=(ready,), name=f"gateway-{self.server_id}", daemon=True
+            )
+            self._thread.start()
+            if not ready.wait(timeout=30):  # pragma: no cover - loop thread wedged
+                raise RuntimeError("gateway event loop failed to start within 30s")
+            if self._startup_error is not None:
+                self._thread.join()
+                raise self._startup_error
+            self._running = True
+            self._stopped = False
+        return self
+
+    def _run_loop(self, ready: threading.Event) -> None:
+        loop = self._loop
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            try:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, self.host, self._requested_port
+                )
+                self.port = self._server.sockets[0].getsockname()[1]
+            except BaseException as error:  # noqa: BLE001 - surfaced by start()
+                self._startup_error = error
+            finally:
+                ready.set()
+
+        loop.run_until_complete(boot())
+        if self._startup_error is None:
+            loop.run_forever()
+        loop.close()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Graceful drain: finish in-flight work, GOODBYE, then shut the loop.
+
+        Idempotent, and restartable: after ``stop()`` a new ``start()`` binds
+        a fresh listener (on the same requested port, which for the default
+        ephemeral port 0 means a *new* port).
+        """
+        with self._lifecycle_lock:
+            if not self._running:
+                self._stopped = True
+                return
+            self._running = False
+            self._stopped = True
+            loop, thread = self._loop, self._thread
+        try:
+            future = asyncio.run_coroutine_threadsafe(self._shutdown(), loop)
+            future.result(timeout=timeout)
+        finally:
+            # Even when the drain times out (a wedged backend call, a client
+            # that stopped reading) the loop thread must not leak: stop the
+            # loop regardless and only then release the lifecycle slots, so a
+            # timed-out stop() is still a *stopped* gateway, not limbo.
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=timeout)
+            with self._lifecycle_lock:
+                self._loop = None
+                self._thread = None
+
+    async def _shutdown(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Serving tasks only shrink during drain (_admit rejects new work once
+        # _draining is set), so this loop is bounded — a client that keeps
+        # sending cannot hold the drain open, because its rejection frames
+        # live in the separate _sends set, gathered once below.
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._sends:
+            await asyncio.gather(*list(self._sends), return_exceptions=True)
+        for connection in list(self._connections):
+            await connection.send(Goodbye("gateway drained"))
+            # Half-close (FIN) rather than close(): a full close while raced
+            # requests sit unread in our receive buffer resets the socket and
+            # can destroy the buffered GOODBYE before the client reads it.
+            # write_eof() flushes GOODBYE reliably; the handler keeps reading
+            # until the client closes its side.
+            writer = connection.writer
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+                else:  # pragma: no cover - transports without half-close
+                    writer.close()
+            except (OSError, RuntimeError):  # pragma: no cover - already dead
+                writer.close()
+        if self._handlers:
+            _, pending = await asyncio.wait(list(self._handlers), timeout=5)
+            for task in pending:  # pragma: no cover - defensive reaping
+                task.cancel()
+        for connection in list(self._connections):
+            connection.writer.close()
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling (loop thread)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        self._counters["connections"] += 1
+        try:
+            first = await read_frame(reader)
+            if first is None:
+                return
+            if not isinstance(first, Hello):
+                await connection.send(
+                    ErrorFrame(0, ProtocolError("the first frame on a connection must be HELLO"))
+                )
+                return
+            connection.tenant = first.tenant
+            connection.deadline = first.deadline
+            connection.window = min(first.window or self.max_inflight, self.max_inflight)
+            await connection.send(HelloAck(window=connection.window, server_id=self.server_id))
+            while True:
+                frame = await read_frame(reader)
+                if frame is None or isinstance(frame, Goodbye):
+                    return
+                if isinstance(frame, (Request, Register)):
+                    self._admit(connection, frame)
+                else:
+                    await connection.send(
+                        ErrorFrame(
+                            0,
+                            ProtocolError(
+                                f"unexpected {type(frame).__name__} frame after handshake"
+                            ),
+                        )
+                    )
+                    return
+        except ProtocolError as error:
+            await connection.send(ErrorFrame(0, error))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer dropped; in-flight tasks still resolve (writes no-op)
+        finally:
+            self._connections.discard(connection)
+            self._handlers.discard(task)
+            connection.writer.close()
+
+    def _admit(self, connection: _Connection, frame) -> None:
+        """Window accounting + drain gate; runs inline on the reader task."""
+        request_id = frame.request_id
+        if request_id == 0:
+            # Id 0 marks connection-level errors on the wire; a request using
+            # it would make its own error reply look fatal to the client.
+            self._counters["rejected"] += 1
+            self._spawn(
+                connection.send(
+                    ErrorFrame(0, ProtocolError("request_id 0 is reserved for connection errors"))
+                )
+            )
+            return
+        if self._draining:
+            self._counters["rejected"] += 1
+            self._spawn(
+                connection.send(
+                    ErrorFrame(
+                        request_id,
+                        ServerStopped("gateway is draining; no new requests are accepted"),
+                    )
+                )
+            )
+            return
+        if connection.inflight >= connection.window:
+            self._counters["backpressure"] += 1
+            self._spawn(
+                connection.send(
+                    ErrorFrame(request_id, Backpressure(connection.window, connection.inflight))
+                )
+            )
+            return
+        connection.inflight += 1
+        self._counters["requests"] += 1
+        if isinstance(frame, Register):
+            coroutine = self._serve_register(connection, frame)
+        else:
+            coroutine = self._serve_request(connection, frame)
+        task = asyncio.get_running_loop().create_task(coroutine)
+        self._tasks.add(task)
+
+        def _done(finished: asyncio.Task) -> None:
+            self._tasks.discard(finished)
+            connection.inflight -= 1
+
+        task.add_done_callback(_done)
+
+    def _spawn(self, coroutine) -> None:
+        """Track a fire-and-forget rejection send (drained once at shutdown;
+        kept out of _tasks so a client spamming during drain cannot keep the
+        shutdown loop alive)."""
+        task = asyncio.get_running_loop().create_task(coroutine)
+        self._sends.add(task)
+        task.add_done_callback(self._sends.discard)
+
+    # ------------------------------------------------------------------
+    # Dispatch (loop thread -> backend)
+    # ------------------------------------------------------------------
+    async def _serve_request(self, connection: _Connection, request: Request) -> None:
+        try:
+            output = await self._dispatch(connection, request)
+        except asyncio.CancelledError:  # pragma: no cover - only on hard kill
+            raise
+        except BaseException as error:  # noqa: BLE001 - becomes a typed frame
+            self._counters["errors"] += 1
+            await connection.send(ErrorFrame(request.request_id, error))
+        else:
+            try:
+                reply = Response(request.request_id, np.asarray(output))
+                frame_bytes = encode_frame(reply)
+            except ProtocolError as unencodable:
+                # A backend that returns something the wire refuses (None, an
+                # object array) must still answer: send the typed failure
+                # instead of dying with the request hung client-side.
+                self._counters["errors"] += 1
+                await connection.send(ErrorFrame(request.request_id, unencodable))
+                return
+            self._counters["responses"] += 1
+            await connection.send_bytes(frame_bytes)
+
+    async def _dispatch(self, connection: _Connection, request: Request):
+        deadline = request.deadline if request.deadline is not None else connection.deadline
+        if self._can_submit and getattr(self.backend, "running", False):
+            kwargs = {}
+            if "tenant" in self._submit_params:
+                kwargs["tenant"] = connection.tenant
+            if deadline is not None and "deadline" in self._submit_params:
+                kwargs["deadline"] = deadline
+            if request.priority is not None and "priority" in self._submit_params:
+                kwargs["priority"] = request.priority
+            # submit() itself runs the backend's middleware chain and takes
+            # its locks inline, so it goes through the executor too — only
+            # the await of the returned future lives on the loop.
+            call = partial(self.backend.submit, request.model_id, request.sample, **kwargs)
+            future = await asyncio.get_running_loop().run_in_executor(None, call)
+            return await asyncio.wrap_future(future)
+        kwargs = {}
+        if "tenant" in self._predict_params:
+            kwargs["tenant"] = connection.tenant
+        if deadline is not None and "deadline" in self._predict_params:
+            kwargs["deadline"] = deadline
+        call = partial(self.backend.predict, request.model_id, request.sample, **kwargs)
+        return await asyncio.get_running_loop().run_in_executor(None, call)
+
+    async def _serve_register(self, connection: _Connection, frame: Register) -> None:
+        try:
+            factory = self.factories.get(frame.model_id)
+            if factory is None and self.factory_resolver is not None:
+                factory = self.factory_resolver(frame.model_id, frame.architecture)
+            if factory is None:
+                raise KeyError(
+                    f"no architecture factory registered with the gateway for "
+                    f"'{frame.model_id}'; pass factories={{...}} or a factory_resolver"
+                )
+            if self._register is None:
+                raise ProtocolError(
+                    "the gateway backend has no registration surface (register/registry)"
+                )
+            bundle = ModelBundle(payload=frame.payload, architecture=frame.architecture)
+            call = partial(
+                self._register,
+                frame.model_id,
+                bundle,
+                factory,
+                metadata=frame.metadata,
+                replace=frame.replace,
+            )
+            entry = await asyncio.get_running_loop().run_in_executor(None, call)
+        except asyncio.CancelledError:  # pragma: no cover - only on hard kill
+            raise
+        except BaseException as error:  # noqa: BLE001 - becomes a typed frame
+            self._counters["errors"] += 1
+            await connection.send(ErrorFrame(frame.request_id, error))
+        else:
+            self._counters["registered"] += 1
+            checksum = getattr(entry, "checksum", "")
+            await connection.send(Ack(frame.request_id, checksum))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Edge counters plus lifecycle flags (safe to read from any thread)."""
+        return {
+            **dict(self._counters),
+            "open_connections": len(self._connections),
+            "inflight": len(self._tasks),
+            "running": self._running,
+            "draining": self._draining,
+            "stopped": self._stopped,
+            "address": f"{self.host}:{self.port}",
+        }

@@ -69,6 +69,11 @@ class RequestContext:
     sample: np.ndarray
     tenant: str = "default"
     source: str = "sync"  # "sync" | "concurrent" | "client" | "cluster"
+    #: Absolute SLA deadline (router clock) when the request carries one.
+    #: Populated by the cluster router from its admission terms — which a
+    #: network gateway in turn fills from the connection handshake — so
+    #: middleware can observe how much budget a request arrived with.
+    deadline: Optional[float] = None
     metadata: Dict[str, object] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
     response: Optional[np.ndarray] = None

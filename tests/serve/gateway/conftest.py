@@ -1,0 +1,68 @@
+"""Shared fixtures for the gateway tests: stub backends and server factories.
+
+The wire/edge behaviours (framing, handshake, windows, drain) do not need a
+real neural network behind them, so most tests run against a recording stub
+that multiplies its input by two — fast enough for concurrency hammers.  The
+end-to-end suite uses the real cluster + proxy stack instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.serve import GatewayServer
+
+
+class EchoBackend:
+    """Records every dispatch and returns ``sample * 2``; optionally slow or failing."""
+
+    def __init__(self, delay: float = 0.0, fail_with: Optional[BaseException] = None) -> None:
+        self.delay = delay
+        self.fail_with = fail_with
+        self.calls: List[Tuple[str, str, Optional[float]]] = []
+        self._lock = threading.Lock()
+
+    def predict(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        with self._lock:
+            self.calls.append((model_id, tenant, deadline))
+        if self.delay:
+            time.sleep(self.delay)
+        if self.fail_with is not None:
+            raise self.fail_with
+        return np.asarray(sample) * 2.0
+
+    def predict_batch(
+        self,
+        model_id: str,
+        samples,
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+    ) -> List[np.ndarray]:
+        return [
+            self.predict(model_id, sample, tenant=tenant, deadline=deadline)
+            for sample in samples
+        ]
+
+
+@pytest.fixture
+def echo_backend() -> EchoBackend:
+    return EchoBackend()
+
+
+@pytest.fixture
+def gateway(echo_backend: EchoBackend):
+    server = GatewayServer(echo_backend, max_inflight=16, server_id="test-gateway")
+    server.start()
+    yield server
+    server.stop()

@@ -1,0 +1,173 @@
+"""Typed-error round-trips: every serving exception survives the wire.
+
+The satellite contract: every ``serve.cluster.errors`` type (plus the
+middleware and lifecycle rejections) serialized over the wire must
+deserialize to the *same type* with its payload (``retry_after``,
+``deadline`` …) preserved, client-side.  The first half pins the codec in
+isolation; the second half pins the full path — a backend that raises each
+type, a real gateway, a real ``RemoteClient``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    Backpressure,
+    ConnectionClosed,
+    GatewayError,
+    GatewayServer,
+    ObfuscationViolation,
+    RateLimitExceeded,
+    RemoteClient,
+    ServerOverloaded,
+    ServerStopped,
+    ValidationError,
+)
+from repro.serve.cluster.errors import (
+    DeadlineExceeded,
+    FailoverExhausted,
+    NoHealthyReplica,
+    ReplicaUnavailable,
+)
+from repro.serve.gateway import wire
+from repro.serve.gateway.errors import ProtocolError
+
+from .conftest import EchoBackend
+
+
+def codec_roundtrip(error: BaseException) -> BaseException:
+    return wire.decode_error(wire._Cursor(wire.encode_error(error)))
+
+
+SAMPLES = [
+    RateLimitExceeded("tenant-a", "lenet", 0.125),
+    DeadlineExceeded("lenet", "tenant-a", deadline=41.5, now=42.0),
+    ServerStopped("server has been stopped; call start() again before submit()"),
+    ServerOverloaded("request queue is full (4096 pending)"),
+    Backpressure(16, 16),
+    ReplicaUnavailable("replica-3", "replica was killed mid-flight"),
+    NoHealthyReplica("lenet", excluded=["replica-1", "replica-2"]),
+    FailoverExhausted("lenet", 3, ["replica-1", "replica-2", "replica-3"]),
+    ValidationError("expected shape (1, 28, 28), got (3,)"),
+    ObfuscationViolation("sample width matches the raw plan"),
+    ProtocolError("unknown frame type 0x7f"),
+    ConnectionClosed("socket reset"),
+    GatewayError("generic edge failure"),
+    KeyError("unknown model 'nope'; registered: []"),
+    ValueError("model 'lenet' is already registered (pass replace=True)"),
+]
+
+
+class TestCodecRoundTrips:
+    @pytest.mark.parametrize("error", SAMPLES, ids=lambda e: type(e).__name__)
+    def test_type_and_message_preserved(self, error):
+        decoded = codec_roundtrip(error)
+        assert type(decoded) is type(error)
+        assert str(decoded) == str(error)
+
+    def test_codec_covers_every_registered_wire_error(self):
+        sampled = {type(error) for error in SAMPLES}
+        assert sampled == set(wire._ALL_WIRE_ERRORS), (
+            "every exception type with a wire code must have a round-trip sample"
+        )
+
+    def test_rate_limit_payload(self):
+        decoded = codec_roundtrip(RateLimitExceeded("t", "m", 0.375))
+        assert decoded.tenant == "t"
+        assert decoded.model_id == "m"
+        assert decoded.retry_after == 0.375
+
+    def test_deadline_payload(self):
+        decoded = codec_roundtrip(DeadlineExceeded("m", "t", deadline=10.0, now=10.75))
+        assert decoded.model_id == "m"
+        assert decoded.tenant == "t"
+        assert decoded.deadline == 10.0
+        assert decoded.late_seconds == pytest.approx(0.75)
+
+    def test_backpressure_payload(self):
+        decoded = codec_roundtrip(Backpressure(8, 9))
+        assert decoded.limit == 8
+        assert decoded.in_flight == 9
+
+    def test_cluster_payloads(self):
+        unavailable = codec_roundtrip(ReplicaUnavailable("replica-7", "draining"))
+        assert unavailable.replica_id == "replica-7"
+        no_healthy = codec_roundtrip(NoHealthyReplica("m", excluded=["a", "b"]))
+        assert no_healthy.model_id == "m"
+        assert no_healthy.excluded == ["a", "b"]
+        exhausted = codec_roundtrip(FailoverExhausted("m", 2, ["a", "b"]))
+        assert exhausted.model_id == "m"
+        assert exhausted.attempts == 2
+        assert exhausted.tried == ["a", "b"]
+        # The nested exception cannot cross the wire (its detail stays in the
+        # message), but the documented attribute must exist client-side.
+        assert exhausted.last_error is None
+
+    def test_unknown_exception_degrades_to_gateway_error(self):
+        decoded = codec_roundtrip(ZeroDivisionError("division by zero"))
+        assert type(decoded) is GatewayError
+        assert "ZeroDivisionError" in str(decoded)
+        assert "division by zero" in str(decoded)
+
+    def test_numpy_scalar_payloads_are_coerced(self):
+        """Errors raised with numpy scalars (a common backend habit) encode."""
+        decoded = codec_roundtrip(RateLimitExceeded("t", "m", np.float64(0.5)))
+        assert decoded.retry_after == 0.5
+        decoded = codec_roundtrip(Backpressure(np.int64(4), np.int64(5)))
+        assert decoded.limit == 4
+        assert decoded.in_flight == 5
+
+    def test_unencodable_attr_degrades_instead_of_raising(self):
+        """encode_error never raises: exotic attrs fall back to generic form."""
+        error = Backpressure(2, 3)
+        error.limit = object()  # sabotage a known type's payload
+        decoded = codec_roundtrip(error)
+        assert type(decoded) is GatewayError
+        assert "Backpressure" in str(decoded)
+
+    def test_out_of_range_attr_degrades_instead_of_raising(self):
+        """struct.error (int64 overflow) falls back to the generic form too."""
+        decoded = codec_roundtrip(Backpressure(2**70, 1))
+        assert type(decoded) is GatewayError
+        assert "Backpressure" in str(decoded)
+
+
+class TestOverTheWire:
+    """A raising backend behind a real gateway: the client re-raises the type."""
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            RateLimitExceeded("vip", "lenet", 0.5),
+            DeadlineExceeded("lenet", "vip", deadline=1.0, now=1.25),
+            ServerStopped("stopped"),
+            ServerOverloaded("full"),
+            NoHealthyReplica("lenet"),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_backend_exception_reraised_client_side(self, error):
+        backend = EchoBackend(fail_with=error)
+        with GatewayServer(backend, server_id="raising") as gateway:
+            with RemoteClient(*gateway.address) as client:
+                with pytest.raises(type(error)) as caught:
+                    client.predict("lenet", np.ones(3, dtype=np.float32))
+        assert str(caught.value) == str(error)
+
+    def test_rate_limit_retry_after_survives_the_wire(self):
+        backend = EchoBackend(fail_with=RateLimitExceeded("vip", "lenet", 0.625))
+        with GatewayServer(backend) as gateway:
+            with RemoteClient(*gateway.address) as client:
+                with pytest.raises(RateLimitExceeded) as caught:
+                    client.predict("lenet", np.ones(3, dtype=np.float32))
+        assert caught.value.retry_after == 0.625
+        assert caught.value.tenant == "vip"
+
+    def test_unknown_model_keyerror_survives_the_wire(self):
+        backend = EchoBackend(fail_with=KeyError("unknown model 'ghost'; registered: []"))
+        with GatewayServer(backend) as gateway:
+            with RemoteClient(*gateway.address) as client:
+                with pytest.raises(KeyError, match="ghost"):
+                    client.predict("ghost", np.ones(3, dtype=np.float32))

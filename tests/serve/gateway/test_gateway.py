@@ -1,0 +1,326 @@
+"""GatewayServer edge behaviours: handshake, windows, drain, registration."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cloud import pack_model
+from repro.serve import (
+    Backpressure,
+    GatewayServer,
+    InferenceServer,
+    ModelRegistry,
+    RemoteClient,
+    ServerStopped,
+)
+from repro.serve.gateway import wire
+from repro.serve.gateway.errors import ProtocolError
+
+from ..conftest import lenet_bundle, make_lenet
+from .conftest import EchoBackend
+
+
+class TestLifecycle:
+    def test_start_binds_an_ephemeral_port(self, gateway):
+        host, port = gateway.address
+        assert host == "127.0.0.1"
+        assert port > 0
+        assert gateway.running
+
+    def test_stop_is_idempotent_and_restart_works(self, echo_backend):
+        server = GatewayServer(echo_backend)
+        server.stop()  # stop before start is a no-op
+        server.start()
+        first_port = server.address[1]
+        server.stop()
+        server.stop()
+        assert not server.running
+        server.start()
+        try:
+            assert server.running
+            assert server.address[1] != 0
+            with RemoteClient(*server.address) as client:
+                out = client.predict("m", np.ones(2, dtype=np.float32))
+            assert np.array_equal(out, np.full(2, 2.0, dtype=np.float32))
+        finally:
+            server.stop()
+        assert first_port > 0
+
+    def test_context_manager(self, echo_backend):
+        with GatewayServer(echo_backend) as server:
+            assert server.running
+        assert not server.running
+        assert server.stats()["stopped"]
+
+    def test_max_inflight_validation(self, echo_backend):
+        with pytest.raises(ValueError):
+            GatewayServer(echo_backend, max_inflight=0)
+
+
+def raw_exchange(address, frames, reply_count, read_timeout=10.0):
+    """Open a raw socket, send ``frames`` back-to-back, read ``reply_count`` frames.
+
+    Bypasses the bundled client so tests can violate the protocol on purpose.
+    """
+
+    async def run():
+        reader, writer = await asyncio.open_connection(*address)
+        for frame in frames:
+            writer.write(wire.encode_frame(frame))
+        await writer.drain()
+        replies = []
+        for _ in range(reply_count):
+            replies.append(await asyncio.wait_for(wire.read_frame(reader), read_timeout))
+        writer.close()
+        return replies
+
+    return asyncio.run(run())
+
+
+class TestHandshake:
+    def test_first_frame_must_be_hello(self, gateway):
+        [reply] = raw_exchange(
+            gateway.address,
+            [wire.Request(1, "m", np.ones(2, dtype=np.float32))],
+            reply_count=1,
+        )
+        assert isinstance(reply, wire.ErrorFrame)
+        assert reply.request_id == 0  # connection-level
+        assert isinstance(reply.error, ProtocolError)
+
+    def test_window_is_negotiated_down_to_server_max(self, gateway):
+        [ack] = raw_exchange(gateway.address, [wire.Hello(window=10_000)], reply_count=1)
+        assert isinstance(ack, wire.HelloAck)
+        assert ack.window == gateway.max_inflight
+        assert ack.server_id == "test-gateway"
+
+    def test_requested_window_below_max_is_granted(self, gateway):
+        [ack] = raw_exchange(gateway.address, [wire.Hello(window=3)], reply_count=1)
+        assert ack.window == 3
+
+    def test_request_id_zero_is_a_protocol_violation(self, gateway):
+        """Id 0 is the connection-error marker; a request must not claim it."""
+        replies = raw_exchange(
+            gateway.address,
+            [wire.Hello(), wire.Request(0, "m", np.ones(2, dtype=np.float32))],
+            reply_count=2,
+        )
+        ack, reply = replies
+        assert isinstance(ack, wire.HelloAck)
+        assert isinstance(reply, wire.ErrorFrame)
+        assert reply.request_id == 0
+        assert isinstance(reply.error, ProtocolError)
+        assert "reserved" in str(reply.error)
+
+    def test_tenant_flows_from_hello_to_backend(self, gateway, echo_backend):
+        with RemoteClient(*gateway.address, tenant="tenant-42") as client:
+            client.predict("m", np.ones(2, dtype=np.float32))
+        assert echo_backend.calls == [("m", "tenant-42", None)]
+
+    def test_hello_deadline_is_the_connection_default(self, gateway, echo_backend):
+        with RemoteClient(*gateway.address, deadline=5.0) as client:
+            client.predict("m", np.ones(2, dtype=np.float32))
+            client.predict("m", np.ones(2, dtype=np.float32), deadline=0.5)
+        deadlines = [call[2] for call in echo_backend.calls]
+        assert deadlines == [5.0, 0.5]  # per-request deadline overrides HELLO
+
+
+class GatedBackend(EchoBackend):
+    """Blocks every predict on an event so tests control completion order."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.release = threading.Event()
+
+    def predict(self, model_id, sample, tenant="default", deadline=None):
+        assert self.release.wait(timeout=30), "test never released the backend"
+        return super().predict(model_id, sample, tenant=tenant, deadline=deadline)
+
+
+class TestBackpressure:
+    def test_overflowing_the_window_gets_a_typed_frame(self):
+        """Two requests pin the window open; the third must bounce, typed.
+
+        The backend is gated on an event, so the window is deterministically
+        full when the third request arrives — no sleep-based timing.
+        """
+        backend = GatedBackend()
+        with GatewayServer(backend, max_inflight=2) as gateway:
+            sample = np.ones(2, dtype=np.float32)
+
+            async def run():
+                reader, writer = await asyncio.open_connection(*gateway.address)
+                writer.write(wire.encode_frame(wire.Hello(window=2)))
+                await writer.drain()
+                ack = await asyncio.wait_for(wire.read_frame(reader), 10)
+                for request_id in (1, 2, 3):
+                    writer.write(wire.encode_frame(wire.Request(request_id, "m", sample)))
+                await writer.drain()
+                # 1 and 2 are parked in the backend: the only frame that can
+                # arrive now is the typed rejection of 3.
+                bounced = await asyncio.wait_for(wire.read_frame(reader), 10)
+                backend.release.set()
+                late = [await asyncio.wait_for(wire.read_frame(reader), 10) for _ in range(2)]
+                writer.close()
+                return ack, bounced, late
+
+            ack, bounced, late = asyncio.run(run())
+        assert isinstance(ack, wire.HelloAck)
+        assert ack.window == 2
+        assert isinstance(bounced, wire.ErrorFrame)
+        assert bounced.request_id == 3
+        assert isinstance(bounced.error, Backpressure)
+        assert bounced.error.limit == 2
+        assert bounced.error.in_flight == 2
+        assert {frame.request_id for frame in late} == {1, 2}
+        assert all(isinstance(frame, wire.Response) for frame in late)
+        assert gateway.stats()["backpressure"] == 1
+
+    def test_bundled_client_never_trips_backpressure(self):
+        backend = EchoBackend(delay=0.01)
+        with GatewayServer(backend, max_inflight=4) as gateway:
+            with RemoteClient(*gateway.address, window=4) as client:
+                outs = client.predict_batch(
+                    "m", [np.full(2, i, dtype=np.float32) for i in range(32)]
+                )
+            assert len(outs) == 32
+            assert gateway.stats()["backpressure"] == 0
+
+
+class TestDrain:
+    def test_new_requests_rejected_while_stopping(self, echo_backend):
+        server = GatewayServer(echo_backend)
+        server.start()
+        with RemoteClient(*server.address) as client:
+            assert np.array_equal(
+                client.predict("m", np.ones(2, dtype=np.float32)),
+                np.full(2, 2.0, dtype=np.float32),
+            )
+            server.stop()
+            with pytest.raises(ServerStopped):
+                client.predict("m", np.ones(2, dtype=np.float32))
+
+    def test_inflight_requests_complete_during_drain(self):
+        backend = EchoBackend(delay=0.2)
+        server = GatewayServer(backend)
+        server.start()
+        client = RemoteClient(*server.address)
+        try:
+            future = client.submit("m", np.full(3, 7.0, dtype=np.float32))
+            deadline = time.monotonic() + 5.0
+            while not backend.calls and time.monotonic() < deadline:
+                time.sleep(0.005)  # request must be in flight before the drain
+            assert backend.calls
+            server.stop()  # drain waits for the in-flight request
+            assert np.array_equal(future.result(timeout=10), np.full(3, 14.0, dtype=np.float32))
+            stats = server.stats()
+            assert stats["responses"] == 1
+            assert stats["stopped"]
+        finally:
+            client.close()
+            server.stop()
+
+
+class TestRegistration:
+    def test_register_over_the_wire_serves_real_predictions(self):
+        registry = ModelRegistry(capacity=2)
+        backend = InferenceServer(registry)
+        bundle = lenet_bundle()
+        with GatewayServer(backend, factories={"lenet": lambda: make_lenet(seed=99)}) as gateway:
+            with RemoteClient(*gateway.address) as client:
+                registration = client.register(
+                    "lenet", bundle, metadata={"task": "classification"}
+                )
+                assert registration.checksum == bundle.checksum
+                assert registration.size_bytes == bundle.size_bytes
+                sample = np.random.default_rng(5).standard_normal((1, 28, 28)).astype(np.float32)
+                remote_out = client.predict("lenet", sample)
+        assert "lenet" in registry
+        assert registry.entry("lenet").metadata["task"] == "classification"
+        expected = backend.predict("lenet", sample)
+        np.testing.assert_array_equal(remote_out, expected)
+
+    def test_register_without_factory_raises_keyerror_client_side(self, gateway):
+        bundle = pack_model(make_lenet(), task="classification")
+        with RemoteClient(*gateway.address) as client:
+            with pytest.raises(KeyError, match="no architecture factory"):
+                client.register("ghost", bundle)
+
+    def test_factory_resolver_fallback(self):
+        registry = ModelRegistry(capacity=2)
+        backend = InferenceServer(registry)
+        seen = {}
+
+        def resolver(model_id, architecture):
+            seen[model_id] = architecture["total_parameters"]
+            return lambda: make_lenet(seed=99)
+
+        bundle = lenet_bundle()
+        with GatewayServer(backend, factory_resolver=resolver) as gateway:
+            with RemoteClient(*gateway.address) as client:
+                client.register("resolved", bundle)
+        assert "resolved" in registry
+        assert seen["resolved"] == bundle.architecture["total_parameters"]
+
+
+class TestUnencodableReplies:
+    def test_backend_returning_unserializable_output_answers_typed(self):
+        """A backend reply the wire refuses must not hang the client."""
+
+        class NoneBackend:
+            def predict(self, model_id, sample, tenant="default"):
+                return None  # np.asarray(None) -> object dtype -> refused
+
+        with GatewayServer(NoneBackend()) as gateway:
+            with RemoteClient(*gateway.address) as client:
+                with pytest.raises(ProtocolError, match="refusing to serialize"):
+                    client.predict("m", np.ones(2, dtype=np.float32))
+        assert gateway.stats()["errors"] == 1
+
+
+class TestHandshakeFailureCleanup:
+    def test_failed_handshake_closes_the_socket(self):
+        """connect() must not leak its socket when the server rejects HELLO."""
+
+        async def run():
+            async def reject(reader, writer):
+                await wire.read_frame(reader)  # the HELLO
+                writer.write(
+                    wire.encode_frame(wire.ErrorFrame(0, ProtocolError("no thanks")))
+                )
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(reject, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            from repro.serve.gateway import AsyncRemoteClient
+
+            client = AsyncRemoteClient("127.0.0.1", port)
+            with pytest.raises(ProtocolError, match="no thanks"):
+                await client.connect()
+            closing = client._writer.is_closing()
+            server.close()
+            await server.wait_closed()
+            return closing, client.closed
+
+        closing, closed = asyncio.run(run())
+        assert closing  # the freshly opened socket was released
+        assert closed
+
+
+class TestStats:
+    def test_counters(self, gateway):
+        with RemoteClient(*gateway.address) as client:
+            client.predict("m", np.ones(2, dtype=np.float32))
+            client.predict("m", np.ones(2, dtype=np.float32))
+        stats = gateway.stats()
+        assert stats["connections"] == 1
+        assert stats["requests"] == 2
+        assert stats["responses"] == 2
+        assert stats["errors"] == 0
+        assert stats["running"]

@@ -1,0 +1,165 @@
+"""Wire-protocol codec: every frame type round-trips byte-exactly."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve.gateway import wire
+from repro.serve.gateway.errors import ProtocolError
+
+
+def roundtrip(frame):
+    data = wire.encode_frame(frame)
+    (length,) = struct.unpack("!I", data[:4])
+    assert length == len(data) - 4
+    return wire.decode_payload(data[4:])
+
+
+class TestFrameRoundTrips:
+    def test_hello(self):
+        frame = roundtrip(wire.Hello(tenant="alice", deadline=2.5, window=7))
+        assert isinstance(frame, wire.Hello)
+        assert frame.tenant == "alice"
+        assert frame.deadline == 2.5
+        assert frame.window == 7
+
+    def test_hello_defaults(self):
+        frame = roundtrip(wire.Hello())
+        assert frame.tenant == "default"
+        assert frame.deadline is None  # NaN wire encoding means "absent"
+        assert frame.window == 0
+
+    def test_hello_ack(self):
+        frame = roundtrip(wire.HelloAck(window=32, server_id="edge-1"))
+        assert isinstance(frame, wire.HelloAck)
+        assert frame.window == 32
+        assert frame.server_id == "edge-1"
+
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(12, dtype=np.float32).reshape(3, 4),
+            np.arange(8, dtype=np.int64),
+            np.array(3.5, dtype=np.float64),  # 0-d
+            np.zeros((2, 0, 3), dtype=np.float32),  # empty dimension
+            np.array([True, False, True]),
+        ],
+        ids=["f32-2d", "i64-1d", "f64-0d", "empty-dim", "bool"],
+    )
+    def test_request_arrays(self, array):
+        frame = roundtrip(
+            wire.Request(request_id=9, model_id="m", sample=array, deadline=None, priority=None)
+        )
+        assert isinstance(frame, wire.Request)
+        assert frame.request_id == 9
+        assert frame.sample.dtype == array.dtype
+        assert frame.sample.shape == array.shape
+        assert np.array_equal(frame.sample, array)
+
+    def test_request_sla_terms(self):
+        frame = roundtrip(
+            wire.Request(1, "m", np.ones(2, dtype=np.float32), deadline=0.25, priority=-3)
+        )
+        assert frame.deadline == 0.25
+        assert frame.priority == -3
+        bare = roundtrip(wire.Request(2, "m", np.ones(2, dtype=np.float32)))
+        assert bare.deadline is None
+        assert bare.priority is None
+
+    def test_priority_zero_is_preserved(self):
+        frame = roundtrip(wire.Request(1, "m", np.ones(1, dtype=np.float32), priority=0))
+        assert frame.priority == 0
+
+    def test_response(self):
+        output = np.random.default_rng(0).standard_normal((2, 10)).astype(np.float32)
+        frame = roundtrip(wire.Response(request_id=11, output=output))
+        assert isinstance(frame, wire.Response)
+        assert frame.request_id == 11
+        assert np.array_equal(frame.output, output)
+
+    def test_goodbye(self):
+        frame = roundtrip(wire.Goodbye("gateway drained"))
+        assert isinstance(frame, wire.Goodbye)
+        assert frame.reason == "gateway drained"
+
+    def test_register(self):
+        frame = roundtrip(
+            wire.Register(
+                request_id=4,
+                model_id="lenet-aug",
+                payload=b"\x00\x01\x02parameters",
+                architecture={"task": "classification", "total_parameters": 42},
+                metadata={"input_shape": [1, 28, 28], "input_dtype": "float32"},
+                replace=True,
+            )
+        )
+        assert isinstance(frame, wire.Register)
+        assert frame.model_id == "lenet-aug"
+        assert frame.payload == b"\x00\x01\x02parameters"
+        assert frame.architecture["total_parameters"] == 42
+        assert frame.metadata["input_shape"] == [1, 28, 28]
+        assert frame.replace is True
+
+    def test_ack(self):
+        frame = roundtrip(wire.Ack(request_id=4, message="sha256deadbeef"))
+        assert isinstance(frame, wire.Ack)
+        assert frame.message == "sha256deadbeef"
+
+
+class TestProtocolGuards:
+    def test_version_mismatch(self):
+        data = wire.encode_frame(wire.Goodbye("x"))
+        payload = bytearray(data[4:])
+        payload[0] = wire.WIRE_VERSION + 1
+        with pytest.raises(ProtocolError, match="wire version"):
+            wire.decode_payload(bytes(payload))
+
+    def test_unknown_frame_type(self):
+        payload = struct.pack("!BB", wire.WIRE_VERSION, 0x7F)
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            wire.decode_payload(payload)
+
+    def test_truncated_payload(self):
+        data = wire.encode_frame(wire.Hello(tenant="abcdef"))
+        with pytest.raises(ProtocolError, match="truncated"):
+            wire.decode_payload(data[4:10])
+
+    def test_object_dtype_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="refusing to serialize"):
+            wire.encode_frame(wire.Response(1, np.array([object()], dtype=object)))
+
+    def test_array_length_mismatch_rejected(self):
+        data = bytearray(wire.encode_frame(wire.Response(1, np.zeros(4, dtype=np.float32))))
+        # Corrupt the trailing byte-length field's buffer: drop the last byte
+        # of the array body and fix up the frame length prefix.
+        truncated = bytes(data[:4]) + bytes(data[4:-1])
+        truncated = struct.pack("!I", len(truncated) - 4) + truncated[4:]
+        with pytest.raises(ProtocolError):
+            wire.decode_payload(truncated[4:])
+
+    def test_out_of_range_frame_fields_are_protocol_errors(self):
+        """struct.error never leaks from encode_frame: typed failure only."""
+        with pytest.raises(ProtocolError, match="unencodable frame field"):
+            wire.encode_frame(wire.Hello(window=-1))
+        with pytest.raises(ProtocolError, match="unencodable frame field"):
+            wire.encode_frame(
+                wire.Request(1, "m", np.ones(1, dtype=np.float32), priority=2**70)
+            )
+
+    def test_malformed_register_json_is_a_protocol_error(self):
+        """Invalid JSON in a REGISTER body must not leak a JSONDecodeError."""
+        data = wire.encode_frame(
+            wire.Register(1, "m", b"x", architecture={}, metadata={})
+        )
+        corrupted = data[4:].replace(b"{}", b"{!", 1)  # same length, bad JSON
+        with pytest.raises(ProtocolError, match="malformed frame payload"):
+            wire.decode_payload(corrupted)
+
+    def test_non_contiguous_arrays_are_encoded(self):
+        base = np.arange(16, dtype=np.float32).reshape(4, 4)
+        view = base[:, ::2]  # non-contiguous
+        frame = roundtrip(wire.Response(1, view))
+        assert np.array_equal(frame.output, view)

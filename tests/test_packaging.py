@@ -1,0 +1,113 @@
+"""Packaging and repo-hygiene pins.
+
+A wheel built from this tree must actually serve: every ``repro.*`` package —
+including the nested ``repro.serve.cluster`` / ``repro.serve.middleware`` /
+``repro.serve.gateway`` subpackages — has to be discovered by the
+``pyproject.toml`` src-layout configuration, and every public module must
+import cleanly from an installed-style path.  Plus the hygiene satellite:
+no compiled artefacts (``__pycache__``, ``*.pyc``) may ever be tracked.
+"""
+
+from __future__ import annotations
+
+import importlib
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def packages_on_disk() -> set:
+    """Every directory under src/ that is a Python package."""
+    found = set()
+    for init in SRC.rglob("__init__.py"):
+        relative = init.parent.relative_to(SRC)
+        if "__pycache__" in relative.parts:
+            continue
+        found.add(".".join(relative.parts))
+    return found
+
+
+def modules_on_disk() -> list:
+    """Every importable module name under src/ (packages + submodules)."""
+    names = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC)
+        if "__pycache__" in relative.parts:
+            continue
+        parts = list(relative.parts)
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][: -len(".py")]
+        names.append(".".join(parts))
+    return names
+
+
+class TestPackageDiscovery:
+    def test_setuptools_discovers_every_package(self):
+        """`pip install .` must ship exactly the packages that exist on disk."""
+        find_packages = pytest.importorskip("setuptools").find_packages
+        discovered = set(find_packages(where=str(SRC)))
+        on_disk = packages_on_disk()
+        missing = on_disk - discovered
+        assert not missing, f"packages on disk that an install would drop: {sorted(missing)}"
+        phantom = discovered - on_disk
+        assert not phantom, f"discovered packages with no __init__.py: {sorted(phantom)}"
+
+    def test_serve_subpackages_are_present(self):
+        """The serving tree's nested packages — the ones a naive setup() config
+        silently drops — are all real packages on disk."""
+        on_disk = packages_on_disk()
+        for package in (
+            "repro",
+            "repro.serve",
+            "repro.serve.cluster",
+            "repro.serve.middleware",
+            "repro.serve.gateway",
+        ):
+            assert package in on_disk, f"{package} lost its __init__.py"
+
+    def test_pyproject_declares_src_layout(self):
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        assert "[tool.setuptools.packages.find]" in pyproject
+        assert 'where = ["src"]' in pyproject
+        assert "[project]" in pyproject
+
+    def test_every_module_imports(self):
+        """Installed-style import smoke: every public module loads."""
+        failures = []
+        for name in modules_on_disk():
+            try:
+                importlib.import_module(name)
+            except Exception as error:  # noqa: BLE001 - collected for the report
+                failures.append(f"{name}: {error!r}")
+        assert not failures, "modules that fail to import:\n" + "\n".join(failures)
+
+
+class TestRepoHygiene:
+    def test_no_compiled_artifacts_tracked(self):
+        """``__pycache__``/``*.pyc`` must never be committed (gitignore pin)."""
+        try:
+            tracked = subprocess.run(
+                ["git", "ls-files"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=True,
+            ).stdout.splitlines()
+        except (OSError, subprocess.SubprocessError):
+            pytest.skip("not a git checkout")
+        offenders = [
+            path for path in tracked if "__pycache__" in path or path.endswith(".pyc")
+        ]
+        assert not offenders, f"compiled artefacts tracked by git: {offenders}"
+
+    def test_gitignore_covers_pycache(self):
+        gitignore = (REPO_ROOT / ".gitignore").read_text(encoding="utf-8").splitlines()
+        assert "__pycache__/" in gitignore
+        assert "*.pyc" in gitignore
