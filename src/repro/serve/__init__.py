@@ -23,7 +23,12 @@ This package turns a trained augmented model into a multi-client service:
   (:class:`~repro.serve.gateway.GatewayServer`) speaking a compact binary
   wire protocol, with a :class:`~repro.serve.gateway.RemoteClient` that
   plugs in wherever the in-process surface is used — including under the
-  proxy, for obfuscated extraction over the network.
+  proxy, for obfuscated extraction over the network;
+* :mod:`repro.serve.faults` — the resilience layer and its proof harness:
+  deterministic seeded fault injection (:class:`~repro.serve.faults.FaultPlan`
+  / :class:`~repro.serve.faults.FaultInjector`) threaded into replica,
+  gateway and client hook points, plus :class:`~repro.serve.faults.RetryPolicy`
+  backoff and per-replica :class:`~repro.serve.faults.CircuitBreaker`\\ s.
 """
 
 from .batcher import PADDING_MODES, Batcher, bucket_size
@@ -42,6 +47,15 @@ from .cluster import (
     PowerOfTwoChoicesPolicy,
     ReplicaUnavailable,
     ReplicaWorker,
+)
+from .faults import (
+    BackoffSession,
+    CircuitBreaker,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
 )
 from .gateway import (
     AsyncRemoteClient,
@@ -78,10 +92,12 @@ __all__ = [
     "PADDING_MODES",
     "AdmissionScheduler",
     "AsyncRemoteClient",
+    "BackoffSession",
     "Backpressure",
     "BatchContext",
     "Batcher",
     "bucket_size",
+    "CircuitBreaker",
     "ClusterError",
     "ClusterRouter",
     "ConnectionClosed",
@@ -90,6 +106,10 @@ __all__ = [
     "DeadlineExceeded",
     "ExtractionProxy",
     "FailoverExhausted",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "GatewayError",
     "GatewayServer",
     "HealthMonitor",
@@ -115,6 +135,7 @@ __all__ = [
     "ReplicaWorker",
     "RequestContext",
     "ResponseCache",
+    "RetryPolicy",
     "ServeMiddleware",
     "ServerOverloaded",
     "ServerStopped",

@@ -18,6 +18,17 @@ it from two directions:
 receives no new placements, which is how the router removes a replica without
 dropping in-flight work.  The clock is injectable so tests drive timeouts
 deterministically instead of sleeping.
+
+**Circuit breaking** (optional): pass ``breaker=CircuitBreaker(...)`` as a
+template and the monitor mints one per replica (sharing its clock).  The
+breaker covers the failure mode consecutive-failure benching cannot: a
+*flapping* replica heartbeats alive — which re-admits it probe-style — yet
+fails every request, eating the router's retry budget on each re-admission.
+With a breaker, ``record_failure`` feeds the replica's breaker and
+``routable_ids`` excludes replicas whose breaker is open, so attempts against
+a flapping replica are bounded by ``failure_threshold`` plus one probe per
+``reset_timeout`` window; breaker state and trip counters ride in
+:meth:`snapshot`.
 """
 
 from __future__ import annotations
@@ -26,6 +37,8 @@ import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
+
+from ..faults.breaker import CircuitBreaker
 
 HEALTHY = "healthy"
 DRAINING = "draining"
@@ -62,6 +75,7 @@ class HealthMonitor:
         failure_threshold: int = 3,
         heartbeat_timeout: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -70,6 +84,8 @@ class HealthMonitor:
         self.failure_threshold = failure_threshold
         self.heartbeat_timeout = heartbeat_timeout
         self._clock = clock
+        self._breaker_template = breaker
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._replicas: Dict[str, ReplicaHealth] = {}
         self._lock = threading.Lock()
 
@@ -81,10 +97,13 @@ class HealthMonitor:
             if replica_id in self._replicas:
                 raise ValueError(f"replica '{replica_id}' is already monitored")
             self._replicas[replica_id] = ReplicaHealth(replica_id, last_heartbeat=self._clock())
+            if self._breaker_template is not None:
+                self._breakers[replica_id] = self._breaker_template.clone(clock=self._clock)
 
     def deregister(self, replica_id: str) -> None:
         with self._lock:
             self._replicas.pop(replica_id, None)
+            self._breakers.pop(replica_id, None)
 
     def _record(self, replica_id: str) -> ReplicaHealth:
         record = self._replicas.get(replica_id)
@@ -111,9 +130,13 @@ class HealthMonitor:
             record.last_heartbeat = self._clock()
             if record.state == STOPPED:
                 # A stopped replica reporting alive again (restart) is fully
-                # routable: its failure history belongs to the old process.
+                # routable: its failure history belongs to the old process —
+                # the breaker's too.
                 record.state = HEALTHY
                 record.consecutive_failures = 0
+                breaker = self._breakers.get(replica_id)
+                if breaker is not None:
+                    breaker.reset()
             elif record.state == UNHEALTHY:
                 # Probe-style recovery: an alive heartbeat re-admits the
                 # replica, but the failure streak is kept, so a single further
@@ -132,6 +155,9 @@ class HealthMonitor:
             record.consecutive_failures = 0
             if record.state == UNHEALTHY:
                 record.state = HEALTHY
+            breaker = self._breakers.get(replica_id)
+        if breaker is not None:
+            breaker.record_success()
 
     def record_failure(self, replica_id: str) -> None:
         """Count one availability failure; a streak marks the replica unhealthy."""
@@ -144,6 +170,9 @@ class HealthMonitor:
             unhealthy = record.consecutive_failures >= self.failure_threshold
             if record.state == HEALTHY and unhealthy:
                 record.state = UNHEALTHY
+            breaker = self._breakers.get(replica_id)
+        if breaker is not None:
+            breaker.record_failure()
 
     def mark_draining(self, replica_id: str) -> None:
         with self._lock:
@@ -160,6 +189,9 @@ class HealthMonitor:
             record.state = HEALTHY
             record.consecutive_failures = 0
             record.last_heartbeat = self._clock()
+            breaker = self._breakers.get(replica_id)
+        if breaker is not None:
+            breaker.reset()
 
     # ------------------------------------------------------------------
     # Queries
@@ -169,23 +201,38 @@ class HealthMonitor:
             return self._record(replica_id).state
 
     def is_routable(self, replica_id: str) -> bool:
-        """Healthy, not draining, and heard from within the heartbeat window."""
+        """Healthy, not draining, heartbeat-fresh, and breaker not open."""
         now = self._clock()
         with self._lock:
             record = self._replicas.get(replica_id)
             if record is None or record.state != HEALTHY:
                 return False
-            return now - record.last_heartbeat <= self.heartbeat_timeout
+            if now - record.last_heartbeat > self.heartbeat_timeout:
+                return False
+            breaker = self._breakers.get(replica_id)
+        return breaker is None or breaker.allow()
 
     def routable_ids(self) -> List[str]:
         now = self._clock()
         with self._lock:
-            return [
+            fresh = [
                 record.replica_id
                 for record in self._replicas.values()
                 if record.state == HEALTHY
                 and now - record.last_heartbeat <= self.heartbeat_timeout
             ]
+            breakers = [self._breakers.get(replica_id) for replica_id in fresh]
+        # allow() outside the monitor lock: it may advance open -> half-open.
+        return [
+            replica_id
+            for replica_id, breaker in zip(fresh, breakers)
+            if breaker is None or breaker.allow()
+        ]
+
+    def breaker(self, replica_id: str) -> Optional[CircuitBreaker]:
+        """The replica's breaker instance (None when breaking is disabled)."""
+        with self._lock:
+            return self._breakers.get(replica_id)
 
     def check(self, replicas: Dict[str, "object"]) -> List[str]:
         """Poll ``heartbeat()`` on each replica object; returns routable ids.
@@ -203,7 +250,14 @@ class HealthMonitor:
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         with self._lock:
-            return {replica_id: record.snapshot() for replica_id, record in self._replicas.items()}
+            entries = {
+                replica_id: record.snapshot() for replica_id, record in self._replicas.items()
+            }
+            breakers = dict(self._breakers)
+        for replica_id, breaker in breakers.items():
+            if replica_id in entries:
+                entries[replica_id]["breaker"] = breaker.snapshot()
+        return entries
 
 
 __all__ = [

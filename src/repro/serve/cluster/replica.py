@@ -51,10 +51,15 @@ class ReplicaWorker:
         queue_size: int = 4096,
         registry_capacity: int = 4,
         middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None] = None,
+        faults=None,
     ) -> None:
         if not replica_id:
             raise ValueError("replica_id must be a non-empty string")
         self.replica_id = replica_id
+        #: Optional :class:`~repro.serve.faults.FaultInjector`.  Consulted once
+        #: per request when set (crash-on-Nth-request, slow-replica latency);
+        #: the unconfigured hot path pays a single ``is not None`` test.
+        self.faults = faults
         self.registry = registry if registry is not None else ModelRegistry(registry_capacity)
         self.server = InferenceServer(
             self.registry,
@@ -145,6 +150,12 @@ class ReplicaWorker:
             raise ReplicaUnavailable(self.replica_id, "replica was killed")
         if self._draining:
             raise ReplicaUnavailable(self.replica_id, "replica is draining")
+        if self.faults is not None:
+            # May sleep (slow shard), raise a typed error (flapping replica),
+            # or kill this replica outright (crash-on-Nth-request) — every
+            # outcome surfaces through the same typed-failure channel the
+            # router's failover already handles.
+            self.faults.on_replica_request(self)
 
     def predict(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> np.ndarray:
         return self.predict_batch(model_id, [sample], tenant=tenant)[0]

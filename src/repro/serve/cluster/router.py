@@ -43,6 +43,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Unio
 
 import numpy as np
 
+from ..faults.retry import BackoffSession, RetryPolicy
 from ..middleware import MiddlewareChain, RequestContext, ServeMiddleware
 from ..registry import RegistryEntry
 from ..server import ServerOverloaded, ServerStopped
@@ -77,6 +78,7 @@ class _ClusterRequest:
     entered: Sequence[object] = ()
     excluded: Set[str] = field(default_factory=set)
     tried: List[str] = field(default_factory=list)
+    backoff: Optional[BackoffSession] = None
 
 
 class ClusterRouter:
@@ -91,9 +93,15 @@ class ClusterRouter:
         middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None] = None,
         max_retries: int = 2,
         clock: Callable[[], float] = time.monotonic,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        #: Optional backoff pacing for failover.  Without a policy, failover
+        #: retries immediately (the original behaviour); with one, each
+        #: re-dispatch waits a decorrelated-jitter delay first, so a cluster
+        #: of flapping replicas is probed instead of hammered.
+        self.retry = retry
         self.placement = placement if placement is not None else ConsistentHashPolicy()
         self.health = health if health is not None else HealthMonitor(clock=clock)
         self.admission = admission if admission is not None else AdmissionScheduler(clock=clock)
@@ -112,6 +120,10 @@ class ClusterRouter:
         self._stats_lock = threading.Lock()
         self._counters = {"completed": 0, "failed": 0, "shed": 0, "failovers": 0}
         self._counters_lock = threading.Lock()
+        # Per-replica failover accounting: attempts routed there, retryable
+        # failures it returned, and how often it was excluded mid-request.
+        self._failover: Dict[str, Dict[str, int]] = {}
+        self._backoff_seconds = 0.0
         self._last_health_check = float("-inf")
         for replica in replicas:
             self.add_replica(replica)
@@ -392,20 +404,25 @@ class ClusterRouter:
         excluded: Set[str] = set()
         tried: List[str] = []
         last_error: Optional[BaseException] = None
+        session = self.retry.session() if self.retry is not None else None
         for _ in range(self.max_retries + 1):
             candidates = self.placement.candidates(model_id, self._routable(excluded))
             if not candidates:
                 break
             replica = candidates[0]
             tried.append(replica.replica_id)
+            self._count_failover(replica.replica_id, "attempts")
             try:
                 outputs = replica.predict_batch(model_id, samples, tenant=tenant)
             except _RETRYABLE as error:
                 last_error = error
                 excluded.add(replica.replica_id)
+                self._count_failover(replica.replica_id, "failures")
                 if isinstance(error, _HEALTH_FAILURES):
                     self.health.record_failure(replica.replica_id)
                 self._count("failovers")
+                if session is not None:
+                    self._record_backoff(session.pause())
                 continue
             self.health.record_success(replica.replica_id)
             self._count("completed", len(samples))
@@ -516,6 +533,7 @@ class ClusterRouter:
             return
         replica = candidates[0]
         request.tried.append(replica.replica_id)
+        self._count_failover(replica.replica_id, "attempts")
         try:
             inner = replica.submit(request.model_id, request.sample, tenant=request.tenant)
         except _RETRYABLE as error:
@@ -546,10 +564,18 @@ class ClusterRouter:
     ) -> None:
         """One replica failed the request: exclude it and retry if budget allows."""
         request.excluded.add(replica.replica_id)
+        self._count_failover(replica.replica_id, "failures")
         if isinstance(error, _HEALTH_FAILURES):
             self.health.record_failure(replica.replica_id)
         self._count("failovers")
         if len(request.tried) <= self.max_retries:
+            if self.retry is not None:
+                # Pace the re-dispatch.  This may run on a replica callback
+                # thread; delays are the policy's (small, capped) jitter and
+                # the sleep is injectable, so tests never actually wait.
+                if request.backoff is None:
+                    request.backoff = self.retry.session()
+                self._record_backoff(request.backoff.pause())
             self._dispatch_async(request, ticket)  # depth bounded by max_retries
         else:
             self._fail(
@@ -616,6 +642,9 @@ class ClusterRouter:
         """Unwind the cluster chain (if entered) and resolve the caller's future."""
         context = request.context
         if context is not None:
+            # Middleware observability: how many replicas this request touched
+            # (0 = answered by the chain, 1 = no failover, >1 = failed over).
+            context.metadata["failover_attempts"] = len(request.tried)
             self.middleware.exit(context, request.entered)
             # on_error may have recovered (or on_response raised): trust the
             # context's final word over our original outcome.
@@ -641,6 +670,50 @@ class ClusterRouter:
         with self._counters_lock:
             self._counters[key] += amount
 
+    def _count_failover(self, replica_id: str, key: str) -> None:
+        with self._counters_lock:
+            entry = self._failover.get(replica_id)
+            if entry is None:
+                entry = {"attempts": 0, "failures": 0}
+                self._failover[replica_id] = entry
+            entry[key] += 1
+
+    def _record_backoff(self, delay: float) -> None:
+        with self._counters_lock:
+            self._backoff_seconds += delay
+
+    def failover_stats(self) -> Dict[str, object]:
+        """Resilience accounting: per-replica attempts/failures/breaker trips.
+
+        ``attempts`` counts every dispatch routed to the replica (first tries
+        and failover retries alike); ``failures`` the retryable errors it
+        returned, i.e. how often it was excluded mid-request.  When the health
+        monitor runs circuit breakers, each replica's breaker state and trip
+        count ride along, and ``backoff_seconds`` totals the pacing the retry
+        policy inserted between failover attempts.
+        """
+        with self._counters_lock:
+            per_replica = {
+                replica_id: dict(entry) for replica_id, entry in self._failover.items()
+            }
+            backoff_seconds = self._backoff_seconds
+        for replica_id, entry in per_replica.items():
+            breaker = self.health.breaker(replica_id)
+            if breaker is not None:
+                entry["breaker_state"] = breaker.state
+                entry["breaker_trips"] = breaker.trips
+        return {
+            "per_replica": per_replica,
+            "backoff_seconds": backoff_seconds,
+            "retry_policy": None
+            if self.retry is None
+            else {
+                "max_attempts": self.retry.max_attempts,
+                "base_delay": self.retry.base_delay,
+                "max_delay": self.retry.max_delay,
+            },
+        }
+
     def stats(self, model_id: Optional[str] = None) -> Dict[str, object]:
         """Cluster-wide view: merged per-model stats plus per-replica detail.
 
@@ -662,6 +735,7 @@ class ClusterRouter:
             "health": self.health.snapshot(),
             "admission": self.admission.stats(),
             "router": {**counters, "placement": type(self.placement).__name__},
+            "failover": self.failover_stats(),
             "shard_map": self.shard_map(),
         }
 

@@ -1,0 +1,44 @@
+"""Fault injection and resilience primitives for the serving stack.
+
+Two halves that prove each other out:
+
+* **Injection** — :class:`~repro.serve.faults.injector.FaultPlan` /
+  :class:`~repro.serve.faults.injector.FaultInjector`: a deterministic,
+  seeded harness threaded into the stack's hook points (replica requests,
+  gateway frame writes, client sockets), no-op when unconfigured;
+* **Resilience** — :class:`~repro.serve.faults.retry.RetryPolicy`
+  (exponential backoff + decorrelated jitter, injectable sleep) and
+  :class:`~repro.serve.faults.breaker.CircuitBreaker`
+  (closed → open → half-open, injectable clock), consumed by the cluster
+  router's failover, the health monitor's routing decisions, and the remote
+  client's reconnect-with-resume.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .injector import (
+    SITE_CLIENT_CONNECT,
+    SITE_CLIENT_SEND,
+    SITE_GATEWAY_SEND,
+    SITE_REPLICA_REQUEST,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from .retry import BackoffSession, RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "SITE_CLIENT_CONNECT",
+    "SITE_CLIENT_SEND",
+    "SITE_GATEWAY_SEND",
+    "SITE_REPLICA_REQUEST",
+    "BackoffSession",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+]

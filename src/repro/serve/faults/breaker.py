@@ -1,0 +1,142 @@
+"""Per-replica circuit breaker: closed → open → half-open.
+
+The :class:`~repro.serve.cluster.health.HealthMonitor`'s consecutive-failure
+benching re-admits an unhealthy replica on its next alive heartbeat, which is
+the right recovery story for a replica that *died and restarted* — but a
+replica that is alive-yet-failing ("flapping": heartbeats fine, every request
+errors) gets re-admitted on every health check and keeps eating the router's
+bounded retry budget.
+
+A circuit breaker fixes the economics: after ``failure_threshold``
+consecutive failures the breaker **opens** and the replica stops receiving
+placements entirely; once ``reset_timeout`` elapses it moves to **half-open**
+and the next request through is the probe — one more failure re-opens it (a
+*trip*, counted), while ``half_open_successes`` consecutive successes close
+it for good.  Attempts against a flapping replica are therefore bounded by
+``failure_threshold + trips`` instead of growing with traffic, and the bound
+is counter-asserted in the chaos suite.
+
+The clock is injectable (same pattern as ``HealthMonitor``) so tests drive
+open→half-open transitions deterministically; :meth:`clone` stamps out
+identically-configured breakers, which is how the monitor mints one per
+replica from a template.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe three-state breaker guarding one dispatch target."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_successes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0 seconds")
+        if half_open_successes < 1:
+            raise ValueError("half_open_successes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_successes = half_open_successes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._half_open_streak = 0
+        self._opened_at = 0.0
+        self._trips = 0  # times the breaker opened (first trip + re-trips)
+
+    def clone(self, clock: Optional[Callable[[], float]] = None) -> "CircuitBreaker":
+        """A fresh breaker with this one's configuration (template pattern)."""
+        return CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            reset_timeout=self.reset_timeout,
+            half_open_successes=self.half_open_successes,
+            clock=clock if clock is not None else self._clock,
+        )
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _advance(self) -> str:
+        """Open → half-open once the reset timeout elapses (lock held)."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.reset_timeout:
+            self._state = HALF_OPEN
+            self._half_open_streak = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May this target receive a new placement right now?"""
+        with self._lock:
+            return self._advance() != OPEN
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._advance() == HALF_OPEN:
+                self._half_open_streak += 1
+                if self._half_open_streak >= self.half_open_successes:
+                    self._state = CLOSED
+                    self._half_open_streak = 0
+            # A success while OPEN (a request dispatched before the trip) is
+            # stale evidence: the streak reset above is enough, the breaker
+            # stays open until its timeout-gated probe confirms recovery.
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._advance()
+            self._consecutive_failures += 1
+            if state == HALF_OPEN or (
+                state == CLOSED and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+                self._half_open_streak = 0
+
+    def reset(self) -> None:
+        """Administratively close the breaker (e.g. the replica was replaced)."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._half_open_streak = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._advance()
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._advance(),
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self._trips,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+            }
+
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]

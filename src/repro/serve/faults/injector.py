@@ -1,0 +1,370 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+The serving stack is judged on its behaviour under partial failure, and until
+now that behaviour could not even be *exercised*: killing a replica meant
+hand-calling ``kill()`` at the right moment, and there was no way at all to
+drop a TCP connection mid-frame or slow one shard down on demand.  This
+module is the harness: a declarative :class:`FaultPlan` (which faults, where,
+on which event ordinal) executed by a :class:`FaultInjector` threaded into
+the stack's hook points.
+
+Hook points (each component checks ``if faults is not None`` once per event —
+the unconfigured hot path pays a single attribute test):
+
+====================== ======================================================
+ site                   fired by
+====================== ======================================================
+ ``replica.request``    :class:`~repro.serve.cluster.replica.ReplicaWorker`
+                        before serving each request (sync and submit paths);
+                        actions: ``crash`` (kill the replica), ``delay``,
+                        ``error``
+ ``gateway.send``       the gateway's per-connection writer, once per
+                        outbound frame (HELLO_ACK included); actions:
+                        ``delay``, ``corrupt`` (flip header bytes),
+                        ``truncate`` (write a partial frame, then abort),
+                        ``disconnect`` (abort between frames)
+ ``client.connect``     :class:`~repro.serve.gateway.client.AsyncRemoteClient`
+                        before opening a socket; actions: ``error``, ``delay``
+ ``client.send``        the client's frame writer; action: ``reset`` (abort
+                        the socket mid-conversation)
+====================== ======================================================
+
+Determinism: rules fire on *event ordinals* (``after``/``times``), counted
+per ``(site, target)``; probabilistic rules draw from one seeded
+``random.Random`` owned by the injector, so the same plan + seed replays the
+same fault sequence.  Sleeps go through the injectable ``sleep`` so a fake
+clock can stand in for wall time.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cluster.errors import ReplicaUnavailable
+
+SITE_REPLICA_REQUEST = "replica.request"
+SITE_GATEWAY_SEND = "gateway.send"
+SITE_CLIENT_CONNECT = "client.connect"
+SITE_CLIENT_SEND = "client.send"
+
+#: action -> the sites it is meaningful at (validated when a rule is added).
+_ACTION_SITES = {
+    "crash": (SITE_REPLICA_REQUEST,),
+    "delay": (SITE_REPLICA_REQUEST, SITE_GATEWAY_SEND, SITE_CLIENT_CONNECT),
+    "error": (SITE_REPLICA_REQUEST, SITE_CLIENT_CONNECT),
+    "corrupt": (SITE_GATEWAY_SEND,),
+    "truncate": (SITE_GATEWAY_SEND,),
+    "disconnect": (SITE_GATEWAY_SEND,),
+    "reset": (SITE_CLIENT_SEND,),
+}
+
+
+@dataclass
+class FaultRule:
+    """One declarative fault: where, what, and on which events.
+
+    ``after`` is the first eligible event ordinal (1-based, counted per
+    ``(site, target)``), ``times`` bounds how often the rule fires (``-1`` =
+    unlimited), and ``probability`` gates each eligible event through the
+    injector's seeded RNG.  ``error`` is a zero-arg exception *factory* so a
+    rule can fire more than once without re-raising a mutated instance.
+    """
+
+    site: str
+    action: str
+    target: str = "*"
+    after: int = 1
+    times: int = 1
+    probability: float = 1.0
+    delay: float = 0.0
+    error: Optional[Callable[[], BaseException]] = None
+
+    def __post_init__(self) -> None:
+        sites = _ACTION_SITES.get(self.action)
+        if sites is None:
+            raise ValueError(f"unknown fault action '{self.action}'")
+        if self.site not in sites:
+            raise ValueError(f"action '{self.action}' is not valid at site '{self.site}'")
+        if self.after < 1:
+            raise ValueError("after is a 1-based event ordinal (>= 1)")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0 seconds")
+
+    def matches(self, site: str, target: str) -> bool:
+        return self.site == site and self.target in ("*", target)
+
+
+class FaultPlan:
+    """A seeded, composable set of fault rules with readable builders.
+
+    Builders return ``self`` so plans compose fluently::
+
+        plan = (
+            FaultPlan(seed=7)
+            .crash_replica("replica-1", on_request=5)
+            .slow_replica("replica-2", latency=0.02)
+            .drop_connection(after_frames=12)
+        )
+    """
+
+    def __init__(self, seed: int = 0, rules: Optional[List[FaultRule]] = None) -> None:
+        self.seed = seed
+        self.rules: List[FaultRule] = list(rules or [])
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    # -- replica faults -------------------------------------------------
+    def crash_replica(self, replica_id: str = "*", on_request: int = 1) -> "FaultPlan":
+        """Kill the replica when its ``on_request``-th request arrives."""
+        return self.add(
+            FaultRule(SITE_REPLICA_REQUEST, "crash", target=replica_id, after=on_request)
+        )
+
+    def slow_replica(
+        self, replica_id: str = "*", latency: float = 0.01, after: int = 1, times: int = -1
+    ) -> "FaultPlan":
+        """Add ``latency`` seconds before every served request (a slow shard)."""
+        return self.add(
+            FaultRule(
+                SITE_REPLICA_REQUEST,
+                "delay",
+                target=replica_id,
+                after=after,
+                times=times,
+                delay=latency,
+            )
+        )
+
+    def fail_replica(
+        self,
+        replica_id: str = "*",
+        error: Optional[Callable[[], BaseException]] = None,
+        after: int = 1,
+        times: int = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Fail requests with a typed error while leaving the replica alive
+        (the flapping-replica scenario the circuit breaker exists for)."""
+        return self.add(
+            FaultRule(
+                SITE_REPLICA_REQUEST,
+                "error",
+                target=replica_id,
+                after=after,
+                times=times,
+                probability=probability,
+                error=error,
+            )
+        )
+
+    # -- gateway frame faults -------------------------------------------
+    def delay_frame(
+        self, latency: float, after_frames: int = 1, times: int = -1
+    ) -> "FaultPlan":
+        return self.add(
+            FaultRule(
+                SITE_GATEWAY_SEND, "delay", after=after_frames, times=times, delay=latency
+            )
+        )
+
+    def corrupt_frame(self, after_frames: int = 1, times: int = 1) -> "FaultPlan":
+        """Flip the frame's header bytes so the peer decodes a ProtocolError."""
+        return self.add(FaultRule(SITE_GATEWAY_SEND, "corrupt", after=after_frames, times=times))
+
+    def truncate_frame(self, after_frames: int = 1, times: int = 1) -> "FaultPlan":
+        """Write half a frame, then abort: the peer sees a mid-frame close."""
+        return self.add(FaultRule(SITE_GATEWAY_SEND, "truncate", after=after_frames, times=times))
+
+    def drop_connection(self, after_frames: int = 1, times: int = 1) -> "FaultPlan":
+        """Abort the connection on a frame boundary (unannounced disconnect)."""
+        return self.add(
+            FaultRule(SITE_GATEWAY_SEND, "disconnect", after=after_frames, times=times)
+        )
+
+    # -- client socket faults -------------------------------------------
+    def refuse_connect(self, times: int = 1, after: int = 1) -> "FaultPlan":
+        """Fail connection attempts with ``ConnectionRefusedError``."""
+        return self.add(FaultRule(SITE_CLIENT_CONNECT, "error", after=after, times=times))
+
+    def reset_socket(self, on_send: int = 1, times: int = 1) -> "FaultPlan":
+        """Abort the client's socket when its ``on_send``-th frame goes out."""
+        return self.add(FaultRule(SITE_CLIENT_SEND, "reset", after=on_send, times=times))
+
+
+@dataclass
+class _RuleState:
+    """Mutable bookkeeping for one rule inside an injector."""
+
+    rule: FaultRule
+    fired: int = 0
+
+
+@dataclass
+class FaultEvent:
+    """One fired fault, as recorded in the injector's log (test observability)."""
+
+    site: str
+    target: str
+    action: str
+    ordinal: int
+    delay: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically; thread-safe.
+
+    One injector may be shared by every component in a test topology — event
+    ordinals are counted per ``(site, target)``, so "crash replica-1 on its
+    5th request" and "drop the connection after 12 outbound frames" compose
+    without interfering.  An injector with no rules (or ``None`` where a
+    component expects one) is a no-op.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.sleep = sleep
+        self._rng = random.Random(self.plan.seed)
+        self._states = [_RuleState(rule) for rule in self.plan.rules]
+        self._counts: Dict[Tuple[str, str], int] = {}
+        self._log: List[FaultEvent] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Core matching
+    # ------------------------------------------------------------------
+    def _fire(self, site: str, target: str) -> List[FaultRule]:
+        """Advance the (site, target) ordinal and return the rules that fire."""
+        with self._lock:
+            key = (site, target)
+            ordinal = self._counts.get(key, 0) + 1
+            self._counts[key] = ordinal
+            fired: List[FaultRule] = []
+            for state in self._states:
+                rule = state.rule
+                if not rule.matches(site, target):
+                    continue
+                # Wildcard rules advance on the *per-target* ordinal they see,
+                # so "after=5" against target '*' means the 5th event at that
+                # site for whichever target reaches 5 first.
+                if ordinal < rule.after:
+                    continue
+                if rule.times >= 0 and state.fired >= rule.times:
+                    continue
+                if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                    continue
+                state.fired += 1
+                fired.append(rule)
+                self._log.append(
+                    FaultEvent(site, target, rule.action, ordinal, delay=rule.delay)
+                )
+            return fired
+
+    # ------------------------------------------------------------------
+    # Site helpers (what the components actually call)
+    # ------------------------------------------------------------------
+    def on_replica_request(self, replica) -> None:
+        """Hook for :class:`ReplicaWorker`; may sleep, kill the replica, raise."""
+        for rule in self._fire(SITE_REPLICA_REQUEST, replica.replica_id):
+            if rule.action == "delay":
+                self.sleep(rule.delay)
+            elif rule.action == "crash":
+                replica.kill()
+                raise ReplicaUnavailable(
+                    replica.replica_id, "fault injection: replica crashed mid-request"
+                )
+            elif rule.action == "error":
+                if rule.error is not None:
+                    raise rule.error()
+                raise ReplicaUnavailable(
+                    replica.replica_id, "fault injection: request failed"
+                )
+
+    def on_gateway_send(self, target: str = "*") -> List[FaultRule]:
+        """Hook for the gateway writer: the (async) caller applies the rules."""
+        return self._fire(SITE_GATEWAY_SEND, target)
+
+    def on_client_connect(self, target: str = "*") -> None:
+        """Hook for the remote client's connect path; may sleep or raise."""
+        for rule in self._fire(SITE_CLIENT_CONNECT, target):
+            if rule.action == "delay":
+                self.sleep(rule.delay)
+            elif rule.action == "error":
+                if rule.error is not None:
+                    raise rule.error()
+                raise ConnectionRefusedError("fault injection: connection refused")
+
+    def on_client_send(self, target: str = "*") -> bool:
+        """Hook for the remote client's writer: True means 'reset the socket'."""
+        return any(rule.action == "reset" for rule in self._fire(SITE_CLIENT_SEND, target))
+
+    # ------------------------------------------------------------------
+    # Byte mangling (pure helpers so the fault semantics live in one place)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def corrupt_bytes(data: bytes) -> bytes:
+        """Flip the frame header bytes after the length prefix.
+
+        The length prefix is preserved so the peer reads a complete frame and
+        fails in ``decode_payload`` with a typed ``ProtocolError`` (corrupt
+        *content*), not a framing error.
+        """
+        start, end = 4, min(8, len(data))
+        return data[:start] + bytes(byte ^ 0xFF for byte in data[start:end]) + data[end:]
+
+    @staticmethod
+    def truncate_bytes(data: bytes) -> bytes:
+        """The partial prefix a truncating fault actually writes (>= 1 byte)."""
+        return data[: max(1, len(data) // 2)]
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def events(self) -> List[FaultEvent]:
+        with self._lock:
+            return list(self._log)
+
+    def fired_counts(self) -> Dict[str, int]:
+        """How often each (site, action) fired — the chaos suite's assertions."""
+        with self._lock:
+            totals: Dict[str, int] = {}
+            for event in self._log:
+                key = f"{event.site}:{event.action}"
+                totals[key] = totals.get(key, 0) + 1
+            return totals
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "seed": self.plan.seed,
+                "rules": len(self._states),
+                "events_seen": dict(self._counts),
+                "fired": [
+                    {"site": s.rule.site, "action": s.rule.action, "fired": s.fired}
+                    for s in self._states
+                ],
+            }
+
+
+__all__ = [
+    "SITE_CLIENT_CONNECT",
+    "SITE_CLIENT_SEND",
+    "SITE_GATEWAY_SEND",
+    "SITE_REPLICA_REQUEST",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+]

@@ -1,0 +1,142 @@
+"""Pluggable retry pacing: exponential backoff with decorrelated jitter.
+
+The serving stack's failure handling used to retry *immediately* — a failed
+replica was re-attempted in the same millisecond, so a correlated failure
+(every client hitting the same dead shard) turned into a synchronized retry
+stampede.  :class:`RetryPolicy` makes the pacing a pluggable object, in the
+policy-free-middleware spirit: callers ask it *whether* to retry and *how
+long* to wait, and it answers from configuration instead of hard-coded
+constants.
+
+The delay schedule is the decorrelated-jitter variant of exponential
+backoff: each delay is drawn uniformly from ``[base_delay, previous *
+multiplier]`` and capped at ``max_delay``, which spreads concurrent retriers
+apart instead of letting them re-collide on every backoff step.  With
+``jitter=False`` the schedule degrades to plain capped exponential growth
+(``base * multiplier**n``) for callers that need exact delays.
+
+Everything time-related is injectable so tests run deterministically with a
+fake clock:
+
+* ``rng`` — the jitter source (``random.Random``); seed it and the delay
+  sequence is reproducible;
+* ``sleep`` — the blocking sleep used by synchronous callers
+  (:class:`~repro.serve.cluster.ClusterRouter` failover);
+* ``async_sleep`` — the awaitable sleep used by asyncio callers
+  (:class:`~repro.serve.gateway.client.AsyncRemoteClient` reconnect).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from typing import Awaitable, Callable, List, Optional
+
+
+class RetryPolicy:
+    """Decides whether to retry and paces the attempts.
+
+    One policy instance is shared by every request flowing through a router
+    or client; per-request delay state (the "previous delay" the decorrelated
+    jitter feeds on) lives in the :class:`BackoffSession` minted per request
+    by :meth:`session`.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 0.02,
+        max_delay: float = 2.0,
+        multiplier: float = 3.0,
+        jitter: bool = True,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        async_sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._rng_lock = threading.Lock()
+        self._sleep = sleep
+        self._async_sleep = async_sleep
+
+    def should_retry(self, failures: int) -> bool:
+        """True while another attempt fits the budget (``failures`` so far)."""
+        return failures < self.max_attempts
+
+    def _draw(self, low: float, high: float) -> float:
+        with self._rng_lock:
+            return self._rng.uniform(low, min(high, self.max_delay))
+
+    def next_delay(self, previous: Optional[float]) -> float:
+        """The delay before the next attempt, given the previous delay (if any)."""
+        if not self.jitter:
+            if previous is None:
+                return min(self.base_delay, self.max_delay)
+            return min(previous * self.multiplier, self.max_delay)
+        anchor = self.base_delay if previous is None else previous * self.multiplier
+        return self._draw(self.base_delay, max(anchor, self.base_delay))
+
+    def session(self) -> "BackoffSession":
+        """A fresh per-request delay sequence (decorrelated jitter is stateful)."""
+        return BackoffSession(self)
+
+    def sleep_for(self, delay: float) -> None:
+        """Blocking pause (the injectable sleep; tests pass a recorder)."""
+        if delay > 0:
+            self._sleep(delay)
+
+    async def asleep(self, delay: float) -> None:
+        """Awaitable pause for asyncio callers (injectable independently)."""
+        if delay > 0:
+            await (self._async_sleep or asyncio.sleep)(delay)
+
+
+class BackoffSession:
+    """One request's delay sequence; not thread-safe (one request, one owner)."""
+
+    __slots__ = ("policy", "attempts", "previous", "delays")
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self.attempts = 0
+        self.previous: Optional[float] = None
+        self.delays: List[float] = []
+
+    def next_delay(self) -> float:
+        """Advance the schedule and return the next delay (without sleeping)."""
+        delay = self.policy.next_delay(self.previous)
+        self.attempts += 1
+        self.previous = delay
+        self.delays.append(delay)
+        return delay
+
+    def pause(self) -> float:
+        """Advance the schedule and block through the policy's sleep."""
+        delay = self.next_delay()
+        self.policy.sleep_for(delay)
+        return delay
+
+    async def apause(self) -> float:
+        """Advance the schedule and await the policy's async sleep."""
+        delay = self.next_delay()
+        await self.policy.asleep(delay)
+        return delay
+
+    @property
+    def total_delay(self) -> float:
+        return sum(self.delays)
+
+
+__all__ = ["BackoffSession", "RetryPolicy"]

@@ -25,6 +25,16 @@ re-raised as the *same* Python types (``RateLimitExceeded`` with its
 request before the ``GOODBYE``; requests raced past the drain edge fail with
 ``ServerStopped``, and only a socket that dies *unannounced* surfaces
 :class:`~repro.serve.gateway.errors.ConnectionClosed`.
+
+Reconnect-with-resume (``resume=True``): when the socket dies *unannounced*
+(``ConnectionClosed`` / a corrupted frame's ``ProtocolError`` — never a
+``GOODBYE``, which means the server answered everything it accepted), the
+client re-runs the HELLO handshake with the same tenant, resubmits — byte
+for byte, same request ids — every in-flight request that never got a
+response frame, and keeps doing so under a :class:`RetryPolicy` budget.
+Every submitted request still resolves exactly once, as a result or a typed
+error; :meth:`AsyncRemoteClient.ledger` exposes the accounting the chaos
+suite balances (``submitted == succeeded + failed + pending``).
 """
 
 from __future__ import annotations
@@ -38,6 +48,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ...cloud.serialization import ModelBundle
+from ..faults.injector import FaultInjector
+from ..faults.retry import RetryPolicy
 from ..server import ServerStopped
 from .errors import ConnectionClosed, ProtocolError
 from .wire import (
@@ -63,6 +75,19 @@ class RemoteRegistration:
     size_bytes: int
 
 
+@dataclass
+class _Pending:
+    """One in-flight request: its future plus the exact bytes on the wire.
+
+    The encoded frame (request id included) is kept so reconnect-with-resume
+    can resubmit it verbatim — same id, same payload — and the reply matches
+    back through the ordinary pending map.
+    """
+
+    future: asyncio.Future
+    data: bytes
+
+
 class AsyncRemoteClient:
     """One handshaked, window-limited, pipelined gateway connection."""
 
@@ -73,30 +98,75 @@ class AsyncRemoteClient:
         tenant: str = "default",
         deadline: Optional[float] = None,
         window: int = 0,
+        resume: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+        reader_grace: float = 5.0,
     ) -> None:
+        if reader_grace <= 0:
+            raise ValueError("reader_grace must be > 0 seconds")
         self.host = host
         self.port = port
         self.tenant = tenant
         self.deadline = deadline
         self.window = window  # requested; replaced by the granted window
         self.server_id = ""
+        self._requested_window = window
+        self._resume = resume
+        self._retry = retry if retry is not None else RetryPolicy(
+            max_attempts=5, base_delay=0.05, max_delay=1.0
+        )
+        self._faults = faults
+        self._reader_grace = reader_grace
+        self._target = f"{host}:{port}"
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._write_lock = asyncio.Lock()
-        self._pending: Dict[int, asyncio.Future] = {}
+        self._pending: Dict[int, _Pending] = {}
         self._ids = itertools.count(1)
         self._slots: Optional[asyncio.Semaphore] = None
         self._reader_task: Optional[asyncio.Task] = None
+        self._reconnect_task: Optional[asyncio.Task] = None
+        self._ready = asyncio.Event()
         self._closed = False
+        self._user_closed = False
         self._close_error: Optional[BaseException] = None
+        self._ledger = {
+            "submitted": 0,
+            "succeeded": 0,
+            "failed": 0,
+            "resubmitted": 0,
+            "reconnects": 0,
+        }
 
     async def connect(self) -> "AsyncRemoteClient":
         """Open the socket and run the HELLO/HELLO_ACK handshake."""
+        try:
+            await self._handshake()
+        except BaseException:
+            self._closed = True
+            raise
+        self._slots = asyncio.Semaphore(self.window)
+        self._ready.set()
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        return self
+
+    async def _handshake(self) -> None:
+        """Open a fresh socket and HELLO on it (first connect and reconnects)."""
+        if self._faults is not None:
+            self._faults.on_client_connect(self._target)
         self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
         try:
-            await self._send(
-                Hello(tenant=self.tenant, deadline=self.deadline, window=self.window)
+            self._writer.write(
+                encode_frame(
+                    Hello(
+                        tenant=self.tenant,
+                        deadline=self.deadline,
+                        window=self._requested_window,
+                    )
+                )
             )
+            await self._writer.drain()
             ack = await read_frame(self._reader)
             if isinstance(ack, ErrorFrame):
                 raise ack.error
@@ -104,43 +174,47 @@ class AsyncRemoteClient:
                 raise ProtocolError(f"expected HELLO_ACK, got {type(ack).__name__}")
         except BaseException:
             # A failed handshake must not leak the socket it just opened.
-            self._closed = True
             self._writer.close()
             raise
         self.window = ack.window
         self.server_id = ack.server_id
-        self._slots = asyncio.Semaphore(ack.window)
-        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
-        return self
 
     async def _send(self, frame) -> None:
-        data = encode_frame(frame)
+        await self._send_bytes(encode_frame(frame))
+
+    async def _send_bytes(self, data: bytes) -> None:
         async with self._write_lock:
+            if self._faults is not None and self._faults.on_client_send(self._target):
+                self._writer.transport.abort()
+                raise ConnectionResetError("fault injection: socket reset during send")
             self._writer.write(data)
             await self._writer.drain()
 
     async def _read_loop(self) -> None:
         closer: BaseException = ConnectionClosed("gateway connection closed unexpectedly")
+        resumable = False
         try:
             while True:
                 frame = await read_frame(self._reader)
                 if frame is None:
+                    resumable = True  # unannounced EOF (no GOODBYE)
                     break
                 if isinstance(frame, (Response, Ack)):
-                    future = self._pending.pop(frame.request_id, None)
-                    if future is not None and not future.done():
-                        future.set_result(frame)
+                    entry = self._pending.pop(frame.request_id, None)
+                    if entry is not None and not entry.future.done():
+                        entry.future.set_result(frame)
                 elif isinstance(frame, ErrorFrame):
                     if frame.request_id == 0:  # connection-level: fatal
                         closer = frame.error
                         break
-                    future = self._pending.pop(frame.request_id, None)
-                    if future is not None and not future.done():
-                        future.set_exception(frame.error)
+                    entry = self._pending.pop(frame.request_id, None)
+                    if entry is not None and not entry.future.done():
+                        entry.future.set_exception(frame.error)
                 elif isinstance(frame, Goodbye):
                     # Graceful drain: the server answered every accepted
                     # request before this frame, so whatever is still pending
                     # raced past the drain edge and was never accepted.
+                    # Deliberate stop — never resumed.
                     closer = ServerStopped(f"gateway stopped: {frame.reason or 'drained'}")
                     break
                 else:
@@ -149,22 +223,86 @@ class AsyncRemoteClient:
         except (OSError, ProtocolError, asyncio.IncompleteReadError) as error:
             # OSError, not just ConnectionError: an ETIMEDOUT read raises
             # TimeoutError, which must also settle pending requests and end
-            # the loop quietly instead of escaping into close().
+            # the loop quietly instead of escaping into close().  Both shapes
+            # — a dead socket and a frame that would not decode (corruption,
+            # truncation) — are resumable: the *server* is presumed fine, the
+            # connection is not.
             closer = error if isinstance(error, ProtocolError) else ConnectionClosed(str(error))
+            resumable = True
         except asyncio.CancelledError:
             closer = ConnectionClosed("client closed the connection")
         finally:
             self._closed = True
             self._close_error = closer
-            pending = list(self._pending.values())
-            self._pending.clear()
-            for future in pending:
-                if not future.done():
-                    future.set_exception(closer)
             # Close our side promptly so a draining (half-closed) gateway's
             # connection handler sees EOF and finishes its shutdown.
             if self._writer is not None:
                 self._writer.close()
+            if self._resume and resumable and not self._user_closed:
+                # In-flight requests stay pending: the reconnect task re-runs
+                # the handshake and resubmits their stored frames verbatim.
+                self._ready.clear()
+                self._reconnect_task = asyncio.get_running_loop().create_task(
+                    self._reconnect()
+                )
+            else:
+                self._fail_pending(closer)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        pending = list(self._pending.values())
+        self._pending.clear()
+        for entry in pending:
+            if not entry.future.done():
+                entry.future.set_exception(error)
+
+    async def _reconnect(self) -> None:
+        """Re-HELLO (same tenant), resubmit unanswered requests, reopen sends.
+
+        Connect attempts are paced by the retry policy; when the budget is
+        exhausted every pending future fails with the last error — the ledger
+        still balances, nothing hangs.
+        """
+        session = self._retry.session()
+        failures = 0
+        while True:
+            if self._user_closed:
+                return  # close() fails the pending entries itself
+            try:
+                await self._handshake()
+                break
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - paced + budgeted
+                failures += 1
+                if not self._retry.should_retry(failures):
+                    self._close_error = ConnectionClosed(
+                        f"reconnect failed after {failures} attempts: {error!r}"
+                    )
+                    self._fail_pending(self._close_error)
+                    self._ready.set()  # wake senders: they see _closed and raise
+                    return
+                await session.apause()
+        self._closed = False
+        self._close_error = None
+        self._ledger["reconnects"] += 1
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        # Resubmit in id order before admitting new sends, so the server sees
+        # the oldest unanswered work first.  A connection that dies *during*
+        # resubmission lands back here via the fresh read loop; replies to
+        # requests the server already served twice are matched once and the
+        # duplicate response is ignored (the pending entry is gone).
+        for request_id in sorted(self._pending):
+            entry = self._pending.get(request_id)
+            if entry is None or entry.future.done():
+                continue
+            try:
+                await self._send_bytes(entry.data)
+            except asyncio.CancelledError:
+                raise
+            except (OSError, RuntimeError, ConnectionResetError):
+                return  # the new read loop classifies and retriggers
+            self._ledger["resubmitted"] += 1
+        self._ready.set()
 
     async def _roundtrip(self, build: Callable[[int], object]):
         """Allocate an id, send the frame, await its matched reply frame.
@@ -177,39 +315,64 @@ class AsyncRemoteClient:
         wait alive through caller cancellation; the deferred release fires
         when the reply (or the connection close) resolves the entry.
         """
+        await self._ready.wait()  # resume mode parks senders mid-reconnect
         if self._closed:
             raise self._close_error or ConnectionClosed("connection is closed")
         await self._slots.acquire()
         request_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
-        self._pending[request_id] = future
         sent = False
         try:
+            # Encode before registering: an encode-time ProtocolError
+            # (object-dtype sample, oversize frame) leaves no pending entry.
+            data = encode_frame(build(request_id))
+            self._pending[request_id] = _Pending(future, data)
+            self._ledger["submitted"] += 1
+            future.add_done_callback(self._account)
             try:
-                await self._send(build(request_id))
-                sent = True
+                await self._send_bytes(data)
             except ProtocolError:
-                # Encode-time failure (object-dtype sample, oversize frame):
-                # the connection is healthy and the diagnosis is precise —
-                # surface it directly.  Must precede the handler below:
-                # ProtocolError *is* a RuntimeError.
+                # Send-time protocol failure: the connection is healthy and
+                # the diagnosis is precise — surface it directly.  Must
+                # precede the handler below: ProtocolError *is* RuntimeError.
                 raise
-            except (OSError, RuntimeError):
-                # The socket died under the send.  The reader loop owns the
-                # diagnosis — a drained gateway sent GOODBYE before closing
-                # (=> typed ServerStopped), an unannounced death did not
-                # (=> ConnectionClosed) — so wait for its verdict instead of
-                # leaking a raw ConnectionResetError.
-                if self._reader_task is not None:
-                    await asyncio.wait({self._reader_task}, timeout=5)
-                raise (
-                    self._close_error or ConnectionClosed("connection closed during send")
-                ) from None
+            except (OSError, RuntimeError) as error:
+                # The socket died under the send.
+                if self._resume and not self._user_closed:
+                    # The pending entry (and its encoded bytes) survive: the
+                    # reconnect path resubmits it, so just await the future —
+                    # it resolves as a result or a typed error either way.
+                    pass
+                else:
+                    # The reader loop owns the diagnosis — a drained gateway
+                    # sent GOODBYE before closing (=> typed ServerStopped), an
+                    # unannounced death did not (=> ConnectionClosed) — so
+                    # wait for its verdict, keeping the send failure as the
+                    # cause instead of swallowing it.
+                    if self._reader_task is not None:
+                        done, _ = await asyncio.wait(
+                            {self._reader_task}, timeout=self._reader_grace
+                        )
+                        if not done:
+                            raise ConnectionClosed(
+                                f"send failed and the reader reached no verdict "
+                                f"within {self._reader_grace}s"
+                            ) from error
+                    raise (
+                        self._close_error or ConnectionClosed("connection closed during send")
+                    ) from error
+            sent = True
             return await asyncio.shield(future)
         finally:
             if future.done() or not sent:
-                self._pending.pop(request_id, None)
+                entry = self._pending.pop(request_id, None)
                 self._slots.release()
+                if entry is not None and not future.done():
+                    # Registered but never made it onto the wire: resolve it
+                    # here so the ledger still balances (counted as failed).
+                    future.set_exception(
+                        self._close_error or ConnectionClosed("request was never sent")
+                    )
             else:
                 # The caller abandoned a request that is already on the wire:
                 # keep the pending entry so the reader still matches the
@@ -220,6 +383,13 @@ class AsyncRemoteClient:
                         settled.exception()  # consume: no 'never retrieved'
 
                 future.add_done_callback(_settle)
+
+    def _account(self, settled: asyncio.Future) -> None:
+        """Ledger bookkeeping: every submitted request resolves exactly once."""
+        if settled.cancelled() or settled.exception() is not None:
+            self._ledger["failed"] += 1
+        else:
+            self._ledger["succeeded"] += 1
 
     # ------------------------------------------------------------------
     # Serving surface
@@ -291,6 +461,14 @@ class AsyncRemoteClient:
         )
 
     async def close(self) -> None:
+        self._user_closed = True
+        if self._reconnect_task is not None:
+            self._reconnect_task.cancel()
+            try:
+                await self._reconnect_task
+            except asyncio.CancelledError:
+                pass
+            self._reconnect_task = None
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
@@ -298,6 +476,11 @@ class AsyncRemoteClient:
             except asyncio.CancelledError:
                 pass
             self._reader_task = None
+        self._closed = True
+        if self._close_error is None:
+            self._close_error = ConnectionClosed("client closed the connection")
+        self._fail_pending(self._close_error)  # resume-mode stragglers
+        self._ready.set()  # wake parked senders; they observe _closed
         if self._writer is not None:
             self._writer.close()
             try:
@@ -308,6 +491,10 @@ class AsyncRemoteClient:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def ledger(self) -> Dict[str, int]:
+        """Request accounting; ``submitted == succeeded + failed + pending``."""
+        return {**self._ledger, "pending": len(self._pending)}
 
 
 class RemoteClient:
@@ -333,6 +520,10 @@ class RemoteClient:
         pool_size: int = 1,
         window: int = 0,
         connect_timeout: float = 30.0,
+        resume: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+        reader_grace: float = 5.0,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
@@ -351,7 +542,15 @@ class RemoteClient:
         try:
             for _ in range(pool_size):
                 client = AsyncRemoteClient(
-                    host, port, tenant=tenant, deadline=deadline, window=window
+                    host,
+                    port,
+                    tenant=tenant,
+                    deadline=deadline,
+                    window=window,
+                    resume=resume,
+                    retry=retry,
+                    faults=faults,
+                    reader_grace=reader_grace,
                 )
                 future = asyncio.run_coroutine_threadsafe(client.connect(), self._loop)
                 try:
@@ -384,6 +583,16 @@ class RemoteClient:
     def window(self) -> int:
         """Granted per-connection in-flight window (from the handshake)."""
         return self._pool[0].window if self._pool else 0
+
+    def ledger(self) -> Dict[str, int]:
+        """Pool-wide request accounting, summed across connections."""
+        with self._pool_lock:
+            pool = list(self._pool)
+        totals: Dict[str, int] = {}
+        for connection in pool:
+            for key, value in connection.ledger().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     # Serving surface (mirrors InferenceServer / ClusterRouter)

@@ -50,6 +50,7 @@ from typing import Callable, Dict, Optional, Set, Tuple
 import numpy as np
 
 from ...cloud.serialization import ModelBundle
+from ..faults.injector import FaultInjector
 from ..server import ServerStopped
 from .errors import Backpressure, ProtocolError
 from .wire import (
@@ -77,15 +78,18 @@ def _keyword_names(callable_obj) -> Set[str]:
 class _Connection:
     """Per-connection state: handshake terms, window accounting, write lock."""
 
-    __slots__ = ("writer", "lock", "tenant", "deadline", "window", "inflight", "peer")
+    __slots__ = ("writer", "lock", "tenant", "deadline", "window", "inflight", "peer", "faults")
 
-    def __init__(self, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self, writer: asyncio.StreamWriter, faults: Optional[FaultInjector] = None
+    ) -> None:
         self.writer = writer
         self.lock = asyncio.Lock()
         self.tenant = "default"
         self.deadline: Optional[float] = None
         self.window = 0
         self.inflight = 0
+        self.faults = faults
         peer = writer.get_extra_info("peername")
         self.peer = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) and len(peer) >= 2 else "?"
 
@@ -94,10 +98,29 @@ class _Connection:
         await self.send_bytes(encode_frame(frame))
 
     async def send_bytes(self, data: bytes) -> None:
+        # Fault hook: one ordinal per outbound frame, counted per connection
+        # (the peer string is the target), so "drop after 12 frames" means 12
+        # frames on *this* connection.  No-op when injection is off.
+        rules = self.faults.on_gateway_send(self.peer) if self.faults is not None else ()
         async with self.lock:
             if self.writer.is_closing():
                 return
             try:
+                for rule in rules:
+                    if rule.action == "delay":
+                        await asyncio.sleep(rule.delay)
+                    elif rule.action == "corrupt":
+                        # Length prefix survives: the peer reads a complete
+                        # frame and decodes a typed ProtocolError.
+                        data = FaultInjector.corrupt_bytes(data)
+                    elif rule.action == "truncate":
+                        self.writer.write(FaultInjector.truncate_bytes(data))
+                        await self.writer.drain()
+                        self.writer.transport.abort()
+                        return
+                    elif rule.action == "disconnect":
+                        self.writer.transport.abort()
+                        return
                 self.writer.write(data)
                 await self.writer.drain()
             except (OSError, RuntimeError):
@@ -116,9 +139,12 @@ class GatewayServer:
         server_id: str = "gateway",
         factories: Optional[Dict[str, Callable]] = None,
         factory_resolver: Optional[Callable[[str, Dict[str, object]], Callable]] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        #: Optional fault injector threaded into every connection's writer.
+        self.faults = faults
         self.backend = backend
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
@@ -298,7 +324,7 @@ class GatewayServer:
     ) -> None:
         task = asyncio.current_task()
         self._handlers.add(task)
-        connection = _Connection(writer)
+        connection = _Connection(writer, faults=self.faults)
         self._connections.add(connection)
         self._counters["connections"] += 1
         try:

@@ -460,6 +460,18 @@ def decode_payload(payload: bytes) -> Frame:
 
 def _decode_payload(payload: bytes) -> Frame:
     cursor = _Cursor(payload)
+    frame = _decode_body(cursor)
+    if cursor.offset != len(cursor.data):
+        # Strict framing: bytes the body parser did not consume mean the
+        # declared length and the content disagree — a corrupt or hostile
+        # frame, not padding to ignore.
+        raise ProtocolError(
+            f"frame carries {len(cursor.data) - cursor.offset} trailing bytes after its body"
+        )
+    return frame
+
+
+def _decode_body(cursor: _Cursor) -> Frame:
     version, frame_type = cursor.unpack("!BB")
     if version != WIRE_VERSION:
         raise ProtocolError(

@@ -403,7 +403,11 @@ class TestStatsMerging:
             "health",
             "admission",
             "router",
+            "failover",
             "shard_map",
         }
         assert snapshot["router"]["placement"] == "ConsistentHashPolicy"
+        assert snapshot["failover"]["per_replica"], "served replica is accounted"
+        attempts = sum(e["attempts"] for e in snapshot["failover"]["per_replica"].values())
+        assert attempts >= 1
         assert snapshot["replicas"]["r0"]["server"]["queue_depth"] == 0

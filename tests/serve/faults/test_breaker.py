@@ -1,0 +1,207 @@
+"""CircuitBreaker state machine + HealthMonitor integration (fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import CircuitBreaker, HealthMonitor
+from repro.serve.faults.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestStateMachine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_successes=0)
+
+    def test_trips_open_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == CLOSED
+            assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED, "non-consecutive failures never trip"
+
+    def test_half_open_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow(), "reset_timeout elapsed: probe traffic admitted"
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_needs_the_configured_success_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, half_open_successes=2, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN, "one success is not enough"
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_retrips_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=1.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+
+    def test_reset_restores_closed(self):
+        breaker = CircuitBreaker(failure_threshold=1, clock=FakeClock())
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.trips == 1, "trip history survives an administrative reset"
+
+    def test_clone_copies_config_not_state(self):
+        clock = FakeClock()
+        template = CircuitBreaker(failure_threshold=2, reset_timeout=7.0)
+        template.record_failure()
+        clone = template.clone(clock=clock)
+        assert clone.state == CLOSED
+        assert clone.failure_threshold == 2
+        assert clone.reset_timeout == 7.0
+        snap = clone.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["trips"] == 0
+
+
+class TestHealthMonitorIntegration:
+    def make(self, clock: FakeClock) -> HealthMonitor:
+        return HealthMonitor(
+            failure_threshold=100,  # streak benching out of the way
+            heartbeat_timeout=1000.0,
+            clock=clock,
+            breaker=CircuitBreaker(failure_threshold=3, reset_timeout=50.0),
+        )
+
+    def test_breakers_are_minted_per_replica(self):
+        monitor = self.make(FakeClock())
+        for replica_id in ("a", "b"):
+            monitor.register(replica_id)
+        assert monitor.breaker("a") is not monitor.breaker("b")
+        monitor.deregister("a")
+        assert monitor.breaker("a") is None
+
+    def test_open_breaker_removes_replica_from_routing(self):
+        clock = FakeClock()
+        monitor = self.make(clock)
+        monitor.register("r0")
+        monitor.register("r1")
+        for _ in range(3):
+            monitor.record_failure("r0")
+        assert monitor.routable_ids() == ["r1"]
+        assert not monitor.is_routable("r0")
+        # After the reset timeout the breaker half-opens: probe traffic flows.
+        clock.advance(60.0)
+        monitor.heartbeat("r0")
+        monitor.heartbeat("r1")
+        assert "r0" in monitor.routable_ids()
+
+    def test_flapping_replica_attempts_are_bounded(self):
+        """The pin: a replica that heartbeats alive but fails every request
+        receives at most failure_threshold attempts per reset window."""
+        clock = FakeClock()
+        monitor = self.make(clock)
+        monitor.register("flappy")
+        attempts = 0
+        for _ in range(50):  # 50 requests' worth of routing decisions
+            monitor.heartbeat("flappy")  # flapping: always reports alive
+            if monitor.is_routable("flappy"):
+                attempts += 1
+                monitor.record_failure("flappy")
+        assert attempts == 3, "breaker caps attempts at its failure threshold"
+        clock.advance(60.0)
+        assert monitor.is_routable("flappy"), "one probe per reset window"
+        monitor.record_failure("flappy")
+        assert not monitor.is_routable("flappy")
+
+    def test_success_after_probe_restores_traffic(self):
+        clock = FakeClock()
+        monitor = self.make(clock)
+        monitor.register("r0")
+        for _ in range(3):
+            monitor.record_failure("r0")
+        clock.advance(60.0)
+        assert monitor.is_routable("r0")
+        monitor.record_success("r0")
+        assert monitor.breaker("r0").state == CLOSED
+
+    def test_revive_resets_the_breaker(self):
+        monitor = self.make(FakeClock())
+        monitor.register("r0")
+        for _ in range(3):
+            monitor.record_failure("r0")
+        assert not monitor.is_routable("r0")
+        monitor.revive("r0")
+        assert monitor.is_routable("r0")
+
+    def test_restart_heartbeat_resets_the_breaker(self):
+        clock = FakeClock()
+        monitor = self.make(clock)
+        monitor.register("r0")
+        for _ in range(3):
+            monitor.record_failure("r0")
+        monitor.mark_stopped("r0")
+        monitor.heartbeat("r0", alive=True)  # the process came back
+        assert monitor.is_routable("r0")
+
+    def test_snapshot_carries_breaker_state(self):
+        monitor = self.make(FakeClock())
+        monitor.register("r0")
+        for _ in range(3):
+            monitor.record_failure("r0")
+        entry = monitor.snapshot()["r0"]
+        assert entry["breaker"]["state"] == OPEN
+        assert entry["breaker"]["trips"] == 1
+
+    def test_monitor_without_breaker_template_is_unchanged(self):
+        monitor = HealthMonitor(clock=FakeClock())
+        monitor.register("r0")
+        assert monitor.breaker("r0") is None
+        assert "breaker" not in monitor.snapshot()["r0"]

@@ -1,0 +1,261 @@
+"""Chaos acceptance pin: composed faults, concurrent clients, zero lost.
+
+One fault plan composes a replica crash, a slow shard, and unannounced
+gateway disconnects while an 8-client hammer pushes obfuscated extraction
+through ``RemoteClient(resume=True)`` → ``GatewayServer`` → ``ClusterRouter``
+over loopback.  The pins:
+
+* **zero lost requests** — every submitted future resolves as a result or a
+  typed error, and every client's ledger balances
+  (``submitted == succeeded + failed``, nothing pending);
+* **byte-identity** — every successful output is bit-for-bit identical to
+  the fault-free in-process path (``padding="full"`` makes replica batches
+  reproducible regardless of how failover and resubmission re-coalesce them,
+  and resubmitted requests reuse their already-augmented bytes);
+* **determinism** — the invariants hold for each of the parametrized seeds.
+
+The ``chaos``-marked soak at the bottom randomizes fault timing from a
+``CHAOS_SEED`` environment variable; it is excluded from the default run
+(``-m "not chaos"``) and exercised by the CI chaos job.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudSession
+from repro.core import Amalgam, AmalgamConfig
+from repro.data import make_mnist
+from repro.models import LeNet
+from repro.serve import (
+    AdmissionScheduler,
+    Batcher,
+    CircuitBreaker,
+    ClusterRouter,
+    ConnectionClosed,
+    ConsistentHashPolicy,
+    ExtractionProxy,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    GatewayError,
+    GatewayServer,
+    HealthMonitor,
+    RemoteClient,
+    ReplicaWorker,
+    RetryPolicy,
+    ServerStopped,
+)
+from repro.serve.faults import SITE_CLIENT_SEND, SITE_GATEWAY_SEND
+
+NUM_CLIENTS = 8
+
+
+def fast_retry(max_attempts: int = 8) -> RetryPolicy:
+    async def instant(_delay: float) -> None:
+        return None
+
+    return RetryPolicy(
+        max_attempts=max_attempts, base_delay=0.001, max_delay=0.01, async_sleep=instant
+    )
+
+
+@pytest.fixture(scope="module")
+def obfuscated_job():
+    data = make_mnist(train_count=16, val_count=6, seed=29)
+    config = AmalgamConfig(augmentation_amount=0.5, num_subnetworks=2, seed=29)
+    job = Amalgam(config).prepare_image_job(
+        LeNet(10, 1, 28, rng=np.random.default_rng(29)), data
+    )
+    return job, data
+
+
+def make_faulty_cluster(faults: FaultInjector) -> ClusterRouter:
+    return ClusterRouter(
+        [
+            ReplicaWorker(
+                f"replica-{index}",
+                batcher=Batcher(max_batch_size=8, max_wait=0.002, padding="full"),
+                faults=faults,
+            )
+            for index in range(3)
+        ],
+        placement=ConsistentHashPolicy(replication_factor=2, vnodes=32),
+        admission=AdmissionScheduler(),
+        health=HealthMonitor(
+            breaker=CircuitBreaker(failure_threshold=3, reset_timeout=30.0)
+        ),
+        retry=RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01, jitter=False),
+        max_retries=3,
+    )
+
+
+def composed_plan(seed: int) -> FaultPlan:
+    """Replica crash + slow shard + mid-stream gateway disconnects."""
+    return (
+        FaultPlan(seed=seed)
+        .crash_replica("replica-0", on_request=4)
+        .slow_replica("replica-1", latency=0.002, times=-1)
+        .drop_connection(after_frames=6, times=2)
+    )
+
+
+def hammer(gateway, job, raw, *, client_faults=None):
+    """NUM_CLIENTS concurrent resuming clients, each extracting ``raw``."""
+    results: dict = {}
+    errors: dict = {}
+
+    def worker(index: int) -> None:
+        try:
+            with RemoteClient(
+                *gateway.address,
+                resume=True,
+                retry=fast_retry(),
+                faults=client_faults,
+            ) as client:
+                proxy = ExtractionProxy(job.secrets)
+                futures = [proxy.submit(client, "lenet-aug", sample) for sample in raw]
+                outputs = [future.result(timeout=120) for future in futures]
+                results[index] = (outputs, client.ledger())
+        except Exception as error:  # noqa: BLE001 - surfaced in the assert
+            errors[index] = error
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(NUM_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=180)
+    assert not any(thread.is_alive() for thread in threads), "a chaos client hung"
+    return results, errors
+
+
+class TestComposedChaos:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_zero_lost_and_byte_identical_across_seeds(self, obfuscated_job, seed):
+        job, data = obfuscated_job
+        raw = [np.asarray(sample) for sample in data.validation.samples[:6]]
+
+        # Fault-free in-process reference: per-sample predicts so the
+        # noise-draw order matches submit's one-augment-per-request pattern.
+        reference_router = make_faulty_cluster(FaultInjector())
+        CloudSession.publish(job, reference_router, "lenet-aug")
+        reference_proxy = ExtractionProxy(job.secrets)
+        expected = [
+            reference_proxy.predict(reference_router, "lenet-aug", sample)
+            for sample in raw
+        ]
+        reference_router.stop()
+
+        faults = FaultInjector(composed_plan(seed))
+        router = make_faulty_cluster(faults)
+        CloudSession.publish(job, router, "lenet-aug")
+        with router:
+            with GatewayServer(router, faults=faults) as gateway:
+                results, errors = hammer(gateway, job, raw)
+
+        assert not errors, f"chaos clients raised: {errors!r}"
+        assert set(results) == set(range(NUM_CLIENTS))
+        for outputs, ledger in results.values():
+            assert ledger["submitted"] == len(raw)
+            assert ledger["succeeded"] == len(raw), f"lost requests: {ledger}"
+            assert ledger["failed"] == 0
+            assert ledger["pending"] == 0
+            for output, reference in zip(outputs, expected):
+                assert output.dtype == reference.dtype
+                assert output.tobytes() == reference.tobytes()
+
+        fired = faults.fired_counts()
+        assert fired.get("replica.request:crash") == 1, fired
+        assert fired.get("gateway.send:disconnect") == 2, fired
+        assert fired.get("replica.request:delay", 0) >= 1, fired
+        # The disconnected clients actually exercised resume.
+        reconnects = sum(ledger["reconnects"] for _, ledger in results.values())
+        assert reconnects >= 1
+
+
+@pytest.mark.chaos
+class TestRandomizedSoak:
+    """Opt-in randomized soak (CI chaos job): heavier, probabilistic faults.
+
+    Requests may fail — but only with typed errors, and every ledger must
+    balance.  ``CHAOS_SEED`` picks the fault timing."""
+
+    def test_soak_never_loses_a_request(self, obfuscated_job):
+        seed = int(os.environ.get("CHAOS_SEED", "0"))
+        job, data = obfuscated_job
+        raw = [np.asarray(sample) for sample in data.validation.samples[:6]] * 2
+
+        plan = (
+            composed_plan(seed)
+            .add(
+                FaultRule(
+                    SITE_GATEWAY_SEND,
+                    "delay",
+                    times=-1,
+                    probability=0.2,
+                    delay=0.001,
+                )
+            )
+            .add(
+                FaultRule(
+                    SITE_CLIENT_SEND, "reset", after=3, times=4, probability=0.1
+                )
+            )
+        )
+        faults = FaultInjector(plan)
+        router = make_faulty_cluster(faults)
+        CloudSession.publish(job, router, "lenet-aug")
+
+        results: dict = {}
+        errors: dict = {}
+
+        def worker(index: int) -> None:
+            outcomes = {"ok": 0, "typed": 0}
+            try:
+                with RemoteClient(
+                    *gateway.address, resume=True, retry=fast_retry(), faults=faults
+                ) as client:
+                    proxy = ExtractionProxy(job.secrets)
+                    futures = [
+                        proxy.submit(client, "lenet-aug", sample) for sample in raw
+                    ]
+                    for future in futures:
+                        try:
+                            output = future.result(timeout=120)
+                        except (ConnectionClosed, GatewayError, ServerStopped):
+                            outcomes["typed"] += 1
+                        else:
+                            assert output.ndim >= 1
+                            outcomes["ok"] += 1
+                    results[index] = (outcomes, client.ledger())
+            except (ConnectionClosed, GatewayError, ServerStopped) as error:
+                results[index] = ({"aborted": repr(error)}, None)
+            except Exception as error:  # noqa: BLE001 - surfaced in the assert
+                errors[index] = error
+
+        with router:
+            with GatewayServer(router, faults=faults) as gateway:
+                threads = [
+                    threading.Thread(target=worker, args=(index,), daemon=True)
+                    for index in range(NUM_CLIENTS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=300)
+                assert not any(thread.is_alive() for thread in threads), "soak hung"
+
+        assert not errors, f"untyped failures escaped: {errors!r}"
+        for outcomes, ledger in results.values():
+            if ledger is None:  # the client aborted with a typed error
+                continue
+            assert outcomes["ok"] + outcomes["typed"] == len(raw)
+            assert ledger["submitted"] == ledger["succeeded"] + ledger["failed"]
+            assert ledger["pending"] == 0

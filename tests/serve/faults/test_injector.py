@@ -1,0 +1,164 @@
+"""FaultPlan/FaultInjector semantics: ordinals, determinism, byte mangling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import FaultInjector, FaultPlan, FaultRule, ReplicaUnavailable
+from repro.serve.faults import (
+    SITE_CLIENT_SEND,
+    SITE_GATEWAY_SEND,
+    SITE_REPLICA_REQUEST,
+)
+from repro.serve.gateway import decode_payload, encode_frame
+from repro.serve.gateway.errors import ProtocolError
+from repro.serve.gateway.wire import Goodbye
+
+
+class StubReplica:
+    def __init__(self, replica_id: str = "r0") -> None:
+        self.replica_id = replica_id
+        self.killed = False
+
+    def kill(self) -> None:
+        self.killed = True
+
+
+class TestRuleValidation:
+    def test_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule(SITE_REPLICA_REQUEST, "explode")
+
+    def test_action_site_mismatch(self):
+        with pytest.raises(ValueError, match="not valid at site"):
+            FaultRule(SITE_REPLICA_REQUEST, "corrupt")
+        with pytest.raises(ValueError, match="not valid at site"):
+            FaultRule(SITE_GATEWAY_SEND, "crash")
+
+    def test_ordinal_and_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultRule(SITE_GATEWAY_SEND, "delay", after=0)
+        with pytest.raises(ValueError):
+            FaultRule(SITE_GATEWAY_SEND, "delay", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(SITE_GATEWAY_SEND, "delay", delay=-1.0)
+
+
+class TestOrdinals:
+    def test_after_and_times_bound_the_firing_window(self):
+        plan = FaultPlan().add(
+            FaultRule(SITE_GATEWAY_SEND, "delay", after=3, times=2, delay=0.0)
+        )
+        injector = FaultInjector(plan)
+        fired = [bool(injector.on_gateway_send("c")) for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_unlimited_times(self):
+        plan = FaultPlan().add(FaultRule(SITE_GATEWAY_SEND, "delay", times=-1, delay=0.0))
+        injector = FaultInjector(plan)
+        assert all(injector.on_gateway_send("c") for _ in range(10))
+
+    def test_ordinals_are_counted_per_site_and_target(self):
+        plan = FaultPlan().add(
+            FaultRule(SITE_GATEWAY_SEND, "delay", target="conn-a", after=2, delay=0.0)
+        )
+        injector = FaultInjector(plan)
+        # conn-b events do not advance conn-a's ordinal.
+        assert not injector.on_gateway_send("conn-b")
+        assert not injector.on_gateway_send("conn-b")
+        assert not injector.on_gateway_send("conn-a")
+        assert injector.on_gateway_send("conn-a")
+
+    def test_no_op_injector(self):
+        injector = FaultInjector()
+        injector.on_replica_request(StubReplica())  # nothing happens
+        assert injector.on_gateway_send() == []
+        assert not injector.on_client_send()
+        assert injector.events() == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        def run(seed: int):
+            plan = FaultPlan(seed=seed).add(
+                FaultRule(
+                    SITE_CLIENT_SEND, "reset", times=-1, probability=0.4
+                )
+            )
+            injector = FaultInjector(plan)
+            return [injector.on_client_send("x") for _ in range(40)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+        assert any(run(3)), "probability 0.4 over 40 events fires at least once"
+
+
+class TestReplicaSite:
+    def test_crash_kills_and_raises_typed(self):
+        replica = StubReplica("victim")
+        injector = FaultInjector(FaultPlan().crash_replica("victim", on_request=2))
+        injector.on_replica_request(replica)
+        assert not replica.killed
+        with pytest.raises(ReplicaUnavailable):
+            injector.on_replica_request(replica)
+        assert replica.killed
+
+    def test_slow_replica_goes_through_injected_sleep(self):
+        slept = []
+        injector = FaultInjector(
+            FaultPlan().slow_replica("r0", latency=0.5), sleep=slept.append
+        )
+        injector.on_replica_request(StubReplica())
+        injector.on_replica_request(StubReplica())
+        assert slept == [0.5, 0.5]
+
+    def test_fail_replica_uses_the_error_factory(self):
+        injector = FaultInjector(
+            FaultPlan().fail_replica("r0", error=lambda: TimeoutError("boom"))
+        )
+        with pytest.raises(TimeoutError, match="boom"):
+            injector.on_replica_request(StubReplica())
+
+    def test_fail_replica_defaults_to_replica_unavailable(self):
+        injector = FaultInjector(FaultPlan().fail_replica("r0"))
+        with pytest.raises(ReplicaUnavailable):
+            injector.on_replica_request(StubReplica())
+
+    def test_wildcard_target_matches_any_replica(self):
+        injector = FaultInjector(FaultPlan().fail_replica(times=2))
+        with pytest.raises(ReplicaUnavailable):
+            injector.on_replica_request(StubReplica("a"))
+        with pytest.raises(ReplicaUnavailable):
+            injector.on_replica_request(StubReplica("b"))
+
+
+class TestByteMangling:
+    def test_corrupt_preserves_length_and_decodes_as_protocol_error(self):
+        data = FaultInjector.corrupt_bytes(encode_frame(Goodbye("bye")))
+        assert data[:4] == encode_frame(Goodbye("bye"))[:4], "length prefix intact"
+        with pytest.raises(ProtocolError):
+            decode_payload(data[4:])
+
+    def test_truncate_always_leaves_something(self):
+        assert FaultInjector.truncate_bytes(b"x") == b"x"
+        assert FaultInjector.truncate_bytes(b"abcdef") == b"abc"
+
+
+class TestObservability:
+    def test_events_and_fired_counts(self):
+        injector = FaultInjector(
+            FaultPlan()
+            .crash_replica("r0", on_request=1)
+            .drop_connection(after_frames=1)
+        )
+        with pytest.raises(ReplicaUnavailable):
+            injector.on_replica_request(StubReplica("r0"))
+        injector.on_gateway_send("c")
+        counts = injector.fired_counts()
+        assert counts == {
+            "replica.request:crash": 1,
+            "gateway.send:disconnect": 1,
+        }
+        snapshot = injector.snapshot()
+        assert snapshot["rules"] == 2
+        assert all(entry["fired"] == 1 for entry in snapshot["fired"])

@@ -1,0 +1,122 @@
+"""Unit tests for RetryPolicy / BackoffSession (decorrelated jitter backoff)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_bad_delays(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+
+    def test_rejects_shrinking_multiplier(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestBudget:
+    def test_should_retry_counts_failures(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(0)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+        assert not policy.should_retry(7)
+
+
+class TestSchedule:
+    def test_plain_exponential_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.1, max_delay=10.0, multiplier=2.0, jitter=False
+        )
+        session = policy.session()
+        assert [session.next_delay() for _ in range(4)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.8]
+        )
+
+    def test_exponential_caps_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=2.5, multiplier=3.0, jitter=False)
+        session = policy.session()
+        assert [session.next_delay() for _ in range(3)] == pytest.approx([1.0, 2.5, 2.5])
+
+    def test_jitter_draws_within_decorrelated_bounds(self):
+        policy = RetryPolicy(
+            base_delay=0.05,
+            max_delay=1.0,
+            multiplier=3.0,
+            rng=random.Random(11),
+        )
+        session = policy.session()
+        previous = None
+        for _ in range(50):
+            delay = session.next_delay()
+            upper = 1.0 if previous is None else min(max(previous * 3.0, 0.05), 1.0)
+            assert 0.05 <= delay <= max(upper, 0.05) + 1e-12
+            assert delay <= 1.0
+            previous = delay
+
+    def test_seeded_jitter_is_reproducible(self):
+        def draws(seed: int):
+            session = RetryPolicy(rng=random.Random(seed)).session()
+            return [session.next_delay() for _ in range(8)]
+
+        assert draws(5) == draws(5)
+        assert draws(5) != draws(6)
+
+    def test_sessions_are_independent_sequences(self):
+        policy = RetryPolicy(jitter=False, base_delay=0.1, multiplier=2.0)
+        first, second = policy.session(), policy.session()
+        first.next_delay()
+        first.next_delay()
+        # A fresh session starts from base_delay regardless of its siblings.
+        assert second.next_delay() == pytest.approx(0.1)
+
+
+class TestInjectableSleep:
+    def test_pause_goes_through_the_injected_sleep(self):
+        slept = []
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, jitter=False, sleep=slept.append
+        )
+        session = policy.session()
+        session.pause()
+        session.pause()
+        assert slept == pytest.approx([0.1, 0.2])
+        assert session.total_delay == pytest.approx(0.3)
+        assert session.attempts == 2
+
+    def test_zero_delay_never_calls_sleep(self):
+        slept = []
+        policy = RetryPolicy(base_delay=0.0, max_delay=0.0, jitter=False, sleep=slept.append)
+        policy.session().pause()
+        assert slept == []
+
+    def test_async_pause_uses_injected_async_sleep(self):
+        import asyncio
+
+        waited = []
+
+        async def fake_sleep(delay: float) -> None:
+            waited.append(delay)
+
+        policy = RetryPolicy(
+            base_delay=0.2, multiplier=2.0, jitter=False, async_sleep=fake_sleep
+        )
+
+        async def run():
+            session = policy.session()
+            await session.apause()
+            await session.apause()
+
+        asyncio.run(run())
+        assert waited == pytest.approx([0.2, 0.4])
