@@ -13,6 +13,8 @@ Run with::
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.cloud import CloudSession, bundle_manifest
@@ -30,6 +32,7 @@ from repro.serve import (
     ModelRegistry,
     ObfuscationGuard,
     ObfuscationViolation,
+    PrivacyBudgetExceeded,
     RateLimiter,
     RateLimitExceeded,
     RemoteClient,
@@ -39,6 +42,8 @@ from repro.serve import (
     Telemetry,
     ValidationError,
     Validator,
+    build_dispatcher,
+    load_spec,
 )
 
 
@@ -280,9 +285,66 @@ def main() -> None:
                     print(f"after drain: {error}")
 
     # ------------------------------------------------------------------
-    # 7. The download path still works: extract the original model.
+    # 7. Declarative stacks: the middleware configuration lives in TOML,
+    #    selects per tenant, and hot-swaps on a live server.
     # ------------------------------------------------------------------
-    print("\n=== 7. offline extraction from the served bundle ===")
+    print("\n=== 7. TOML-declared middleware stacks + hot-swap ===")
+    spec_path = Path(__file__).with_name("serving_stacks.toml")
+    spec = load_spec(spec_path)
+    stack_registry = ModelRegistry(capacity=4)
+    # publish records the augmentation amount, which prices each tenant's
+    # per-query privacy loss (epsilon = 1 / (1 + A), Section 6.1).
+    CloudSession.publish(job, stack_registry, "mnist-lenet")
+    dispatcher = build_dispatcher(spec, resources={"registry": stack_registry})
+    print(f"{spec_path.name} defines stacks {list(dispatcher.stack_names())}")
+
+    stack_server = InferenceServer(
+        stack_registry,
+        Batcher(max_batch_size=16, max_wait=0.002, padding="bucket"),
+        middleware=dispatcher,
+    )
+    augmented_queries = [proxy.augment(sample) for sample in queries]
+    with stack_server:
+        with GatewayServer(stack_server, server_id="demo-stacks") as stack_gateway:
+            stack_host, stack_port = stack_gateway.address
+            # The HELLO handshake carries the tenant, and the dispatcher
+            # routes it: trial tenants run the privacy-budget stack, everyone
+            # else the standard stack — no server code knows either exists.
+            with RemoteClient(stack_host, stack_port, tenant="trial-tenant") as trial:
+                answered = 0
+                try:
+                    for sample in augmented_queries:
+                        trial.predict("mnist-lenet", sample)
+                        answered += 1
+                except PrivacyBudgetExceeded as error:
+                    print(f"trial tenant stopped after {answered} queries: {error}")
+            ledger = dispatcher.stack("trial").middlewares[-1]
+            print(f"privacy ledger: {ledger.stats()['tenants']}")
+
+            # Hot-swap the chain mid-traffic: requests already in flight
+            # finish on the chain they entered, none are dropped, and the
+            # next connection sees the relaxed budget.
+            relaxed = build_dispatcher(
+                spec_path.read_text().replace("budget = 2.0", "budget = 100.0"),
+                resources={"registry": stack_registry},
+            )
+            in_flight = stack_server.submit_many(
+                "mnist-lenet", augmented_queries, tenant="partner"
+            )
+            stack_server.swap_middleware(relaxed)
+            answers = [future.result(timeout=60) for future in in_flight]
+            print(
+                f"hot-swap mid-traffic: {len(answers)}/{len(in_flight)} in-flight "
+                "requests answered, zero dropped"
+            )
+            with RemoteClient(stack_host, stack_port, tenant="trial-tenant") as trial:
+                trial.predict("mnist-lenet", augmented_queries[0])
+                print("after the swap the trial tenant is admitted again")
+
+    # ------------------------------------------------------------------
+    # 8. The download path still works: extract the original model.
+    # ------------------------------------------------------------------
+    print("\n=== 8. offline extraction from the served bundle ===")
     report = proxy.extract_model(
         entry.bundle, lambda: LeNet(10, 1, 28, rng=np.random.default_rng(0))
     )

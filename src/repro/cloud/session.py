@@ -128,6 +128,14 @@ class CloudSession:
         elif isinstance(plan, TextAugmentationPlan):
             entry_metadata.setdefault("input_shape", [plan.augmented_length])
             entry_metadata.setdefault("input_dtype", "int64")
+        if plan is not None and getattr(plan, "amount", None) is not None:
+            # The augmentation amount prices per-query privacy loss (Section
+            # 6.1), so the PrivacyBudget middleware can charge each tenant by
+            # what the published model actually leaks.  Public under the
+            # threat model: the amount follows from the (public) augmented
+            # vs original shapes; positions and the original index stay in
+            # job.secrets.
+            entry_metadata.setdefault("augmentation_amount", float(plan.amount))
         return registry.register(model_id, bundle, factory, metadata=entry_metadata,
                                  replace=replace)
 

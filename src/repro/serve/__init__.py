@@ -69,19 +69,37 @@ from .gateway import (
 )
 from .middleware import (
     BatchContext,
+    ConfigError,
     MiddlewareChain,
     MiddlewareError,
+    MiddlewareKwargsError,
     ObfuscationGuard,
     ObfuscationViolation,
+    PrivacyBudget,
+    PrivacyBudgetExceeded,
     RateLimitExceeded,
     RateLimiter,
     RequestContext,
     ResponseCache,
     ServeMiddleware,
+    StackDefinitionError,
+    StackDispatcher,
+    StackSpec,
     Telemetry,
+    UnknownMiddlewareError,
+    UnknownStackError,
     ValidationError,
     Validator,
+    apply_to_cluster,
+    build_chain,
+    build_dispatcher,
+    build_middleware,
+    load_spec,
+    parse_stack_spec,
+    register_middleware,
+    registered_middleware,
     sample_fingerprint,
+    spec_from_toml,
 )
 from .proxy import ExtractionProxy
 from .registry import ModelRegistry, RegistryEntry
@@ -100,6 +118,7 @@ __all__ = [
     "CircuitBreaker",
     "ClusterError",
     "ClusterRouter",
+    "ConfigError",
     "ConnectionClosed",
     "ConsistentHashPolicy",
     "ConsistentHashRing",
@@ -118,6 +137,7 @@ __all__ = [
     "LeastLoadedPolicy",
     "MiddlewareChain",
     "MiddlewareError",
+    "MiddlewareKwargsError",
     "ModelRegistry",
     "ModelStats",
     "NoHealthyReplica",
@@ -125,6 +145,8 @@ __all__ = [
     "ObfuscationViolation",
     "PlacementPolicy",
     "PowerOfTwoChoicesPolicy",
+    "PrivacyBudget",
+    "PrivacyBudgetExceeded",
     "ProtocolError",
     "RateLimitExceeded",
     "RateLimiter",
@@ -139,8 +161,22 @@ __all__ = [
     "ServeMiddleware",
     "ServerOverloaded",
     "ServerStopped",
+    "StackDefinitionError",
+    "StackDispatcher",
+    "StackSpec",
     "Telemetry",
+    "UnknownMiddlewareError",
+    "UnknownStackError",
     "ValidationError",
     "Validator",
+    "apply_to_cluster",
+    "build_chain",
+    "build_dispatcher",
+    "build_middleware",
+    "load_spec",
+    "parse_stack_spec",
+    "register_middleware",
+    "registered_middleware",
     "sample_fingerprint",
+    "spec_from_toml",
 ]

@@ -97,6 +97,12 @@ class ReplicaWorker:
         """Graceful stop: the inner server drains its queue before returning."""
         self.server.stop()
 
+    def swap_middleware(
+        self, middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None]
+    ) -> MiddlewareChain:
+        """Hot-swap this replica's chain (delegates to the inner server)."""
+        return self.server.swap_middleware(middleware)
+
     def begin_drain(self) -> None:
         """Refuse new requests; in-flight work continues (router calls this
         before the slower :meth:`drain` so placement stops immediately)."""

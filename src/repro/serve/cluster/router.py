@@ -334,6 +334,48 @@ class ClusterRouter:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
+    def swap_middleware(
+        self, middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None]
+    ) -> MiddlewareChain:
+        """Atomically replace the cluster-wide chain; returns the old chain.
+
+        In-flight requests are untouched: a request's unwind runs over the
+        ``entered`` list captured at submit time (``MiddlewareChain.exit``
+        never reads the chain's current members), so a request that entered
+        the old chain unwinds exactly those middlewares even if it completes
+        after the swap.  Per-replica chains are replica-owned — swap them via
+        :meth:`ReplicaWorker.swap_middleware` or
+        :meth:`swap_replica_middleware`.
+        """
+        new = MiddlewareChain.coerce(middleware)
+        with self._lifecycle_lock:
+            old = self.middleware
+            self.middleware = new
+        return old
+
+    def swap_replica_middleware(
+        self,
+        middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None],
+        replica_ids: Optional[Sequence[str]] = None,
+    ) -> Dict[str, MiddlewareChain]:
+        """Swap the per-replica chain on ``replica_ids`` (default: all).
+
+        Passing one chain object shares its stateful middlewares (cache,
+        ledgers) across the targeted replicas; build a fresh chain per
+        replica (as :func:`~repro.serve.middleware.config.apply_to_cluster`
+        does) when per-replica state should stay isolated.  Returns each
+        replica's previous chain.
+        """
+        with self._membership_lock:
+            targets = (
+                list(self._replicas) if replica_ids is None else list(replica_ids)
+            )
+            replicas = {rid: self._replicas[rid] for rid in targets}  # KeyError: unknown id
+        return {
+            replica_id: replica.swap_middleware(middleware)
+            for replica_id, replica in replicas.items()
+        }
+
     # ------------------------------------------------------------------
     # Synchronous API (ExtractionProxy-compatible)
     # ------------------------------------------------------------------
@@ -360,7 +402,10 @@ class ClusterRouter:
         """
         absolute = None if deadline is None else self._clock() + float(deadline)
         arrays = [np.asarray(sample) for sample in samples]
-        if not self.middleware:
+        # One read: the emptiness check and the execution must not straddle a
+        # concurrent swap_middleware.
+        chain = self.middleware
+        if not chain:
             return self._dispatch_sync(model_id, arrays, tenant, absolute)
         stats = self._model_stats(model_id)
         contexts = [
@@ -383,7 +428,7 @@ class ClusterRouter:
             for context, output in zip(pending, outputs):
                 context.response = output
 
-        self.middleware.execute_batch(contexts, run_model)
+        chain.execute_batch(contexts, run_model)
         outputs: List[np.ndarray] = []
         for context in contexts:
             if context.error is not None:
@@ -459,7 +504,8 @@ class ClusterRouter:
         request = _ClusterRequest(
             model_id=model_id, sample=np.asarray(sample), tenant=tenant, future=Future()
         )
-        if self.middleware:
+        chain = self.middleware
+        if chain:
             context = RequestContext(
                 model_id=model_id,
                 sample=request.sample,
@@ -469,7 +515,7 @@ class ClusterRouter:
             )
             context.stats = self._model_stats(model_id)
             request.context = context
-            request.entered = self.middleware.enter(context)
+            request.entered = chain.enter(context)
             if context.answered:  # short-circuited or rejected cluster-wide
                 self._finish(request)
                 return request.future

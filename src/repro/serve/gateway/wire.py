@@ -60,6 +60,7 @@ from ..cluster.errors import (
     ReplicaUnavailable,
 )
 from ..middleware.base import ObfuscationViolation, RateLimitExceeded, ValidationError
+from ..middleware.privacy_budget import PrivacyBudgetExceeded
 from ..server import ServerOverloaded, ServerStopped
 from .errors import Backpressure, ConnectionClosed, GatewayError, ProtocolError
 
@@ -270,6 +271,7 @@ _ERROR_SPECS: Tuple[Tuple[int, type, Tuple[str, ...]], ...] = (
     (13, GatewayError, ()),
     (14, KeyError, ()),
     (15, ValueError, ()),
+    (16, PrivacyBudgetExceeded, ("tenant", "model_id", "budget", "spent", "cost")),
 )
 _CODE_BY_CLASS = {cls: (code, attrs) for code, cls, attrs in _ERROR_SPECS}
 _SPEC_BY_CODE = {code: (cls, attrs) for code, cls, attrs in _ERROR_SPECS}

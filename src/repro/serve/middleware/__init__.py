@@ -14,7 +14,15 @@ Built-ins:
 * :class:`Telemetry` — per-middleware and end-to-end latency breakdown
   exported through :class:`~repro.serve.stats.ModelStats`;
 * :class:`ObfuscationGuard` — asserts outgoing samples carry the augmentation
-  plan's expected input width (the paper's client-side trust boundary).
+  plan's expected input width (the paper's client-side trust boundary);
+* :class:`PrivacyBudget` — per-tenant cumulative epsilon ledger priced by the
+  paper's privacy-loss model.
+
+Stacks are also buildable *declaratively*: :mod:`repro.serve.middleware.config`
+turns a TOML/dict spec of named stacks into a :class:`StackDispatcher` that
+selects a chain per request from the model's published tags and the request's
+tenant.  Register user middlewares for spec resolution with
+:func:`register_middleware`.
 """
 
 from .base import (
@@ -28,24 +36,61 @@ from .base import (
 )
 from .cache import ResponseCache, sample_fingerprint
 from .chain import MiddlewareChain
+from .config import (
+    ConfigError,
+    MiddlewareKwargsError,
+    StackDefinitionError,
+    StackDispatcher,
+    StackSpec,
+    UnknownMiddlewareError,
+    UnknownStackError,
+    apply_to_cluster,
+    build_chain,
+    build_dispatcher,
+    build_middleware,
+    load_spec,
+    parse_stack_spec,
+    register_middleware,
+    registered_middleware,
+    spec_from_toml,
+)
 from .guard import ObfuscationGuard
 from .limiter import RateLimiter
+from .privacy_budget import PrivacyBudget, PrivacyBudgetExceeded
 from .telemetry import Telemetry
 from .validator import Validator
 
 __all__ = [
     "BatchContext",
+    "ConfigError",
     "MiddlewareChain",
     "MiddlewareError",
+    "MiddlewareKwargsError",
     "ObfuscationGuard",
     "ObfuscationViolation",
+    "PrivacyBudget",
+    "PrivacyBudgetExceeded",
     "RateLimitExceeded",
     "RateLimiter",
     "RequestContext",
     "ResponseCache",
     "ServeMiddleware",
+    "StackDefinitionError",
+    "StackDispatcher",
+    "StackSpec",
     "Telemetry",
+    "UnknownMiddlewareError",
+    "UnknownStackError",
     "ValidationError",
     "Validator",
+    "apply_to_cluster",
+    "build_chain",
+    "build_dispatcher",
+    "build_middleware",
+    "load_spec",
+    "parse_stack_spec",
+    "register_middleware",
+    "registered_middleware",
     "sample_fingerprint",
+    "spec_from_toml",
 ]

@@ -1,0 +1,137 @@
+"""Per-tenant privacy-budget admission from the paper's loss model.
+
+Section 6.1 quantifies what one query against an augmented model leaks:
+``epsilon(alpha) = 1 / (1 + alpha)`` for augmentation amount ``alpha`` —
+more synthetic content, less an adversary learns per answer.  This
+middleware turns that closed form into an admission control: every tenant
+owns a cumulative epsilon ledger, each *answered* request charges its
+model's per-query privacy loss, and a request whose charge would overrun
+the configured budget is rejected with a typed
+:class:`PrivacyBudgetExceeded` before the model runs.
+
+The per-query cost comes from the registry when one is provided:
+``CloudSession.publish`` records the plan's augmentation amount in the
+entry metadata (``augmentation_amount``), so the budget follows whatever
+obfuscation the published model actually carries.  Models without the tag
+fall back to the configured ``amount`` — and absent both, to amount 0,
+i.e. the worst case ``epsilon = 1`` of an un-augmented model.
+
+Failed requests leak nothing, so the charge is refunded on the unwind
+(``on_error``): the ledger tracks answered queries only, which is what the
+balanced-ledger concurrency tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ...privacy.loss_model import privacy_loss
+from .base import MiddlewareError, RequestContext, ServeMiddleware
+
+
+class PrivacyBudgetExceeded(MiddlewareError):
+    """The tenant's cumulative privacy-loss budget cannot absorb this query."""
+
+    def __init__(
+        self, tenant: str, model_id: str, budget: float, spent: float, cost: float
+    ) -> None:
+        super().__init__(
+            f"privacy budget exhausted for tenant '{tenant}' on model '{model_id}': "
+            f"spent {spent:.4f} of {budget:.4f} epsilon, next query costs {cost:.4f}"
+        )
+        self.tenant = tenant
+        self.model_id = model_id
+        self.budget = budget
+        self.spent = spent
+        self.cost = cost
+
+
+class PrivacyBudget(ServeMiddleware):
+    """Thread-safe per-tenant cumulative privacy-loss (epsilon) ledger.
+
+    ``budget`` is each tenant's total epsilon allowance.  ``amount`` is the
+    fallback augmentation amount for models whose registry entry carries no
+    ``augmentation_amount`` metadata; ``registry`` (anything with an
+    ``entry(model_id)`` surface) enables the metadata lookup.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        amount: Optional[float] = None,
+        registry=None,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError("budget must be a positive epsilon allowance")
+        if amount is not None and amount < 0:
+            raise ValueError("amount must be a non-negative augmentation amount")
+        self.budget = float(budget)
+        self.amount = None if amount is None else float(amount)
+        self.registry = registry
+        self._ledger: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.charged = 0
+        self.rejected = 0
+        self.refunded = 0
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def query_cost(self, context: RequestContext) -> float:
+        """Per-query epsilon: ``privacy_loss`` of the model's augmentation amount."""
+        amount = self.amount
+        if self.registry is not None:
+            try:
+                entry = self.registry.entry(context.model_id)
+            except KeyError:
+                pass
+            else:
+                tagged = entry.metadata.get("augmentation_amount")
+                if tagged is not None:
+                    amount = float(tagged)
+        return privacy_loss(0.0 if amount is None else amount)
+
+    def spent(self, tenant: str) -> float:
+        with self._lock:
+            return self._ledger.get(tenant, 0.0)
+
+    def remaining(self, tenant: str) -> float:
+        return self.budget - self.spent(tenant)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "budget": self.budget,
+                "charged": self.charged,
+                "rejected": self.rejected,
+                "refunded": self.refunded,
+                "tenants": dict(self._ledger),
+            }
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_request(self, context: RequestContext) -> None:
+        cost = self.query_cost(context)
+        with self._lock:
+            spent = self._ledger.get(context.tenant, 0.0)
+            if spent + cost > self.budget + 1e-12:
+                self.rejected += 1
+                raise PrivacyBudgetExceeded(
+                    context.tenant, context.model_id, self.budget, spent, cost
+                )
+            self._ledger[context.tenant] = spent + cost
+            self.charged += 1
+        context.metadata["privacy_cost"] = cost
+
+    def on_error(self, context: RequestContext) -> None:
+        # The query failed downstream, so no model answer leaked: hand the
+        # charge back.  Our own rejection never reaches here — a middleware
+        # that raises in on_request is not part of the entered unwind.
+        cost = context.metadata.pop("privacy_cost", None)
+        if cost is None:
+            return
+        with self._lock:
+            self._ledger[context.tenant] = self._ledger.get(context.tenant, 0.0) - cost
+            self.refunded += 1

@@ -245,6 +245,24 @@ class InferenceServer:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
+    def swap_middleware(
+        self, middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None]
+    ) -> MiddlewareChain:
+        """Atomically replace the middleware chain; returns the old chain.
+
+        Safe on a running server: each coalesced group reads ``self.middleware``
+        exactly once, and a chain's unwind operates on the ``entered`` list it
+        produced — never on the chain's current members — so every in-flight
+        request finishes, start to unwind, on the chain it entered.  Requests
+        picked up after the swap see the new chain.  Taken under the lifecycle
+        lock so a swap cannot interleave with ``stop()``'s drain.
+        """
+        new = MiddlewareChain.coerce(middleware)
+        with self._lifecycle_lock:
+            old = self.middleware
+            self.middleware = new
+        return old
+
     def submit(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> Future:
         """Enqueue one sample; the returned future resolves to its output array.
 
@@ -347,7 +365,10 @@ class InferenceServer:
         entirely — the common unconfigured server keeps the bare hot path.
         """
         stats = self._model_stats(model_id)
-        if not self.middleware:
+        # One read: a concurrent swap_middleware must not hand the emptiness
+        # check and the execution below two different chains.
+        chain = self.middleware
+        if not chain:
             self._serve_direct(model_id, stats, contexts)
             return
         for context in contexts:
@@ -361,7 +382,7 @@ class InferenceServer:
                 context.response = output
             ran.extend(pending)
 
-        self.middleware.execute_batch(contexts, run_model)
+        chain.execute_batch(contexts, run_model)
 
         now = time.perf_counter()
         failed = sum(1 for context in contexts if context.error is not None)

@@ -19,6 +19,7 @@ from repro.serve import (
     GatewayError,
     GatewayServer,
     ObfuscationViolation,
+    PrivacyBudgetExceeded,
     RateLimitExceeded,
     RemoteClient,
     ServerOverloaded,
@@ -57,6 +58,7 @@ SAMPLES = [
     GatewayError("generic edge failure"),
     KeyError("unknown model 'nope'; registered: []"),
     ValueError("model 'lenet' is already registered (pass replace=True)"),
+    PrivacyBudgetExceeded("tenant-a", "lenet", 2.5, 2.25, 0.5),
 ]
 
 
