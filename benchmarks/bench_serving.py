@@ -47,6 +47,7 @@ from repro.core import Amalgam, AmalgamConfig
 from repro.data import make_mnist
 from repro.models import LeNet, model_factory
 from repro.serve import (
+    Autoscaler,
     Batcher,
     CircuitBreaker,
     ClusterRouter,
@@ -58,6 +59,7 @@ from repro.serve import (
     HealthMonitor,
     InferenceServer,
     ModelRegistry,
+    QueueDepthPolicy,
     RateLimiter,
     RemoteClient,
     ReplicaUnavailable,
@@ -639,6 +641,94 @@ def bench_resilience(tiny: bool, seed: int) -> Dict[str, object]:
     }
 
 
+def bench_autoscale(tiny: bool, seed: int) -> Dict[str, object]:
+    """Elastic topology under a spike: 2 -> 6 replicas -> drain back to 2.
+
+    A queue-depth policy watches a submit burst against a 2-replica
+    consistent-hash cluster and grows membership one warmed replica per
+    cycle (bundles published, instances loaded, one priming forward — all
+    before placement can route there); once the burst is served and the
+    cluster idles, the same policy drains it back to the floor, migrating
+    any shard a victim solely owned.  Recorded per phase: time to peak,
+    drain time, and the elastic contract — ``lost_requests`` must be 0 and
+    the router's ledger must account for every submission
+    (``ledger_balanced``), across every join and drain.
+    """
+    burst_size = 120 if tiny else 360
+    model_ids = ["lenet-a", "lenet-b", "lenet-c"]
+
+    def make_replica(replica_id: str) -> ReplicaWorker:
+        return ReplicaWorker(
+            replica_id,
+            batcher=Batcher(max_batch_size=4, max_wait=0.01, padding="full"),
+        )
+
+    router = ClusterRouter(
+        [make_replica("seed-0"), make_replica("seed-1")],
+        placement=ConsistentHashPolicy(replication_factor=2, vnodes=32),
+    )
+    for index, model_id in enumerate(model_ids):
+        model = LeNet(10, 1, 28, rng=np.random.default_rng(seed + index))
+        router.register(
+            model_id,
+            pack_model(model, task="classification"),
+            model_factory("lenet", in_channels=1, seed=seed + index),
+            metadata={"input_shape": [1, 28, 28], "input_dtype": "float32"},
+        )
+    scaler = Autoscaler(
+        router,
+        QueueDepthPolicy(high=4.0, low=1.0, breach_count=1, cooldown=0.0),
+        make_replica,
+        min_replicas=2,
+        max_replicas=6,
+    )
+    images = (
+        np.random.default_rng(seed).standard_normal((burst_size, 1, 28, 28)).astype(np.float32)
+    )
+
+    with router:
+        spike_start = time.perf_counter()
+        futures = [
+            router.submit(model_ids[index % len(model_ids)], sample)
+            for index, sample in enumerate(images)
+        ]
+        while len(router) < 6:
+            scaler.step()
+        scale_up_s = time.perf_counter() - spike_start
+        peak_replicas = len(router)
+        lost = 0
+        for future in futures:
+            error = future.exception(timeout=120)
+            if error is not None:
+                lost += 1
+        served_s = time.perf_counter() - spike_start
+        drain_start = time.perf_counter()
+        while len(router) > 2:
+            scaler.step()
+        drain_s = time.perf_counter() - drain_start
+        settled_replicas = len(router)
+    accounted = router.counter("completed") + router.counter("failed") + router.counter("shed")
+    stats = scaler.stats()
+    return {
+        "burst_requests": burst_size,
+        "num_models": len(model_ids),
+        "policy": stats["policy"],
+        "peak_replicas": peak_replicas,
+        "settled_replicas": settled_replicas,
+        "scale_up_to_peak_s": round(scale_up_s, 6),
+        "burst_served_s": round(served_s, 6),
+        "drain_to_floor_s": round(drain_s, 6),
+        "burst_samples_per_s": round(burst_size / served_s, 2) if served_s else float("inf"),
+        "lost_requests": lost,
+        "ledger_balanced": accounted == burst_size,
+        "failovers": router.counter("failovers"),
+        "scale_up_events": stats["scale_up"],
+        "scale_down_events": stats["scale_down"],
+        "warmed_bundles": stats["warmed_bundles"],
+        "primed_forwards": stats["primed_forwards"],
+    }
+
+
 def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str, object]:
     tiny = scale == "tiny"
     print(
@@ -711,6 +801,16 @@ def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str
         f"vs {resilience['breaker_off']['attempts_vs_killed']} without breaker)"
     )
 
+    autoscale = bench_autoscale(tiny, seed)
+    print(
+        f"{'autoscale spike 2->6->2':24s} "
+        f"{autoscale['burst_samples_per_s']:10.1f} samples/s "
+        f"(peak {autoscale['peak_replicas']} replicas in "
+        f"{autoscale['scale_up_to_peak_s'] * 1e3:.0f} ms, "
+        f"drain {autoscale['drain_to_floor_s'] * 1e3:.0f} ms, "
+        f"lost {autoscale['lost_requests']})"
+    )
+
     plain_speedup = batched["32"]["samples_per_s"] / single["samples_per_s"]
     speedup = obfuscated["speedup_batch32_vs_single"]
     print(f"{'plain speedup@32':24s} {plain_speedup:10.2f}x")
@@ -736,6 +836,7 @@ def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str
         "cluster": cluster,
         "gateway": gateway,
         "resilience": resilience,
+        "autoscale": autoscale,
         "speedup_batch32_vs_single": round(speedup, 2),
     }
     with open(output_path, "w", encoding="utf-8") as handle:

@@ -34,6 +34,7 @@ This package turns a trained augmented model into a multi-client service:
 from .batcher import PADDING_MODES, Batcher, bucket_size
 from .cluster import (
     AdmissionScheduler,
+    Autoscaler,
     ClusterError,
     ClusterRouter,
     ConsistentHashPolicy,
@@ -41,12 +42,18 @@ from .cluster import (
     DeadlineExceeded,
     FailoverExhausted,
     HealthMonitor,
+    LatencyTargetPolicy,
     LeastLoadedPolicy,
     NoHealthyReplica,
     PlacementPolicy,
     PowerOfTwoChoicesPolicy,
+    QueueDepthPolicy,
     ReplicaUnavailable,
     ReplicaWorker,
+    ScalingDecision,
+    ScalingPolicy,
+    autoscaler_from_spec,
+    register_scaling_policy,
 )
 from .faults import (
     BackoffSession,
@@ -110,6 +117,7 @@ __all__ = [
     "PADDING_MODES",
     "AdmissionScheduler",
     "AsyncRemoteClient",
+    "Autoscaler",
     "BackoffSession",
     "Backpressure",
     "BatchContext",
@@ -133,6 +141,7 @@ __all__ = [
     "GatewayServer",
     "HealthMonitor",
     "InferenceServer",
+    "LatencyTargetPolicy",
     "LatencyWindow",
     "LeastLoadedPolicy",
     "MiddlewareChain",
@@ -148,6 +157,7 @@ __all__ = [
     "PrivacyBudget",
     "PrivacyBudgetExceeded",
     "ProtocolError",
+    "QueueDepthPolicy",
     "RateLimitExceeded",
     "RateLimiter",
     "RegistryEntry",
@@ -158,6 +168,8 @@ __all__ = [
     "RequestContext",
     "ResponseCache",
     "RetryPolicy",
+    "ScalingDecision",
+    "ScalingPolicy",
     "ServeMiddleware",
     "ServerOverloaded",
     "ServerStopped",
@@ -170,12 +182,14 @@ __all__ = [
     "ValidationError",
     "Validator",
     "apply_to_cluster",
+    "autoscaler_from_spec",
     "build_chain",
     "build_dispatcher",
     "build_middleware",
     "load_spec",
     "parse_stack_spec",
     "register_middleware",
+    "register_scaling_policy",
     "registered_middleware",
     "sample_fingerprint",
     "spec_from_toml",

@@ -18,7 +18,12 @@ out while keeping every policy decision swappable:
   priority + earliest-deadline ordering with dequeue-time load shedding;
 * :class:`~repro.serve.cluster.router.ClusterRouter` — the façade tying it
   together: the same serving surface as one ``InferenceServer``, with
-  bounded-retry failover and cross-replica stats merging.
+  bounded-retry failover and cross-replica stats merging;
+* :class:`~repro.serve.cluster.autoscale.Autoscaler` — elastic topology:
+  pluggable :class:`~repro.serve.cluster.autoscale.ScalingPolicy` objects
+  (queue-depth, latency-target) drive live membership, with every new shard
+  owner warmed (bundles published, instances loaded, one priming forward)
+  before placement can route to it.
 
 The obfuscation trust boundary is unchanged: every replica is a server-side
 component holding only augmented artefacts, and the client-side
@@ -27,6 +32,20 @@ component holding only augmented artefacts, and the client-side
 """
 
 from .admission import AdmissionScheduler, AdmissionTicket
+from .autoscale import (
+    Autoscaler,
+    HysteresisPolicy,
+    LatencyTargetPolicy,
+    Observation,
+    QueueDepthPolicy,
+    ScalingDecision,
+    ScalingPolicy,
+    UnknownScalingPolicyError,
+    autoscaler_from_spec,
+    build_scaling_policy,
+    register_scaling_policy,
+    registered_scaling_policies,
+)
 from .errors import (
     ClusterError,
     DeadlineExceeded,
@@ -52,6 +71,7 @@ __all__ = [
     "UNHEALTHY",
     "AdmissionScheduler",
     "AdmissionTicket",
+    "Autoscaler",
     "ClusterError",
     "ClusterRouter",
     "ConsistentHashPolicy",
@@ -59,12 +79,23 @@ __all__ = [
     "DeadlineExceeded",
     "FailoverExhausted",
     "HealthMonitor",
+    "HysteresisPolicy",
+    "LatencyTargetPolicy",
     "LeastLoadedPolicy",
     "NoHealthyReplica",
+    "Observation",
     "PlacementPolicy",
     "PowerOfTwoChoicesPolicy",
+    "QueueDepthPolicy",
     "ReplicaHealth",
     "ReplicaUnavailable",
     "ReplicaWorker",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "UnknownScalingPolicyError",
+    "autoscaler_from_spec",
+    "build_scaling_policy",
+    "register_scaling_policy",
+    "registered_scaling_policies",
     "stable_hash",
 ]

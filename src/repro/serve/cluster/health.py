@@ -175,17 +175,32 @@ class HealthMonitor:
             breaker.record_failure()
 
     def mark_draining(self, replica_id: str) -> None:
+        """Administratively drain; unknown ids are ignored (the replica may
+        have been deregistered concurrently — autoscale churn makes the
+        admin path race ``deregister`` routinely)."""
         with self._lock:
-            self._record(replica_id).state = DRAINING
+            record = self._replicas.get(replica_id)
+            if record is not None:
+                record.state = DRAINING
 
     def mark_stopped(self, replica_id: str) -> None:
+        """Administratively stop; unknown ids are ignored like ``heartbeat``."""
         with self._lock:
-            self._record(replica_id).state = STOPPED
+            record = self._replicas.get(replica_id)
+            if record is not None:
+                record.state = STOPPED
 
     def revive(self, replica_id: str) -> None:
-        """Administratively restore a replica to the routable pool."""
+        """Administratively restore a replica to the routable pool.
+
+        Unknown ids are ignored: reviving a replica that a concurrent
+        ``deregister`` just removed must not raise, and must not resurrect
+        its record either.
+        """
         with self._lock:
-            record = self._record(replica_id)
+            record = self._replicas.get(replica_id)
+            if record is None:
+                return
             record.state = HEALTHY
             record.consecutive_failures = 0
             record.last_heartbeat = self._clock()
@@ -201,7 +216,13 @@ class HealthMonitor:
             return self._record(replica_id).state
 
     def is_routable(self, replica_id: str) -> bool:
-        """Healthy, not draining, heartbeat-fresh, and breaker not open."""
+        """Healthy, not draining, heartbeat-fresh, and breaker would admit it.
+
+        Candidacy checks are read-only: :meth:`CircuitBreaker.would_allow`
+        never commits the open → half-open transition, so *listing* a replica
+        as a candidate cannot burn its half-open probe.  The probe is spent
+        only by :meth:`try_dispatch` at actual dispatch time.
+        """
         now = self._clock()
         with self._lock:
             record = self._replicas.get(replica_id)
@@ -210,7 +231,7 @@ class HealthMonitor:
             if now - record.last_heartbeat > self.heartbeat_timeout:
                 return False
             breaker = self._breakers.get(replica_id)
-        return breaker is None or breaker.allow()
+        return breaker is None or breaker.would_allow()
 
     def routable_ids(self) -> List[str]:
         now = self._clock()
@@ -222,12 +243,29 @@ class HealthMonitor:
                 and now - record.last_heartbeat <= self.heartbeat_timeout
             ]
             breakers = [self._breakers.get(replica_id) for replica_id in fresh]
-        # allow() outside the monitor lock: it may advance open -> half-open.
+        # would_allow() outside the monitor lock, and read-only: a candidacy
+        # listing must not spend a breaker's half-open probe on a replica
+        # placement never dispatches to (the wasted probe would re-open the
+        # breaker on the next stale failure and delay recovery).
         return [
             replica_id
             for replica_id, breaker in zip(fresh, breakers)
-            if breaker is None or breaker.allow()
+            if breaker is None or breaker.would_allow()
         ]
+
+    def try_dispatch(self, replica_id: str) -> bool:
+        """Commit to dispatching: burns the breaker's probe slot if any.
+
+        The router calls this with the replica it actually chose, immediately
+        before handing it the request.  This is the only place
+        :meth:`CircuitBreaker.allow` (which commits open → half-open) runs —
+        candidacy listing uses the read-only ``would_allow`` — so a breaker's
+        recovery probe is spent exclusively on a real request.  Returns
+        ``False`` when the breaker opened between listing and dispatch.
+        """
+        with self._lock:
+            breaker = self._breakers.get(replica_id)
+        return breaker is None or breaker.allow()
 
     def breaker(self, replica_id: str) -> Optional[CircuitBreaker]:
         """The replica's breaker instance (None when breaking is disabled)."""

@@ -27,7 +27,7 @@ Built-ins:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -48,6 +48,21 @@ class PlacementPolicy:
 
     def on_membership_change(self, replica_ids: Sequence[str]) -> None:
         """Called by the router whenever replicas join or leave."""
+
+    def preview_owners(
+        self, model_ids: Sequence[str], replica_ids: Sequence[str]
+    ) -> Dict[str, List[str]]:
+        """The ownership this policy *would* choose for a hypothetical
+        membership — without mutating any live state.
+
+        This is the autoscaler's rebalance-planning hook: before a replica
+        joins (or after one is chosen to leave), the executor asks what the
+        post-change shard map will be, publishes the affected bundles to
+        their future owners, and warms them — so the actual membership change
+        is a cutover between two warm states, never a cold start.  The
+        default (replicate everywhere) assigns every model to every replica.
+        """
+        return {model_id: list(replica_ids) for model_id in model_ids}
 
 
 class ConsistentHashPolicy(PlacementPolicy):
@@ -87,6 +102,22 @@ class ConsistentHashPolicy(PlacementPolicy):
         by_id = {replica.replica_id: replica for replica in replicas}
         owners = self.ring.preference_list(model_id, count=self.replication_factor)
         return [by_id[node] for node in owners if node in by_id]
+
+    def preview_owners(
+        self, model_ids: Sequence[str], replica_ids: Sequence[str]
+    ) -> Dict[str, List[str]]:
+        """Ownership under a hypothetical membership, on a scratch ring.
+
+        Builds a throwaway ring with the same ``vnodes`` (ring points are a
+        pure function of replica id, so the preview agrees exactly with what
+        :meth:`on_membership_change` will later commit) and walks each
+        model's preference list at this policy's replication factor.
+        """
+        ring = ConsistentHashRing(replica_ids, vnodes=self.ring.vnodes)
+        return {
+            model_id: ring.preference_list(model_id, count=self.replication_factor)
+            for model_id in model_ids
+        }
 
 
 class LeastLoadedPolicy(PlacementPolicy):

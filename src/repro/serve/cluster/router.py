@@ -111,6 +111,12 @@ class ClusterRouter:
         self._clock = clock
         self._replicas: Dict[str, ReplicaWorker] = {}
         self._catalogue: Dict[str, RegistryEntry] = {}
+        #: Membership observers: callables invoked with ``(event, replica_id)``
+        #: where event is ``"join"`` or ``"leave"``, after the change commits.
+        self._membership_listeners: List[Callable[[str, str], None]] = []
+        #: The attached :class:`~repro.serve.cluster.autoscale.Autoscaler`
+        #: (set by its constructor); ``stats()`` surfaces its section when set.
+        self.autoscaler = None
         self._membership_lock = threading.RLock()
         self._lifecycle_lock = threading.Lock()
         self._running = False
@@ -148,6 +154,7 @@ class ClusterRouter:
                 replica.start()
             if resync:
                 self._resync()
+        self._notify_membership("join", replica.replica_id)
 
     def remove_replica(self, replica_id: str, drain: bool = True) -> ReplicaWorker:
         """Leave the cluster; ``drain`` finishes in-flight work first."""
@@ -164,7 +171,26 @@ class ClusterRouter:
             self.placement.on_membership_change(list(self._replicas))
             self._resync()
             self.health.deregister(replica_id)
+        self._notify_membership("leave", replica_id)
         return replica
+
+    def add_membership_listener(
+        self, listener: Callable[[str, str], None]
+    ) -> Callable[[str, str], None]:
+        """Observe joins/leaves: ``listener(event, replica_id)`` fires after
+        each membership change commits (outside the membership lock, so a
+        listener may query the router).  The autoscaler and tests use this;
+        a gateway could push topology events from it.  Returns the listener
+        for decorator-style use."""
+        self._membership_listeners.append(listener)
+        return listener
+
+    def _notify_membership(self, event: str, replica_id: str) -> None:
+        for listener in list(self._membership_listeners):
+            try:
+                listener(event, replica_id)
+            except Exception:  # noqa: BLE001 - observers must not break membership ops
+                pass
 
     def replica_ids(self) -> List[str]:
         with self._membership_lock:
@@ -223,6 +249,17 @@ class ClusterRouter:
     def model_ids(self) -> List[str]:
         with self._membership_lock:
             return list(self._catalogue)
+
+    def entry(self, model_id: str) -> RegistryEntry:
+        """The catalogue entry for ``model_id`` (bundle + factory + metadata).
+
+        The autoscaler reads this to publish a model's bundle onto a new
+        shard owner *before* the owner joins placement (warm-up-then-cutover).
+        """
+        with self._membership_lock:
+            if model_id not in self._catalogue:
+                raise KeyError(f"unknown model '{model_id}'")
+            return self._catalogue[model_id]
 
     def __contains__(self, model_id: str) -> bool:
         with self._membership_lock:
@@ -450,11 +487,19 @@ class ClusterRouter:
         tried: List[str] = []
         last_error: Optional[BaseException] = None
         session = self.retry.session() if self.retry is not None else None
-        for _ in range(self.max_retries + 1):
+        attempts = 0
+        while attempts <= self.max_retries:
             candidates = self.placement.candidates(model_id, self._routable(excluded))
             if not candidates:
                 break
             replica = candidates[0]
+            # Burn the breaker's half-open probe only here, on the replica we
+            # actually dispatch to; a refusal (breaker opened since listing)
+            # excludes the replica without spending retry budget.
+            if not self.health.try_dispatch(replica.replica_id):
+                excluded.add(replica.replica_id)
+                continue
+            attempts += 1
             tried.append(replica.replica_id)
             self._count_failover(replica.replica_id, "attempts")
             try:
@@ -567,17 +612,26 @@ class ClusterRouter:
         if ticket.deadline < self._clock():  # expired while failing over
             self._shed(request, ticket)
             return
-        candidates = self.placement.candidates(request.model_id, self._routable(request.excluded))
-        if not candidates:
-            if request.tried:
-                error: BaseException = FailoverExhausted(
-                    request.model_id, len(request.tried), request.tried
-                )
-            else:
-                error = NoHealthyReplica(request.model_id, request.excluded)
-            self._fail(request, error)
-            return
-        replica = candidates[0]
+        replica: Optional[ReplicaWorker] = None
+        while replica is None:
+            candidates = self.placement.candidates(
+                request.model_id, self._routable(request.excluded)
+            )
+            if not candidates:
+                if request.tried:
+                    error: BaseException = FailoverExhausted(
+                        request.model_id, len(request.tried), request.tried
+                    )
+                else:
+                    error = NoHealthyReplica(request.model_id, request.excluded)
+                self._fail(request, error)
+                return
+            replica = candidates[0]
+            # Dispatch-time probe commit (see _dispatch_sync): a replica whose
+            # breaker opened since listing is excluded, not counted as tried.
+            if not self.health.try_dispatch(replica.replica_id):
+                request.excluded.add(replica.replica_id)
+                replica = None
         request.tried.append(replica.replica_id)
         self._count_failover(replica.replica_id, "attempts")
         try:
@@ -716,6 +770,13 @@ class ClusterRouter:
         with self._counters_lock:
             self._counters[key] += amount
 
+    def counter(self, key: str) -> int:
+        """One router counter (``completed`` / ``failed`` / ``shed`` /
+        ``failovers``) without paying for a full ``stats()`` merge — the
+        autoscaler's observe phase polls these every cycle."""
+        with self._counters_lock:
+            return self._counters.get(key, 0)
+
     def _count_failover(self, replica_id: str, key: str) -> None:
         with self._counters_lock:
             entry = self._failover.get(replica_id)
@@ -775,6 +836,7 @@ class ClusterRouter:
             model_ids = list(self._catalogue)
         with self._counters_lock:
             counters = dict(self._counters)
+        autoscaler = self.autoscaler
         return {
             "models": {mid: self._merged_model(mid).snapshot() for mid in model_ids},
             "replicas": {rid: replica.snapshot() for rid, replica in replicas.items()},
@@ -783,6 +845,7 @@ class ClusterRouter:
             "router": {**counters, "placement": type(self.placement).__name__},
             "failover": self.failover_stats(),
             "shard_map": self.shard_map(),
+            "autoscaler": None if autoscaler is None else autoscaler.stats(),
         }
 
     def _merged_model(self, model_id: str) -> ModelStats:

@@ -80,9 +80,30 @@ class CircuitBreaker:
         return self._state
 
     def allow(self) -> bool:
-        """May this target receive a new placement right now?"""
+        """Commit to a dispatch: may this target receive it right now?
+
+        This call *spends* state: an open breaker whose ``reset_timeout``
+        elapsed transitions to half-open here, which arms the probe — the
+        next recorded failure re-opens (a trip).  Callers that only need to
+        *list* the target as a candidate must use :meth:`would_allow`, which
+        never transitions, so an un-dispatched candidacy check cannot waste
+        the probe window.
+        """
         with self._lock:
             return self._advance() != OPEN
+
+    def would_allow(self) -> bool:
+        """Read-only :meth:`allow`: the answer without the state transition.
+
+        Used for candidacy listing (``HealthMonitor.routable_ids``): reports
+        whether a dispatch would be admitted — closed, half-open, or open
+        with the reset timeout elapsed — while leaving the open → half-open
+        transition uncommitted until :meth:`allow` runs at dispatch time.
+        """
+        with self._lock:
+            if self._state != OPEN:
+                return True
+            return self._clock() - self._opened_at >= self.reset_timeout
 
     def record_success(self) -> None:
         with self._lock:

@@ -246,6 +246,11 @@ class StackSpec:
     tenants: Dict[str, str] = field(default_factory=dict)
     models: Dict[str, str] = field(default_factory=dict)
     cluster: Dict[str, str] = field(default_factory=dict)
+    #: The ``[cluster.autoscale]`` table, carried as pure data: a ``policy``
+    #: name plus policy/executor knobs.  This module never interprets it —
+    #: :func:`repro.serve.cluster.autoscale.autoscaler_from_spec` does (the
+    #: import points that way to keep middleware free of cluster imports).
+    autoscale: Dict[str, object] = field(default_factory=dict)
 
 
 def _parse_entries(stack_name: str, definition: Mapping[str, object]):
@@ -360,6 +365,26 @@ def parse_stack_spec(spec: Mapping[str, object]) -> StackSpec:
     cluster = spec.get("cluster", {})
     if not isinstance(cluster, Mapping):
         raise StackDefinitionError("'cluster' must be a table")
+    cluster = dict(cluster)
+    # [cluster.autoscale] is a sub-table of knobs, not a stack reference —
+    # split it out before validating the remaining values as stack names.
+    autoscale = cluster.pop("autoscale", {})
+    if not isinstance(autoscale, Mapping):
+        raise StackDefinitionError("'cluster.autoscale' must be a table")
+    autoscale = dict(autoscale)
+    if autoscale:
+        policy = autoscale.get("policy")
+        if not isinstance(policy, str) or not policy:
+            raise StackDefinitionError(
+                "'cluster.autoscale' needs a non-empty string 'policy' naming a "
+                "registered scaling policy"
+            )
+        for key, value in autoscale.items():
+            if not isinstance(value, (str, int, float, bool)):
+                raise StackDefinitionError(
+                    f"'cluster.autoscale' key '{key}' must be a scalar, "
+                    f"got {type(value).__name__}"
+                )
     for scope in cluster.values():
         if scope not in resolved:
             raise UnknownStackError(str(scope), tuple(resolved), "[cluster]")
@@ -370,6 +395,7 @@ def parse_stack_spec(spec: Mapping[str, object]) -> StackSpec:
         tenants=_selection("tenants"),
         models=_selection("models"),
         cluster={str(k): str(v) for k, v in cluster.items()},
+        autoscale=autoscale,
     )
 
 

@@ -9,6 +9,12 @@ instead of silent queueing.
 
 The clock is injectable (``clock=...``) so tests can drive admission
 deterministically instead of sleeping.
+
+Buckets are pruned lazily: a bucket idle long enough to have refilled to
+full capacity carries no information (a fresh key starts full anyway), so
+``on_request`` sweeps such buckets at most once per ``prune_interval``.
+Without this the dict grows one entry per distinct key forever — a slow
+leak under churning tenant/model traffic (or an adversarial key spray).
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ class RateLimiter(ServeMiddleware):
         capacity: Optional[float] = None,
         key: Optional[BucketKey] = None,
         clock: Callable[[], float] = time.monotonic,
+        prune_interval: Optional[float] = None,
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be > 0 tokens/second")
@@ -43,12 +50,22 @@ class RateLimiter(ServeMiddleware):
             raise ValueError("capacity must hold at least one token")
         self.rate = float(rate)
         self.capacity = capacity
+        # A bucket that sat idle for capacity/rate seconds is back at full —
+        # indistinguishable from an absent key — so that is both the minimum
+        # safe retention and the natural default sweep cadence.
+        if prune_interval is None:
+            prune_interval = capacity / self.rate
+        elif prune_interval <= 0:
+            raise ValueError("prune_interval must be > 0 seconds")
+        self.prune_interval = float(prune_interval)
         self._key = key if key is not None else _tenant_model_key
         self._clock = clock
         self._buckets: Dict[Hashable, Tuple[float, float]] = {}  # key -> (tokens, stamp)
         self._lock = threading.Lock()
+        self._last_prune = float("-inf")
         self.admitted = 0
         self.rejected = 0
+        self.pruned = 0
 
     def tokens(self, context: RequestContext) -> float:
         """Current token balance for ``context``'s bucket (for monitoring/tests)."""
@@ -63,7 +80,26 @@ class RateLimiter(ServeMiddleware):
                 "admitted": self.admitted,
                 "rejected": self.rejected,
                 "buckets": len(self._buckets),
+                "pruned": self.pruned,
             }
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that have refilled to capacity (lock held).
+
+        Correctness-neutral: the next request on a pruned key starts from a
+        fresh full bucket, exactly the state the pruned entry had reached.
+        """
+        if now - self._last_prune < self.prune_interval:
+            return
+        self._last_prune = now
+        full = [
+            key
+            for key, (tokens, stamp) in self._buckets.items()
+            if tokens + (now - stamp) * self.rate >= self.capacity
+        ]
+        for key in full:
+            del self._buckets[key]
+        self.pruned += len(full)
 
     # ------------------------------------------------------------------
     # Hooks
@@ -72,6 +108,7 @@ class RateLimiter(ServeMiddleware):
         key = self._key(context)
         now = self._clock()
         with self._lock:
+            self._prune(now)
             tokens, stamp = self._buckets.get(key, (self.capacity, now))
             tokens = min(self.capacity, tokens + (now - stamp) * self.rate)
             if tokens < 1.0:

@@ -1,0 +1,231 @@
+"""Scale-churn races: drain-under-load and health admin ops vs deregister.
+
+Two race families the elastic topology opens up:
+
+* **drain under load** — ``remove_replica(drain=True)`` while submit hammers
+  the router from many threads.  The contract: every future resolves, either
+  with a result or a *typed* cluster error (never a raw ``KeyError`` /
+  deadlock / lost future), and the router's ledger stays balanced —
+  ``completed + failed + shed`` accounts for every accepted submission.
+* **admin ops vs deregister** — ``mark_draining`` / ``mark_stopped`` /
+  ``revive`` used to reach ``_record`` and raise ``KeyError`` when the
+  replica had concurrently deregistered; they must now tolerate unknown ids
+  exactly like ``heartbeat`` / ``record_*`` always did (and must not
+  resurrect removed records).  Pinned by a hypothesis interleaving sweep
+  plus a live-threads stress.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import model_factory
+from repro.serve import (
+    Batcher,
+    ClusterRouter,
+    ConsistentHashPolicy,
+    DeadlineExceeded,
+    FailoverExhausted,
+    HealthMonitor,
+    NoHealthyReplica,
+    ReplicaUnavailable,
+    ReplicaWorker,
+    ServerOverloaded,
+    ServerStopped,
+)
+
+from ..conftest import lenet_bundle
+
+TYPED_ERRORS = (
+    DeadlineExceeded,
+    FailoverExhausted,
+    NoHealthyReplica,
+    ReplicaUnavailable,
+    ServerOverloaded,
+    ServerStopped,
+)
+
+
+def make_replica(replica_id: str) -> ReplicaWorker:
+    return ReplicaWorker(
+        replica_id,
+        batcher=Batcher(max_batch_size=4, max_wait=0.005, padding="full"),
+        num_workers=1,
+    )
+
+
+def make_cluster(replica_ids=("r0", "r1", "r2")) -> ClusterRouter:
+    router = ClusterRouter(
+        [make_replica(rid) for rid in replica_ids],
+        placement=ConsistentHashPolicy(replication_factor=2, vnodes=32),
+    )
+    router.register(
+        "lenet",
+        lenet_bundle(),
+        model_factory("lenet", in_channels=1, seed=3),
+        metadata={"input_shape": [1, 28, 28], "input_dtype": "float32"},
+    )
+    return router
+
+
+class TestDrainUnderLoad:
+    def test_remove_replica_concurrent_with_submit_hammer(self):
+        router = make_cluster()
+        rng = np.random.default_rng(5)
+        samples = rng.standard_normal((200, 1, 28, 28)).astype(np.float32)
+        futures = []
+        futures_lock = threading.Lock()
+        start = threading.Barrier(9)  # 8 hammers + the churn thread
+
+        def hammer(offset: int) -> None:
+            start.wait()
+            for index in range(offset, len(samples), 8):
+                try:
+                    future = router.submit("lenet", samples[index])
+                except ServerStopped:  # post-stop stragglers are typed too
+                    continue
+                with futures_lock:
+                    futures.append(future)
+
+        def churn() -> None:
+            start.wait()
+            # Drain a live replica mid-hammer, then bring a fresh one in —
+            # the exact sequence an autoscale scale-down + scale-up performs.
+            removed = router.remove_replica("r1", drain=True)
+            assert removed.replica_id == "r1"
+            router.add_replica(make_replica("r1b"))
+
+        with router:
+            threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+            churner = threading.Thread(target=churn)
+            for thread in threads:
+                thread.start()
+            churner.start()
+            for thread in threads:
+                thread.join()
+            churner.join()
+            results = 0
+            for future in futures:
+                error = future.exception(timeout=30)  # resolves: nothing lost
+                if error is None:
+                    output = future.result()
+                    assert isinstance(output, np.ndarray) and output.shape == (10,)
+                    results += 1
+                else:
+                    assert isinstance(error, TYPED_ERRORS), repr(error)
+            assert results > 0  # the hammer did real work
+        # Ledger: every accepted submission is accounted for exactly once.
+        accounted = (
+            router.counter("completed") + router.counter("failed") + router.counter("shed")
+        )
+        assert accounted == len(futures)
+        assert "r1" not in router.replica_ids()
+        assert "r1b" in router.replica_ids()
+
+
+# ----------------------------------------------------------------------
+# HealthMonitor admin ops racing deregister
+# ----------------------------------------------------------------------
+ADMIN_OPS = (
+    "register",
+    "deregister",
+    "heartbeat",
+    "dead_heartbeat",
+    "record_success",
+    "record_failure",
+    "mark_draining",
+    "mark_stopped",
+    "revive",
+)
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(ADMIN_OPS), st.sampled_from(["a", "b", "c"])),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestAdminOpsTolerateDeregister:
+    @given(ops=ops_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_any_interleaving_never_raises(self, ops):
+        # Sequential model of the race: whatever order register/deregister
+        # and the admin ops interleave in, no op may raise — the only
+        # allowed signal is the op quietly not applying.
+        monitor = HealthMonitor(failure_threshold=2, heartbeat_timeout=5.0)
+        registered = set()
+        for op, replica_id in ops:
+            if op == "register":
+                if replica_id in registered:
+                    with pytest.raises(ValueError):
+                        monitor.register(replica_id)
+                else:
+                    monitor.register(replica_id)
+                    registered.add(replica_id)
+            elif op == "deregister":
+                monitor.deregister(replica_id)
+                registered.discard(replica_id)
+            elif op == "heartbeat":
+                monitor.heartbeat(replica_id)
+            elif op == "dead_heartbeat":
+                monitor.heartbeat(replica_id, alive=False)
+            elif op == "record_success":
+                monitor.record_success(replica_id)
+            elif op == "record_failure":
+                monitor.record_failure(replica_id)
+            elif op == "mark_draining":
+                monitor.mark_draining(replica_id)
+            elif op == "mark_stopped":
+                monitor.mark_stopped(replica_id)
+            elif op == "revive":
+                monitor.revive(replica_id)
+            # Admin ops on unknown ids must not resurrect records.
+            assert set(monitor.snapshot()) == registered
+
+    def test_threaded_admin_stress(self):
+        monitor = HealthMonitor(failure_threshold=2, heartbeat_timeout=5.0)
+        errors: list = []
+        stop = threading.Event()
+
+        def membership() -> None:
+            try:
+                for _ in range(300):
+                    monitor.register("flip")
+                    monitor.deregister("flip")
+            except Exception as error:  # noqa: BLE001 - the test asserts none occur
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def admin() -> None:
+            try:
+                while not stop.is_set():
+                    monitor.mark_draining("flip")
+                    monitor.mark_stopped("flip")
+                    monitor.revive("flip")
+                    monitor.heartbeat("flip")
+                    monitor.record_failure("flip")
+                    monitor.record_success("flip")
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=membership)] + [
+            threading.Thread(target=admin) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_revive_does_not_resurrect_deregistered(self):
+        monitor = HealthMonitor()
+        monitor.register("r0")
+        monitor.deregister("r0")
+        monitor.revive("r0")
+        assert monitor.snapshot() == {}

@@ -135,11 +135,19 @@ class TestAdministrativeStates:
         monitor.revive("r0")
         assert monitor.is_routable("r0")
 
-    def test_unknown_replica_raises(self, monitor):
+    def test_unknown_replica_state_raises(self, monitor):
         with pytest.raises(KeyError):
             monitor.state("ghost")
+
+    def test_admin_ops_tolerate_unknown_ids(self, monitor):
+        # Autoscale churn makes admin ops race deregister routinely: a
+        # mark/revive that loses the race is a no-op, never a KeyError, and
+        # must not resurrect the record either.
+        monitor.mark_draining("ghost")
+        monitor.mark_stopped("ghost")
+        monitor.revive("ghost")
         with pytest.raises(KeyError):
-            monitor.mark_draining("ghost")
+            monitor.state("ghost")
 
     def test_double_register_raises(self, monitor):
         with pytest.raises(ValueError):

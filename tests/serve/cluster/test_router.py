@@ -343,7 +343,7 @@ class TestClusterMiddleware:
         router.predict("lenet", images[1])
         with pytest.raises(RateLimitExceeded):
             router.predict("lenet", images[2])
-        assert limiter.stats() == {"admitted": 2, "rejected": 1, "buckets": 1}
+        assert limiter.stats() == {"admitted": 2, "rejected": 1, "buckets": 1, "pruned": 0}
 
     def test_rejection_via_submit_future_and_telemetry_observes_it(self, images):
         limiter = RateLimiter(rate=1.0, capacity=1, clock=lambda: 0.0)
@@ -405,6 +405,7 @@ class TestStatsMerging:
             "router",
             "failover",
             "shard_map",
+            "autoscaler",
         }
         assert snapshot["router"]["placement"] == "ConsistentHashPolicy"
         assert snapshot["failover"]["per_replica"], "served replica is accounted"

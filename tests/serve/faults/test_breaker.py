@@ -205,3 +205,65 @@ class TestHealthMonitorIntegration:
         monitor.register("r0")
         assert monitor.breaker("r0") is None
         assert "breaker" not in monitor.snapshot()["r0"]
+
+
+class TestProbeSlotEconomy:
+    """Candidacy listing must not spend the half-open probe; dispatch does."""
+
+    def test_would_allow_is_read_only(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.would_allow()
+        clock.advance(10.0)
+        # Any number of read-only checks report admissible without committing
+        # the open -> half-open transition.
+        for _ in range(5):
+            assert breaker.would_allow()
+        # Raw state, not .state/.snapshot(): those run _advance() and would
+        # themselves commit the transition this test proves uncommitted.
+        assert breaker._state == OPEN
+        assert breaker.allow()  # dispatch commits
+        assert breaker._state == HALF_OPEN
+
+    def test_would_allow_in_closed_and_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        assert breaker.would_allow()  # closed
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()  # commit to half-open
+        assert breaker.would_allow()  # half-open admits the probe
+
+    def make_monitor(self, clock: FakeClock) -> HealthMonitor:
+        return HealthMonitor(
+            failure_threshold=100,
+            heartbeat_timeout=1000.0,
+            clock=clock,
+            breaker=CircuitBreaker(failure_threshold=1, reset_timeout=10.0),
+        )
+
+    def test_listing_does_not_burn_the_probe(self):
+        clock = FakeClock()
+        monitor = self.make_monitor(clock)
+        monitor.register("r0")
+        monitor.record_failure("r0")  # breaker opens
+        clock.advance(10.0)
+        monitor.heartbeat("r0")
+        # The bug this pins: routable_ids()/is_routable() used to call
+        # allow(), committing half-open on a replica placement might never
+        # dispatch to — a stale failure then re-tripped the breaker and
+        # pushed recovery out another reset_timeout window.
+        for _ in range(5):
+            assert "r0" in monitor.routable_ids()
+            assert monitor.is_routable("r0")
+        assert monitor.breaker("r0")._state == OPEN  # raw: .state would commit
+        # Dispatch commits the probe exactly once.
+        assert monitor.try_dispatch("r0")
+        assert monitor.breaker("r0")._state == HALF_OPEN
+
+    def test_try_dispatch_without_breaker_always_admits(self):
+        monitor = HealthMonitor(clock=FakeClock())
+        monitor.register("r0")
+        assert monitor.try_dispatch("r0")
+        assert monitor.try_dispatch("ghost")  # deregistered mid-dispatch: no breaker

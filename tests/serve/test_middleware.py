@@ -318,7 +318,7 @@ class TestRateLimiter:
         assert rejected.metadata["rate_limited"] is True
         clock.now = 1.0  # one token refilled
         assert run_one(chain, make_context()).error is None
-        assert limiter.stats() == {"admitted": 3, "rejected": 1, "buckets": 1}
+        assert limiter.stats() == {"admitted": 3, "rejected": 1, "buckets": 1, "pruned": 0}
 
     def test_buckets_are_per_tenant_and_model(self):
         clock = FakeClock()
@@ -356,6 +356,50 @@ class TestRateLimiter:
             RateLimiter(rate=0.0)
         with pytest.raises(ValueError):
             RateLimiter(rate=1.0, capacity=0.5)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, prune_interval=0.0)
+
+    def test_idle_buckets_are_pruned(self):
+        # Without pruning, _buckets grows one entry per distinct key forever;
+        # a bucket idle long enough to refill to capacity is identical to an
+        # absent key and is dropped on the next sweep.
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, capacity=2, clock=clock)  # prune_interval = 2s
+        chain = MiddlewareChain([limiter])
+        for tenant in ("t0", "t1", "t2", "t3"):
+            run_one(chain, make_context("m", tenant=tenant))
+        assert limiter.stats()["buckets"] == 4
+        clock.now = 10.0  # all four refilled to capacity long ago
+        run_one(chain, make_context("m", tenant="fresh"))
+        stats = limiter.stats()
+        assert stats["pruned"] == 4
+        assert stats["buckets"] == 1  # only the request that triggered the sweep
+
+    def test_drained_buckets_survive_the_sweep(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, capacity=4, clock=clock)  # prune_interval = 4s
+        chain = MiddlewareChain([limiter])
+        for _ in range(4):
+            run_one(chain, make_context("m", tenant="busy"))  # bucket now empty
+        clock.now = 2.0  # partially refilled (2 of 4): still informative
+        run_one(chain, make_context("m", tenant="other"))
+        stats = limiter.stats()
+        assert stats["pruned"] == 0
+        assert stats["buckets"] == 2
+        # The surviving bucket still enforces its partial balance.
+        assert limiter.tokens(make_context("m", tenant="busy")) == pytest.approx(2.0)
+
+    def test_prune_is_rate_limited_by_interval(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, capacity=2, clock=clock, prune_interval=100.0)
+        chain = MiddlewareChain([limiter])
+        run_one(chain, make_context("m", tenant="t0"))
+        clock.now = 50.0  # t0 is back at capacity, but the sweep isn't due
+        run_one(chain, make_context("m", tenant="t1"))
+        assert limiter.stats() == {"admitted": 2, "rejected": 0, "buckets": 2, "pruned": 0}
+        clock.now = 150.0
+        run_one(chain, make_context("m", tenant="t2"))
+        assert limiter.stats()["pruned"] == 2
 
 
 class TestValidator:
