@@ -13,7 +13,11 @@ Measures the request-batching scheduler in ``repro.serve`` on LeNet:
 * **cluster** — a 4-replica consistent-hash-sharded :class:`ClusterRouter`
   vs one server on a multi-model obfuscated workload whose catalogue exceeds
   a single process's instance-cache budget (the acceptance bar is >= 2x
-  aggregate throughput, from shard-local cache residency).
+  aggregate throughput, from shard-local cache residency);
+* **observability** — the 8-client loopback-gateway hammer at tracing
+  off / 10% / 100% head sampling, plus the ledger-exact span-capture check
+  at 100%; the `middleware` section additionally reports the sampled-off
+  tracing overhead (gated by ``--max-tracing-overhead``).
 
 Writes ``BENCH_serving.json``.  The headline number is
 ``speedup_batch32_vs_single`` — batched vs single-request throughput of the
@@ -67,6 +71,7 @@ from repro.serve import (
     ResponseCache,
     RetryPolicy,
     Telemetry,
+    Tracer,
     Validator,
 )
 
@@ -167,6 +172,11 @@ def bench_middleware(registry: ModelRegistry, images: np.ndarray) -> Dict[str, o
     * **overhead** — the same unique-request workload through a bare server
       vs one wrapped in Telemetry + RateLimiter + Validator (no cache, so
       every request still executes): the per-request cost of the chain.
+    * **tracing** — the chained server again, now with a :class:`Tracer`
+      attached at ``sample_rate = 0.0``: every hop still opens/closes its
+      span (the ids, the clock reads, the retention check) but nothing is
+      retained.  ``tracing_overhead_pct`` is the price of *carrying* the
+      instrumentation; the ``--max-tracing-overhead`` gate pins it.
     * **cache** — a stream where every sample appears twice (uniques first,
       then their repeats: a 50% duplicate-request rate) through a server with
       a ResponseCache vs one without.  The acceptance bar is a >1.5x
@@ -190,11 +200,28 @@ def bench_middleware(registry: ModelRegistry, images: np.ndarray) -> Dict[str, o
         ],
     )
 
+    traced = InferenceServer(
+        registry,
+        Batcher(**batcher_args),
+        middleware=[
+            Telemetry(),
+            RateLimiter(rate=1e9, capacity=1e9),
+            Validator(registry),
+        ],
+        tracer=Tracer(sample_rate=0.0),
+    )
+
     bare_result = best_throughput(len(images), lambda: bare.predict_batch("lenet", list(images)))
     chained_result = best_throughput(
         len(images), lambda: chained.predict_batch("lenet", list(images))
     )
+    traced_result = best_throughput(
+        len(images), lambda: traced.predict_batch("lenet", list(images))
+    )
     overhead_pct = (bare_result["samples_per_s"] / chained_result["samples_per_s"] - 1.0) * 100.0
+    tracing_overhead_pct = (
+        chained_result["samples_per_s"] / traced_result["samples_per_s"] - 1.0
+    ) * 100.0
 
     # 50% duplicate stream: each of the first half of the images twice.
     uniques = list(images[: max(len(images) // 2, 1)])
@@ -220,6 +247,12 @@ def bench_middleware(registry: ModelRegistry, images: np.ndarray) -> Dict[str, o
             "bare": bare_result,
             "chained": chained_result,
             "overhead_pct": round(overhead_pct, 2),
+        },
+        "tracing": {
+            "sample_rate": 0.0,
+            "chained": chained_result,
+            "traced_off": traced_result,
+            "tracing_overhead_pct": round(tracing_overhead_pct, 2),
         },
         "cache": {
             "duplicate_rate": 0.5,
@@ -461,6 +494,135 @@ def bench_gateway(tiny: bool, seed: int) -> Dict[str, object]:
         "in_process": in_process,
         "gateway_loopback": remote,
         "wire_overhead_x": round(overhead, 2),
+    }
+
+
+def bench_observability(tiny: bool, seed: int) -> Dict[str, object]:
+    """Tracing cost at the edge: the 8-client gateway hammer, off/10%/100%.
+
+    The same loopback-gateway workload as the ``gateway`` section runs three
+    times against a traced 2-replica cluster: no tracer at all (the
+    ``tracer=None`` fast path), head sampling at 10%, and at 100%.  Each run
+    reports aggregate requests/s and the client-observed p95; the two
+    overhead percentages are the honest price of the corresponding sampling
+    level.  At 100% the section also proves capture is **ledger-exact**: the
+    tracer's per-name span tally shows exactly one ``gateway.request`` /
+    ``router.submit`` per request served (warm-up included) and its
+    ``spans_dropped`` counter stays 0.
+    """
+    num_clients = 8
+    per_client = 8 if tiny else 32
+
+    model = LeNet(10, 1, 28, rng=np.random.default_rng(seed))
+    bundle = pack_model(model, task="classification")
+    factory = model_factory("lenet", in_channels=1, seed=seed)
+    images = (
+        np.random.default_rng(seed)
+        .standard_normal((num_clients * per_client, 1, 28, 28))
+        .astype(np.float32)
+    )
+
+    def hammer(predict) -> Dict[str, float]:
+        latencies: list = []
+        lock = threading.Lock()
+
+        def client(offset: int) -> None:
+            local = []
+            for index in range(per_client):
+                sample = images[offset + index]
+                start = time.perf_counter()
+                predict(sample)
+                local.append(time.perf_counter() - start)
+            with lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=client, args=(index * per_client,))
+            for index in range(num_clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        total = num_clients * per_client
+        return {
+            "requests": total,
+            "seconds": round(elapsed, 6),
+            "requests_per_s": round(total / elapsed, 2) if elapsed else float("inf"),
+            "p95_latency_ms": round(float(np.percentile(latencies, 95)) * 1e3, 3),
+        }
+
+    def run_at(tracer) -> Dict[str, object]:
+        router = ClusterRouter(
+            [
+                ReplicaWorker(
+                    f"replica-{index}",
+                    batcher=Batcher(max_batch_size=32, max_wait=0.002, padding="bucket"),
+                    tracer=tracer,
+                )
+                for index in range(2)
+            ],
+            tracer=tracer,
+        )
+        router.register("lenet", bundle, factory)
+        with router:
+            with GatewayServer(router, tracer=tracer, server_id="bench-obs") as gateway:
+                clients = [
+                    RemoteClient(*gateway.address, tenant=f"client-{index}")
+                    for index in range(num_clients)
+                ]
+                try:
+                    clients[0].predict("lenet", images[0])  # warm caches + connections
+                    counter = {"next": 0}
+                    counter_lock = threading.Lock()
+
+                    def remote_predict(sample: np.ndarray) -> None:
+                        with counter_lock:
+                            client = clients[counter["next"] % num_clients]
+                            counter["next"] += 1
+                        client.predict("lenet", sample)
+
+                    result = hammer(remote_predict)
+                finally:
+                    for client in clients:
+                        client.close()
+        return result
+
+    off = run_at(None)
+
+    sampled_tracer = Tracer(sample_rate=0.1, max_spans=4096)
+    sampled = run_at(sampled_tracer)
+    sampled["tracer"] = sampled_tracer.stats()
+
+    full_tracer = Tracer(sample_rate=1.0, max_spans=8192)
+    full = run_at(full_tracer)
+    counts = full_tracer.span_counts()
+    expected = num_clients * per_client + 1  # the hammer plus the warm-up call
+    full["tracer"] = full_tracer.stats()
+    full["span_counts"] = counts
+    full["ledger_exact"] = (
+        counts.get("gateway.request") == expected
+        and counts.get("router.submit") == expected
+        and full_tracer.stats()["spans_dropped"] == 0
+    )
+
+    def overhead_pct(traced: Dict[str, float]) -> float:
+        if not traced["requests_per_s"]:
+            return float("inf")
+        return round((off["requests_per_s"] / traced["requests_per_s"] - 1.0) * 100.0, 2)
+
+    return {
+        "num_clients": num_clients,
+        "requests_per_client": per_client,
+        "num_replicas": 2,
+        "requests_traced_expected": expected,
+        "off": off,
+        "sampled_10pct": sampled,
+        "sampled_100pct": full,
+        "overhead_10pct_pct": overhead_pct(sampled),
+        "overhead_100pct_pct": overhead_pct(full),
     }
 
 
@@ -729,7 +891,13 @@ def bench_autoscale(tiny: bool, seed: int) -> Dict[str, object]:
     }
 
 
-def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str, object]:
+def run(
+    output_path: str,
+    scale: str,
+    seed: int,
+    min_speedup: float,
+    max_tracing_overhead: float = 0.0,
+) -> Dict[str, object]:
     tiny = scale == "tiny"
     print(
         f"# bench_serving scale={scale} seed={seed} "
@@ -762,6 +930,11 @@ def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str
         f"(Telemetry+RateLimiter+Validator)"
     )
     print(
+        f"{'tracing overhead (off)':24s} "
+        f"{middleware['tracing']['tracing_overhead_pct']:9.1f}% "
+        f"(chain + Tracer at sample_rate=0.0)"
+    )
+    print(
         f"{'cache @50% duplicates':24s} "
         f"{middleware['cache']['cached']['samples_per_s']:10.1f} samples/s "
         f"({middleware['cache']['speedup_cached_vs_uncached']:.2f}x vs uncached, "
@@ -789,6 +962,15 @@ def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str
         f"{gateway['gateway_loopback']['requests_per_s']:10.1f} requests/s "
         f"(p95 {gateway['gateway_loopback']['p95_latency_ms']:.2f} ms, "
         f"{gateway['wire_overhead_x']:.2f}x wire overhead vs in-process)"
+    )
+
+    observability = bench_observability(tiny, seed)
+    print(
+        f"{'observability (8c)':24s} "
+        f"{observability['sampled_100pct']['requests_per_s']:10.1f} requests/s "
+        f"@100% sampling ({observability['overhead_10pct_pct']:.1f}% at 10%, "
+        f"{observability['overhead_100pct_pct']:.1f}% at 100%, "
+        f"ledger_exact={observability['sampled_100pct']['ledger_exact']})"
     )
 
     resilience = bench_resilience(tiny, seed)
@@ -835,6 +1017,7 @@ def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str
         "obfuscated": obfuscated,
         "cluster": cluster,
         "gateway": gateway,
+        "observability": observability,
         "resilience": resilience,
         "autoscale": autoscale,
         "speedup_batch32_vs_single": round(speedup, 2),
@@ -847,6 +1030,14 @@ def run(output_path: str, scale: str, seed: int, min_speedup: float) -> Dict[str
         print(
             f"SERVING GATE FAILED: obfuscated batched@32 speedup {speedup:.2f}x < "
             f"required {min_speedup:.1f}x"
+        )
+        raise SystemExit(1)
+    tracing_overhead = middleware["tracing"]["tracing_overhead_pct"]
+    if max_tracing_overhead > 0 and tracing_overhead >= max_tracing_overhead:
+        print(
+            f"TRACING GATE FAILED: sampled-off tracing overhead "
+            f"{tracing_overhead:.2f}% >= allowed {max_tracing_overhead:.1f}% "
+            f"(middleware section, Tracer at sample_rate=0.0)"
         )
         raise SystemExit(1)
     return report
@@ -871,8 +1062,15 @@ def main() -> None:
         help="exit non-zero when batched@32 throughput is below this "
         "multiple of single-request throughput (0 disables)",
     )
+    parser.add_argument(
+        "--max-tracing-overhead",
+        type=float,
+        default=0.0,
+        help="exit non-zero when the sampled-off tracing overhead on the "
+        "middleware section reaches this percentage (0 disables)",
+    )
     args = parser.parse_args()
-    run(args.output, args.scale, args.seed, args.min_speedup)
+    run(args.output, args.scale, args.seed, args.min_speedup, args.max_tracing_overhead)
 
 
 if __name__ == "__main__":

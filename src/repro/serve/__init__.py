@@ -24,6 +24,12 @@ This package turns a trained augmented model into a multi-client service:
   wire protocol, with a :class:`~repro.serve.gateway.RemoteClient` that
   plugs in wherever the in-process surface is used — including under the
   proxy, for obfuscated extraction over the network;
+* :mod:`repro.serve.observability` — end-to-end request tracing
+  (:class:`~repro.serve.observability.Tracer` spans at every hop, propagated
+  over the wire) and the unified
+  :class:`~repro.serve.observability.MetricsRegistry` every component's
+  ``stats()`` registers into, pullable cluster-wide via the gateway's
+  ``OBSERVE`` frame;
 * :mod:`repro.serve.faults` — the resilience layer and its proof harness:
   deterministic seeded fault injection (:class:`~repro.serve.faults.FaultPlan`
   / :class:`~repro.serve.faults.FaultInjector`) threaded into replica,
@@ -108,6 +114,20 @@ from .middleware import (
     sample_fingerprint,
     spec_from_toml,
 )
+from .observability import (
+    ActiveSpan,
+    InMemoryExporter,
+    JsonlExporter,
+    MetricsRegistry,
+    ObservabilityConfigError,
+    Span,
+    SpanExporter,
+    TraceContext,
+    Tracer,
+    register_exporter,
+    registered_exporters,
+    tracer_from_spec,
+)
 from .proxy import ExtractionProxy
 from .registry import ModelRegistry, RegistryEntry
 from .server import InferenceServer, ServerOverloaded, ServerStopped
@@ -115,6 +135,7 @@ from .stats import LatencyWindow, ModelStats
 
 __all__ = [
     "PADDING_MODES",
+    "ActiveSpan",
     "AdmissionScheduler",
     "AsyncRemoteClient",
     "Autoscaler",
@@ -140,10 +161,13 @@ __all__ = [
     "GatewayError",
     "GatewayServer",
     "HealthMonitor",
+    "InMemoryExporter",
     "InferenceServer",
+    "JsonlExporter",
     "LatencyTargetPolicy",
     "LatencyWindow",
     "LeastLoadedPolicy",
+    "MetricsRegistry",
     "MiddlewareChain",
     "MiddlewareError",
     "MiddlewareKwargsError",
@@ -152,6 +176,7 @@ __all__ = [
     "NoHealthyReplica",
     "ObfuscationGuard",
     "ObfuscationViolation",
+    "ObservabilityConfigError",
     "PlacementPolicy",
     "PowerOfTwoChoicesPolicy",
     "PrivacyBudget",
@@ -173,10 +198,14 @@ __all__ = [
     "ServeMiddleware",
     "ServerOverloaded",
     "ServerStopped",
+    "Span",
+    "SpanExporter",
     "StackDefinitionError",
     "StackDispatcher",
     "StackSpec",
     "Telemetry",
+    "TraceContext",
+    "Tracer",
     "UnknownMiddlewareError",
     "UnknownStackError",
     "ValidationError",
@@ -188,9 +217,12 @@ __all__ = [
     "build_middleware",
     "load_spec",
     "parse_stack_spec",
+    "register_exporter",
     "register_middleware",
     "register_scaling_policy",
+    "registered_exporters",
     "registered_middleware",
     "sample_fingerprint",
     "spec_from_toml",
+    "tracer_from_spec",
 ]

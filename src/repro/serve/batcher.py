@@ -22,7 +22,7 @@ rows).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -65,6 +65,20 @@ class Batcher:
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
         self.padding = padding
+
+    def stats(self) -> Dict[str, object]:
+        """The batcher's effective configuration, for the metrics plane.
+
+        The batcher holds no mutable state, so its "stats" are the knobs that
+        shape every batch — registered alongside the server's live counters so
+        one :class:`~repro.serve.observability.MetricsRegistry` snapshot
+        explains the batch sizes it reports.
+        """
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait": self.max_wait,
+            "padding": self.padding,
+        }
 
     def padded_size(self, count: int) -> int:
         """The batch size actually executed for ``count`` stacked requests."""

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..batcher import Batcher
 from ..middleware import MiddlewareChain, ServeMiddleware
+from ..observability import TraceContext, Tracer
 from ..registry import ModelRegistry
 from ..server import InferenceServer
 from .errors import ReplicaUnavailable
@@ -52,6 +53,7 @@ class ReplicaWorker:
         registry_capacity: int = 4,
         middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None] = None,
         faults=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not replica_id:
             raise ValueError("replica_id must be a non-empty string")
@@ -67,6 +69,7 @@ class ReplicaWorker:
             num_workers=num_workers,
             queue_size=queue_size,
             middleware=middleware,
+            tracer=tracer,
         )
         self._killed = False
         self._draining = False
@@ -163,22 +166,38 @@ class ReplicaWorker:
             # router's failover already handles.
             self.faults.on_replica_request(self)
 
-    def predict(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> np.ndarray:
-        return self.predict_batch(model_id, [sample], tenant=tenant)[0]
+    def predict(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        tenant: str = "default",
+        trace: Optional[TraceContext] = None,
+    ) -> np.ndarray:
+        return self.predict_batch(model_id, [sample], tenant=tenant, trace=trace)[0]
 
     def predict_batch(
-        self, model_id: str, samples: Sequence[np.ndarray], tenant: str = "default"
+        self,
+        model_id: str,
+        samples: Sequence[np.ndarray],
+        tenant: str = "default",
+        trace: Optional[TraceContext] = None,
     ) -> List[np.ndarray]:
         self._check_serving()
         with self._lock:
             self._sync_active += 1
         try:
-            return self.server.predict_batch(model_id, samples, tenant=tenant)
+            return self.server.predict_batch(model_id, samples, tenant=tenant, trace=trace)
         finally:
             with self._lock:
                 self._sync_active -= 1
 
-    def submit(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> Future:
+    def submit(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        tenant: str = "default",
+        trace: Optional[TraceContext] = None,
+    ) -> Future:
         """Enqueue one sample; the future fails typed if this replica dies.
 
         The returned future is replica-owned: it resolves from the inner
@@ -194,7 +213,7 @@ class ReplicaWorker:
             self._next_handle += 1
             self._outstanding[handle] = wrapper
         try:
-            inner = self.server.submit(model_id, sample, tenant=tenant)
+            inner = self.server.submit(model_id, sample, tenant=tenant, trace=trace)
         except Exception:
             with self._lock:
                 self._outstanding.pop(handle, None)

@@ -45,6 +45,7 @@ import numpy as np
 
 from ..faults.retry import BackoffSession, RetryPolicy
 from ..middleware import MiddlewareChain, RequestContext, ServeMiddleware
+from ..observability import ActiveSpan, MetricsRegistry, TraceContext, Tracer
 from ..registry import RegistryEntry
 from ..server import ServerOverloaded, ServerStopped
 from ..stats import ModelStats
@@ -79,6 +80,12 @@ class _ClusterRequest:
     excluded: Set[str] = field(default_factory=set)
     tried: List[str] = field(default_factory=list)
     backoff: Optional[BackoffSession] = None
+    #: The request's ``router.submit`` span (None when untraced), plus the
+    #: perf-counter enqueue time so the admission wait becomes a child span
+    #: exactly once, at first dispatch or shed.
+    span: Optional[ActiveSpan] = None
+    queued_at: float = 0.0
+    admission_recorded: bool = False
 
 
 class ClusterRouter:
@@ -94,6 +101,8 @@ class ClusterRouter:
         max_retries: int = 2,
         clock: Callable[[], float] = time.monotonic,
         retry: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -131,6 +140,13 @@ class ClusterRouter:
         self._failover: Dict[str, Dict[str, int]] = {}
         self._backoff_seconds = 0.0
         self._last_health_check = float("-inf")
+        self.tracer = tracer
+        #: The unified metrics plane.  Every stats section the router used to
+        #: assemble by hand is registered as a named provider, and
+        #: :meth:`stats` is a :meth:`MetricsRegistry.collect` view over them —
+        #: pass a shared registry to surface the router next to a gateway.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._register_metrics()
         for replica in replicas:
             self.add_replica(replica)
 
@@ -422,8 +438,11 @@ class ClusterRouter:
         sample: np.ndarray,
         tenant: str = "default",
         deadline: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> np.ndarray:
-        return self.predict_batch(model_id, [sample], tenant=tenant, deadline=deadline)[0]
+        return self.predict_batch(
+            model_id, [sample], tenant=tenant, deadline=deadline, trace=trace
+        )[0]
 
     def predict_batch(
         self,
@@ -431,6 +450,7 @@ class ClusterRouter:
         samples: Sequence[np.ndarray],
         tenant: str = "default",
         deadline: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> List[np.ndarray]:
         """Serve on the caller's thread with the full failover loop.
 
@@ -439,11 +459,36 @@ class ClusterRouter:
         """
         absolute = None if deadline is None else self._clock() + float(deadline)
         arrays = [np.asarray(sample) for sample in samples]
+        span: Optional[ActiveSpan] = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "router.predict",
+                parent=trace,
+                attributes={"model_id": model_id, "tenant": tenant, "batch": len(arrays)},
+            )
+        try:
+            outputs = self._predict_batch_inner(model_id, arrays, tenant, absolute, span)
+        except BaseException as error:
+            if span is not None:
+                span.end(error=error)
+            raise
+        if span is not None:
+            span.end()
+        return outputs
+
+    def _predict_batch_inner(
+        self,
+        model_id: str,
+        arrays: List[np.ndarray],
+        tenant: str,
+        absolute: Optional[float],
+        span: Optional[ActiveSpan],
+    ) -> List[np.ndarray]:
         # One read: the emptiness check and the execution must not straddle a
         # concurrent swap_middleware.
         chain = self.middleware
         if not chain:
-            return self._dispatch_sync(model_id, arrays, tenant, absolute)
+            return self._dispatch_sync(model_id, arrays, tenant, absolute, span)
         stats = self._model_stats(model_id)
         contexts = [
             RequestContext(
@@ -457,10 +502,11 @@ class ClusterRouter:
         ]
         for context in contexts:
             context.stats = stats
+            context.trace = span
 
         def run_model(pending: List[RequestContext]) -> None:
             outputs = self._dispatch_sync(
-                model_id, [context.sample for context in pending], tenant, absolute
+                model_id, [context.sample for context in pending], tenant, absolute, span
             )
             for context, output in zip(pending, outputs):
                 context.response = output
@@ -479,6 +525,7 @@ class ClusterRouter:
         samples: List[np.ndarray],
         tenant: str,
         absolute_deadline: Optional[float],
+        span: Optional[ActiveSpan] = None,
     ) -> List[np.ndarray]:
         if absolute_deadline is not None and self._clock() > absolute_deadline:
             self._count("shed")
@@ -502,9 +549,22 @@ class ClusterRouter:
             attempts += 1
             tried.append(replica.replica_id)
             self._count_failover(replica.replica_id, "attempts")
+            attempt: Optional[ActiveSpan] = None
+            if span is not None:
+                attempt = span.child(
+                    "router.dispatch",
+                    attributes={"replica_id": replica.replica_id, "attempt": attempts},
+                )
             try:
-                outputs = replica.predict_batch(model_id, samples, tenant=tenant)
+                if attempt is None:
+                    outputs = replica.predict_batch(model_id, samples, tenant=tenant)
+                else:
+                    outputs = replica.predict_batch(
+                        model_id, samples, tenant=tenant, trace=attempt.context
+                    )
             except _RETRYABLE as error:
+                if attempt is not None:
+                    attempt.end(error=error)
                 last_error = error
                 excluded.add(replica.replica_id)
                 self._count_failover(replica.replica_id, "failures")
@@ -514,6 +574,12 @@ class ClusterRouter:
                 if session is not None:
                     self._record_backoff(session.pause())
                 continue
+            except BaseException as error:  # non-retryable: surface, span closed
+                if attempt is not None:
+                    attempt.end(error=error)
+                raise
+            if attempt is not None:
+                attempt.end()
             self.health.record_success(replica.replica_id)
             self._count("completed", len(samples))
             return outputs
@@ -532,11 +598,14 @@ class ClusterRouter:
         tenant: str = "default",
         deadline: Optional[float] = None,
         priority: Optional[int] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Future:
         """Queue one sample through admission; resolves like a server future.
 
         ``deadline`` (relative seconds) and ``priority`` (overrides the
-        tenant's configured priority) are the request's SLA terms.
+        tenant's configured priority) are the request's SLA terms.  ``trace``
+        links the request into a caller's trace (the gateway passes its
+        request span); with a tracer but no parent the router roots one.
         """
         with self._lifecycle_lock:
             if not self._running:
@@ -549,6 +618,12 @@ class ClusterRouter:
         request = _ClusterRequest(
             model_id=model_id, sample=np.asarray(sample), tenant=tenant, future=Future()
         )
+        if self.tracer is not None:
+            request.span = self.tracer.start_span(
+                "router.submit",
+                parent=trace,
+                attributes={"model_id": model_id, "tenant": tenant},
+            )
         chain = self.middleware
         if chain:
             context = RequestContext(
@@ -559,11 +634,13 @@ class ClusterRouter:
                 deadline=absolute,
             )
             context.stats = self._model_stats(model_id)
+            context.trace = request.span
             request.context = context
             request.entered = chain.enter(context)
             if context.answered:  # short-circuited or rejected cluster-wide
                 self._finish(request)
                 return request.future
+        request.queued_at = time.perf_counter()
         try:
             self.admission.submit(
                 model_id, tenant, deadline=absolute, priority=priority, payload=request
@@ -608,7 +685,15 @@ class ClusterRouter:
             else:
                 self._dispatch_async(request, ticket)
 
+    def _record_admission_wait(self, request: _ClusterRequest) -> None:
+        """Stamp the admission-queue wait as a child span, exactly once."""
+        span = request.span
+        if span is not None and not request.admission_recorded:
+            request.admission_recorded = True
+            span.record("router.admission", request.queued_at, time.perf_counter())
+
     def _dispatch_async(self, request: _ClusterRequest, ticket: AdmissionTicket) -> None:
+        self._record_admission_wait(request)
         if ticket.deadline < self._clock():  # expired while failing over
             self._shed(request, ticket)
             return
@@ -634,17 +719,46 @@ class ClusterRouter:
                 replica = None
         request.tried.append(replica.replica_id)
         self._count_failover(replica.replica_id, "attempts")
+        attempt: Optional[ActiveSpan] = None
+        if request.span is not None:
+            # One child span per dispatch attempt: failover shows up as
+            # sibling ``router.dispatch`` spans, the failed ones error-tagged.
+            attempt = request.span.child(
+                "router.dispatch",
+                attributes={
+                    "replica_id": replica.replica_id,
+                    "attempt": len(request.tried),
+                },
+            )
         try:
-            inner = replica.submit(request.model_id, request.sample, tenant=request.tenant)
+            # Pass the trace kwarg only when tracing so duck-typed replica
+            # wrappers with the historical signature keep working untraced.
+            if attempt is None:
+                inner = replica.submit(
+                    request.model_id, request.sample, tenant=request.tenant
+                )
+            else:
+                inner = replica.submit(
+                    request.model_id,
+                    request.sample,
+                    tenant=request.tenant,
+                    trace=attempt.context,
+                )
         except _RETRYABLE as error:
+            if attempt is not None:
+                attempt.end(error=error)
             self._after_failure(request, ticket, replica, error)
             return
         except Exception as error:  # noqa: BLE001 - non-retryable, pre-enqueue
+            if attempt is not None:
+                attempt.end(error=error)
             self._fail(request, error)  # never reached the replica's accounting
             return
 
         def _resolve(done: Future) -> None:
             error = done.exception()
+            if attempt is not None:
+                attempt.end(error=error)
             if error is None:
                 self.health.record_success(replica.replica_id)
                 self._succeed(request, done.result())
@@ -697,6 +811,7 @@ class ClusterRouter:
         )
 
     def _shed(self, request: _ClusterRequest, ticket: AdmissionTicket) -> None:
+        self._record_admission_wait(request)
         self._count("shed")
         self._fail(
             request,
@@ -750,6 +865,11 @@ class ClusterRouter:
             # context's final word over our original outcome.
             error = context.error
             result = context.response
+        if request.span is not None:
+            # Ending with the final error keeps failed requests' traces even
+            # when head sampling dropped them (always-sample-on-error).
+            request.span.annotate("failover_attempts", len(request.tried))
+            request.span.end(error=error)
         if error is not None:
             request.future.set_exception(error)
         else:
@@ -821,32 +941,66 @@ class ClusterRouter:
             },
         }
 
+    #: The sections (and their order) ``stats()`` has always returned; each is
+    #: a named provider on :attr:`metrics`, so the dict below is genuinely a
+    #: registry view — ``metrics.snapshot()`` sees the same sections plus any
+    #: other component bound to the shared registry.
+    _STATS_SECTIONS = (
+        "models",
+        "replicas",
+        "health",
+        "admission",
+        "router",
+        "failover",
+        "shard_map",
+        "autoscaler",
+    )
+
+    def _register_metrics(self) -> None:
+        self.metrics.register_provider("models", self._models_section, replace=True)
+        self.metrics.register_provider("replicas", self._replicas_section, replace=True)
+        self.metrics.register_provider("health", self.health.snapshot, replace=True)
+        self.metrics.register_provider("admission", self.admission.stats, replace=True)
+        self.metrics.register_provider("router", self._router_section, replace=True)
+        self.metrics.register_provider("failover", self.failover_stats, replace=True)
+        self.metrics.register_provider("shard_map", self.shard_map, replace=True)
+        self.metrics.register_provider(
+            "autoscaler", self._autoscaler_section, replace=True
+        )
+
+    def _models_section(self) -> Dict[str, object]:
+        with self._membership_lock:
+            model_ids = list(self._catalogue)
+        return {mid: self._merged_model(mid).snapshot() for mid in model_ids}
+
+    def _replicas_section(self) -> Dict[str, object]:
+        with self._membership_lock:
+            replicas = dict(self._replicas)
+        return {rid: replica.snapshot() for rid, replica in replicas.items()}
+
+    def _router_section(self) -> Dict[str, object]:
+        with self._counters_lock:
+            counters = dict(self._counters)
+        return {**counters, "placement": type(self.placement).__name__}
+
+    def _autoscaler_section(self) -> Optional[Dict[str, object]]:
+        autoscaler = self.autoscaler
+        return None if autoscaler is None else autoscaler.stats()
+
     def stats(self, model_id: Optional[str] = None) -> Dict[str, object]:
         """Cluster-wide view: merged per-model stats plus per-replica detail.
 
         Per-model numbers aggregate across replicas with
         :meth:`ModelStats.merged` — counters sum, p50/p95 are computed over
         the union of the raw per-replica latency windows (averaging per-
-        replica percentiles would understate the tail).
+        replica percentiles would understate the tail).  The no-argument form
+        is a :meth:`MetricsRegistry.collect` view: each section is a named
+        provider on :attr:`metrics`, so the historical shape is preserved
+        while the registry remains the single source of truth.
         """
         if model_id is not None:
             return self._merged_model(model_id).snapshot()
-        with self._membership_lock:
-            replicas = dict(self._replicas)
-            model_ids = list(self._catalogue)
-        with self._counters_lock:
-            counters = dict(self._counters)
-        autoscaler = self.autoscaler
-        return {
-            "models": {mid: self._merged_model(mid).snapshot() for mid in model_ids},
-            "replicas": {rid: replica.snapshot() for rid, replica in replicas.items()},
-            "health": self.health.snapshot(),
-            "admission": self.admission.stats(),
-            "router": {**counters, "placement": type(self.placement).__name__},
-            "failover": self.failover_stats(),
-            "shard_map": self.shard_map(),
-            "autoscaler": None if autoscaler is None else autoscaler.stats(),
-        }
+        return self.metrics.collect(self._STATS_SECTIONS)
 
     def _merged_model(self, model_id: str) -> ModelStats:
         with self._membership_lock:

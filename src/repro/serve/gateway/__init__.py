@@ -31,6 +31,8 @@ from .wire import (
     Goodbye,
     Hello,
     HelloAck,
+    Observe,
+    ObserveReply,
     Register,
     Request,
     Response,
@@ -54,6 +56,8 @@ __all__ = [
     "Goodbye",
     "Hello",
     "HelloAck",
+    "Observe",
+    "ObserveReply",
     "ProtocolError",
     "Register",
     "RemoteClient",

@@ -50,6 +50,7 @@ import numpy as np
 from ...cloud.serialization import ModelBundle
 from ..faults.injector import FaultInjector
 from ..faults.retry import RetryPolicy
+from ..observability import ActiveSpan, Tracer
 from ..server import ServerStopped
 from .errors import ConnectionClosed, ProtocolError
 from .wire import (
@@ -58,6 +59,8 @@ from .wire import (
     Goodbye,
     Hello,
     HelloAck,
+    Observe,
+    ObserveReply,
     Register,
     Request,
     Response,
@@ -102,6 +105,7 @@ class AsyncRemoteClient:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
         reader_grace: float = 5.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if reader_grace <= 0:
             raise ValueError("reader_grace must be > 0 seconds")
@@ -109,6 +113,10 @@ class AsyncRemoteClient:
         self.port = port
         self.tenant = tenant
         self.deadline = deadline
+        #: Client-side tracer: when set, every ``predict`` roots a
+        #: ``client.submit`` span whose context rides the REQUEST frame, so
+        #: the gateway's spans join *this* trace instead of rooting their own.
+        self.tracer = tracer
         self.window = window  # requested; replaced by the granted window
         self.server_id = ""
         self._requested_window = window
@@ -199,7 +207,7 @@ class AsyncRemoteClient:
                 if frame is None:
                     resumable = True  # unannounced EOF (no GOODBYE)
                     break
-                if isinstance(frame, (Response, Ack)):
+                if isinstance(frame, (Response, Ack, ObserveReply)):
                     entry = self._pending.pop(frame.request_id, None)
                     if entry is not None and not entry.future.done():
                         entry.future.set_result(frame)
@@ -401,16 +409,44 @@ class AsyncRemoteClient:
         deadline: Optional[float] = None,
         priority: Optional[int] = None,
     ) -> np.ndarray:
+        span: Optional[ActiveSpan] = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "client.submit",
+                attributes={"model_id": model_id, "tenant": self.tenant},
+            )
+        try:
+            reply = await self._roundtrip(
+                lambda request_id: Request(
+                    request_id=request_id,
+                    model_id=model_id,
+                    sample=np.asarray(sample),
+                    deadline=deadline,
+                    priority=priority,
+                    trace=None if span is None else span.context,
+                )
+            )
+        except BaseException as error:
+            if span is not None:
+                span.end(error=error)
+            raise
+        if span is not None:
+            span.end()
+        return reply.output
+
+    async def observe(self, what: str = "all", max_spans: int = 128) -> Dict[str, object]:
+        """Pull the gateway's live observability snapshot over the wire.
+
+        ``what`` scopes the payload (``"all"`` / ``"metrics"`` / ``"spans"``);
+        ``max_spans`` bounds the recent-span tail.  Returns the OBSERVE_REPLY
+        payload: the cluster-wide metrics snapshot plus retained spans.
+        """
         reply = await self._roundtrip(
-            lambda request_id: Request(
-                request_id=request_id,
-                model_id=model_id,
-                sample=np.asarray(sample),
-                deadline=deadline,
-                priority=priority,
+            lambda request_id: Observe(
+                request_id=request_id, what=what, max_spans=max_spans
             )
         )
-        return reply.output
+        return reply.payload
 
     async def predict_batch(
         self,
@@ -524,12 +560,14 @@ class RemoteClient:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
         reader_grace: float = 5.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         self.host = host
         self.port = port
         self.tenant = tenant
+        self.tracer = tracer
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._run_loop, name=f"remote-client-{host}:{port}", daemon=True
@@ -551,6 +589,7 @@ class RemoteClient:
                     retry=retry,
                     faults=faults,
                     reader_grace=reader_grace,
+                    tracer=tracer,
                 )
                 future = asyncio.run_coroutine_threadsafe(client.connect(), self._loop)
                 try:
@@ -641,6 +680,13 @@ class RemoteClient:
     ) -> List[np.ndarray]:
         futures = self.submit_many(model_id, samples, deadline=deadline, priority=priority)
         return [future.result() for future in futures]
+
+    def observe(self, what: str = "all", max_spans: int = 128) -> Dict[str, object]:
+        """Blocking OBSERVE round trip: the gateway's metrics + span tail."""
+        connection = self._connection()
+        return asyncio.run_coroutine_threadsafe(
+            connection.observe(what=what, max_spans=max_spans), self._loop
+        ).result()
 
     def register(
         self,

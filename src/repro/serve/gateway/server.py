@@ -51,6 +51,7 @@ import numpy as np
 
 from ...cloud.serialization import ModelBundle
 from ..faults.injector import FaultInjector
+from ..observability import ActiveSpan, MetricsRegistry, Tracer
 from ..server import ServerStopped
 from .errors import Backpressure, ProtocolError
 from .wire import (
@@ -59,6 +60,8 @@ from .wire import (
     Goodbye,
     Hello,
     HelloAck,
+    Observe,
+    ObserveReply,
     Register,
     Request,
     Response,
@@ -140,12 +143,26 @@ class GatewayServer:
         factories: Optional[Dict[str, Callable]] = None,
         factory_resolver: Optional[Callable[[str, Dict[str, object]], Callable]] = None,
         faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         #: Optional fault injector threaded into every connection's writer.
         self.faults = faults
         self.backend = backend
+        self.tracer = tracer
+        #: The metrics plane OBSERVE serves.  Defaults to the backend's own
+        #: registry when it has one (a ClusterRouter always does), so a single
+        #: snapshot covers the edge *and* the cluster behind it.
+        backend_metrics = getattr(backend, "metrics", None)
+        if metrics is not None:
+            self.metrics = metrics
+        elif isinstance(backend_metrics, MetricsRegistry):
+            self.metrics = backend_metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self.metrics.register_provider("gateway", self.stats, replace=True)
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
         self.max_inflight = max_inflight
@@ -175,6 +192,7 @@ class GatewayServer:
             "backpressure": 0,
             "rejected": 0,
             "registered": 0,
+            "observed": 0,
         }
         submit = getattr(backend, "submit", None)
         self._can_submit = callable(submit)
@@ -344,7 +362,7 @@ class GatewayServer:
                 frame = await read_frame(reader)
                 if frame is None or isinstance(frame, Goodbye):
                     return
-                if isinstance(frame, (Request, Register)):
+                if isinstance(frame, (Request, Register, Observe)):
                     self._admit(connection, frame)
                 else:
                     await connection.send(
@@ -401,6 +419,8 @@ class GatewayServer:
         self._counters["requests"] += 1
         if isinstance(frame, Register):
             coroutine = self._serve_register(connection, frame)
+        elif isinstance(frame, Observe):
+            coroutine = self._serve_observe(connection, frame)
         else:
             coroutine = self._serve_request(connection, frame)
         task = asyncio.get_running_loop().create_task(coroutine)
@@ -424,11 +444,27 @@ class GatewayServer:
     # Dispatch (loop thread -> backend)
     # ------------------------------------------------------------------
     async def _serve_request(self, connection: _Connection, request: Request) -> None:
+        span: Optional[ActiveSpan] = None
+        if self.tracer is not None:
+            # Continue the client's trace when the REQUEST frame carried a
+            # context (the optional wire suffix); root a fresh one otherwise,
+            # so server-side sampling still applies to untraced clients.
+            span = self.tracer.start_span(
+                "gateway.request",
+                parent=request.trace,
+                attributes={
+                    "model_id": request.model_id,
+                    "tenant": connection.tenant,
+                    "peer": connection.peer,
+                },
+            )
         try:
-            output = await self._dispatch(connection, request)
+            output = await self._dispatch(connection, request, span)
         except asyncio.CancelledError:  # pragma: no cover - only on hard kill
             raise
         except BaseException as error:  # noqa: BLE001 - becomes a typed frame
+            if span is not None:
+                span.end(error=error)
             self._counters["errors"] += 1
             await connection.send(ErrorFrame(request.request_id, error))
         else:
@@ -439,13 +475,22 @@ class GatewayServer:
                 # A backend that returns something the wire refuses (None, an
                 # object array) must still answer: send the typed failure
                 # instead of dying with the request hung client-side.
+                if span is not None:
+                    span.end(error=unencodable)
                 self._counters["errors"] += 1
                 await connection.send(ErrorFrame(request.request_id, unencodable))
                 return
+            if span is not None:
+                span.end()
             self._counters["responses"] += 1
             await connection.send_bytes(frame_bytes)
 
-    async def _dispatch(self, connection: _Connection, request: Request):
+    async def _dispatch(
+        self,
+        connection: _Connection,
+        request: Request,
+        span: Optional[ActiveSpan] = None,
+    ):
         deadline = request.deadline if request.deadline is not None else connection.deadline
         if self._can_submit and getattr(self.backend, "running", False):
             kwargs = {}
@@ -455,6 +500,8 @@ class GatewayServer:
                 kwargs["deadline"] = deadline
             if request.priority is not None and "priority" in self._submit_params:
                 kwargs["priority"] = request.priority
+            if span is not None and "trace" in self._submit_params:
+                kwargs["trace"] = span.context
             # submit() itself runs the backend's middleware chain and takes
             # its locks inline, so it goes through the executor too — only
             # the await of the returned future lives on the loop.
@@ -466,8 +513,41 @@ class GatewayServer:
             kwargs["tenant"] = connection.tenant
         if deadline is not None and "deadline" in self._predict_params:
             kwargs["deadline"] = deadline
+        if span is not None and "trace" in self._predict_params:
+            kwargs["trace"] = span.context
         call = partial(self.backend.predict, request.model_id, request.sample, **kwargs)
         return await asyncio.get_running_loop().run_in_executor(None, call)
+
+    async def _serve_observe(self, connection: _Connection, frame: Observe) -> None:
+        """Serve one OBSERVE pull: cluster-wide metrics snapshot + span tail.
+
+        The snapshot walks every registered provider (backend ``stats()``
+        sections included), so it runs on the executor like any backend call.
+        """
+        try:
+            call = partial(self._observe_payload, frame.what, frame.max_spans)
+            payload = await asyncio.get_running_loop().run_in_executor(None, call)
+        except asyncio.CancelledError:  # pragma: no cover - only on hard kill
+            raise
+        except BaseException as error:  # noqa: BLE001 - becomes a typed frame
+            self._counters["errors"] += 1
+            await connection.send(ErrorFrame(frame.request_id, error))
+        else:
+            self._counters["observed"] += 1
+            await connection.send(ObserveReply(frame.request_id, payload))
+
+    def _observe_payload(self, what: str, max_spans: int) -> Dict[str, object]:
+        scopes = ("all", "metrics", "spans")
+        if what not in scopes:
+            raise ProtocolError(f"unknown OBSERVE scope '{what}'; expected one of {scopes}")
+        payload: Dict[str, object] = {"server_id": self.server_id}
+        if what in ("all", "metrics"):
+            payload["metrics"] = self.metrics.snapshot()
+        if what in ("all", "spans"):
+            tracer = self.tracer
+            payload["spans"] = [] if tracer is None else tracer.recent_spans(max_spans)
+            payload["tracer"] = None if tracer is None else tracer.stats()
+        return payload
 
     async def _serve_register(self, connection: _Connection, frame: Register) -> None:
         try:

@@ -29,17 +29,31 @@ Frame types:
  0x01   HELLO         str tenant, opt-float default deadline, !I window wish
  0x02   HELLO_ACK     !I granted window, str server id
  0x03   REQUEST       !Q request id, str model id, opt-float deadline,
-                      !B has-priority, !q priority, ndarray sample
+                      !B has-priority, !q priority, ndarray sample,
+                      [optional trace suffix: str trace id, str parent span
+                      id, !B sampled]
  0x04   RESPONSE      !Q request id, ndarray output
  0x05   ERROR         !Q request id (0 = connection-level), error
  0x06   GOODBYE       str reason (server→client: drain complete)
  0x07   REGISTER      !Q request id, str model id, !B replace, str metadata
                       JSON, str architecture JSON, !Q len + bundle payload
  0x08   ACK           !Q request id, str message (REGISTER's checksum reply)
+ 0x09   OBSERVE       !Q request id, str what ("metrics"|"spans"|"all"),
+                      !I max spans to tail
+ 0x0A   OBSERVE_REPLY !Q request id, str snapshot JSON
 ====== ============= =========================================================
 
 Frames are versioned (`WIRE_VERSION`): a version byte the decoder does not
 speak raises a typed :class:`ProtocolError` instead of misparsing bytes.
+
+The REQUEST trace suffix is the one deliberately *optional* field: it is
+encoded only when the request carries a
+:class:`~repro.serve.observability.TraceContext`, and the decoder parses it
+only when bytes remain after the sample array.  Old peers therefore
+interoperate in both directions without a version bump — an old decoder
+never sees the suffix from an untraced client, and a new decoder treats its
+absence as ``trace=None`` (the strict no-trailing-bytes check still rejects
+anything that is not exactly a trace block).
 """
 
 from __future__ import annotations
@@ -61,6 +75,7 @@ from ..cluster.errors import (
 )
 from ..middleware.base import ObfuscationViolation, RateLimitExceeded, ValidationError
 from ..middleware.privacy_budget import PrivacyBudgetExceeded
+from ..observability.trace import TraceContext
 from ..server import ServerOverloaded, ServerStopped
 from .errors import Backpressure, ConnectionClosed, GatewayError, ProtocolError
 
@@ -78,6 +93,15 @@ FRAME_ERROR = 0x05
 FRAME_GOODBYE = 0x06
 FRAME_REGISTER = 0x07
 FRAME_ACK = 0x08
+FRAME_OBSERVE = 0x09
+FRAME_OBSERVE_REPLY = 0x0A
+
+#: First byte of the optional REQUEST trace suffix.  The suffix is the only
+#: place the protocol appends data after a frame's fixed body, so it carries a
+#: marker to distinguish a genuine trace context from stray trailing bytes —
+#: anything after the sample that does not parse as ``marker + trace`` is
+#: still rejected by the strict framing check.
+TRACE_MARKER = 0x54  # ASCII "T"
 
 _LENGTH = struct.Struct("!I")
 _HEADER = struct.Struct("!BB")
@@ -105,13 +129,19 @@ class HelloAck:
 
 @dataclass
 class Request:
-    """One pipelined prediction request; responses match on ``request_id``."""
+    """One pipelined prediction request; responses match on ``request_id``.
+
+    ``trace`` carries the client's trace context across the wire when the
+    client runs a tracer; it is an optional frame suffix (absent on the wire
+    when ``None``), so untraced peers interoperate without a version bump.
+    """
 
     request_id: int
     model_id: str
     sample: np.ndarray
     deadline: Optional[float] = None  # overrides the HELLO default
     priority: Optional[int] = None
+    trace: Optional[TraceContext] = None
 
 
 @dataclass
@@ -158,7 +188,39 @@ class Ack:
     message: str = ""
 
 
-Frame = Union[Hello, HelloAck, Request, Response, ErrorFrame, Goodbye, Register, Ack]
+@dataclass
+class Observe:
+    """Client→server: pull the live observability snapshot through the edge.
+
+    ``what`` selects the sections (``"metrics"``, ``"spans"`` or ``"all"``);
+    ``max_spans`` bounds the span tail the reply carries.
+    """
+
+    request_id: int
+    what: str = "all"
+    max_spans: int = 128
+
+
+@dataclass
+class ObserveReply:
+    """Server→client: the cluster-wide snapshot, as one JSON payload."""
+
+    request_id: int
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+Frame = Union[
+    Hello,
+    HelloAck,
+    Request,
+    Response,
+    ErrorFrame,
+    Goodbye,
+    Register,
+    Ack,
+    Observe,
+    ObserveReply,
+]
 
 
 # ----------------------------------------------------------------------
@@ -413,6 +475,19 @@ def _encode_frame(frame: Frame) -> bytes:
             struct.pack("!Bq", priority is not None, 0 if priority is None else priority),
             _pack_array(frame.sample),
         ]
+        if frame.trace is not None:
+            # Optional suffix — only traced requests pay for it, and absent
+            # bytes decode as trace=None, so untraced peers stay compatible.
+            # The marker byte makes the suffix self-identifying: trailing
+            # bytes that are not exactly a trace block stay a ProtocolError.
+            parts.extend(
+                (
+                    struct.pack("!B", TRACE_MARKER),
+                    _pack_str(frame.trace.trace_id),
+                    _pack_str(frame.trace.span_id),
+                    struct.pack("!B", bool(frame.trace.sampled)),
+                )
+            )
     elif isinstance(frame, Response):
         frame_type = FRAME_RESPONSE
         parts = [struct.pack("!Q", frame.request_id), _pack_array(frame.output)]
@@ -436,6 +511,19 @@ def _encode_frame(frame: Frame) -> bytes:
     elif isinstance(frame, Ack):
         frame_type = FRAME_ACK
         parts = [struct.pack("!Q", frame.request_id), _pack_str(frame.message)]
+    elif isinstance(frame, Observe):
+        frame_type = FRAME_OBSERVE
+        parts = [
+            struct.pack("!Q", frame.request_id),
+            _pack_str(frame.what),
+            struct.pack("!I", frame.max_spans),
+        ]
+    elif isinstance(frame, ObserveReply):
+        frame_type = FRAME_OBSERVE_REPLY
+        parts = [
+            struct.pack("!Q", frame.request_id),
+            _pack_str(json.dumps(frame.payload, default=str)),
+        ]
     else:
         raise ProtocolError(f"cannot encode {type(frame).__name__} as a wire frame")
     length = sum(map(len, parts)) + _HEADER.size
@@ -458,6 +546,30 @@ def decode_payload(payload: bytes) -> Frame:
         raise
     except Exception as error:  # noqa: BLE001 - normalized at the boundary
         raise ProtocolError(f"malformed frame payload: {error!r}") from None
+
+
+def _decode_trace_suffix(cursor: _Cursor) -> Optional[TraceContext]:
+    """Parse the optional trace suffix; reset the cursor on anything else.
+
+    The suffix must be exactly ``TRACE_MARKER`` + two non-empty
+    length-prefixed ids + a sampled byte, and must end the payload.  When the
+    remaining bytes are anything else the cursor is rewound so the strict
+    trailing-bytes check in :func:`_decode_payload` rejects the frame.
+    """
+    start = cursor.offset
+    try:
+        (marker,) = cursor.unpack("!B")
+        if marker != TRACE_MARKER:
+            raise ProtocolError("trace suffix marker mismatch")
+        trace_id = cursor.str_()
+        span_id = cursor.str_()
+        (sampled,) = cursor.unpack("!B")
+        if not trace_id or not span_id or cursor.offset != len(cursor.data):
+            raise ProtocolError("malformed trace suffix")
+    except ProtocolError:
+        cursor.offset = start
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id, sampled=bool(sampled))
 
 
 def _decode_payload(payload: bytes) -> Frame:
@@ -490,12 +602,19 @@ def _decode_body(cursor: _Cursor) -> Frame:
         model_id = cursor.str_()
         deadline = cursor.opt_float()
         has_priority, priority = cursor.unpack("!Bq")
+        sample = cursor.array()
+        trace = None
+        if cursor.offset < len(cursor.data):
+            # Bytes past the sample are the optional trace suffix; a peer
+            # without tracing never sends them, so absence means trace=None.
+            trace = _decode_trace_suffix(cursor)
         return Request(
             request_id=request_id,
             model_id=model_id,
-            sample=cursor.array(),
+            sample=sample,
             deadline=deadline,
             priority=priority if has_priority else None,
+            trace=trace,
         )
     if frame_type == FRAME_RESPONSE:
         (request_id,) = cursor.unpack("!Q")
@@ -523,6 +642,13 @@ def _decode_body(cursor: _Cursor) -> Frame:
     if frame_type == FRAME_ACK:
         (request_id,) = cursor.unpack("!Q")
         return Ack(request_id=request_id, message=cursor.str_())
+    if frame_type == FRAME_OBSERVE:
+        (request_id,) = cursor.unpack("!Q")
+        what = cursor.str_()
+        return Observe(request_id=request_id, what=what, max_spans=cursor.unpack("!I")[0])
+    if frame_type == FRAME_OBSERVE_REPLY:
+        (request_id,) = cursor.unpack("!Q")
+        return ObserveReply(request_id=request_id, payload=json.loads(cursor.str_()))
     raise ProtocolError(f"unknown frame type 0x{frame_type:02x}")
 
 
@@ -555,9 +681,12 @@ __all__ = [
     "Goodbye",
     "Hello",
     "HelloAck",
+    "Observe",
+    "ObserveReply",
     "Register",
     "Request",
     "Response",
+    "TraceContext",
     "decode_error",
     "decode_payload",
     "encode_error",

@@ -79,6 +79,11 @@ class RequestContext:
     response: Optional[np.ndarray] = None
     error: Optional[BaseException] = None
     stats: Optional[object] = None  # ModelStats, attached by the server
+    #: The request's live :class:`~repro.serve.observability.ActiveSpan`,
+    #: attached by whichever host runs a tracer.  ``None`` is the tracing-off
+    #: fast path: the chain's one ``is not None`` test per hook is the entire
+    #: cost, so an untraced stack allocates no span objects.
+    trace: Optional[object] = None
     created_at: float = field(default_factory=time.perf_counter)
 
     @property

@@ -25,7 +25,7 @@ export a per-middleware latency breakdown without instrumenting each class.
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .base import BatchContext, MiddlewareError, RequestContext, ServeMiddleware
 
@@ -78,10 +78,24 @@ class MiddlewareChain:
         context: RequestContext, key: str, hook: Callable[..., None], *args: object
     ) -> None:
         begin = time.perf_counter()
+        error: Optional[BaseException] = None
         try:
             hook(*args)
+        except BaseException as hook_error:
+            error = hook_error
+            raise
         finally:
-            context.timings[key] = context.timings.get(key, 0.0) + time.perf_counter() - begin
+            end = time.perf_counter()
+            context.timings[key] = context.timings.get(key, 0.0) + end - begin
+            trace = context.trace
+            # The hook was already timed for ``context.timings``; the span
+            # reuses that measured interval rather than reading the clock
+            # again, so timings and traces can never disagree.  An unsampled,
+            # error-free interval could never be retained, so the sampled
+            # check (one attribute read) keeps the tracing-off path inside
+            # the benchmark's overhead gate.
+            if trace is not None and (trace.sampled or error is not None):
+                trace.record(key, begin, end, error=error)
 
     def enter(self, context: RequestContext) -> List[ServeMiddleware]:
         """Run the ``on_request`` descent; returns the middlewares that entered.
@@ -166,6 +180,25 @@ class MiddlewareChain:
             self.exit(context, middlewares)
         return contexts
 
+    @staticmethod
+    def _record_batch_spans(
+        pending: Sequence[RequestContext],
+        key: str,
+        begin: float,
+        end: float,
+        batch_size: int,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        # Batch stages run once for the whole coalesced batch, so every traced
+        # context gets a span over the *shared* real interval (nesting stays
+        # within the request span) annotated with the batch size.
+        for context in pending:
+            trace = context.trace
+            if trace is not None and (trace.sampled or error is not None):
+                trace.record(
+                    key, begin, end, error=error, attributes={"batch_size": batch_size}
+                )
+
     def _run_pending(
         self, model_id: str, pending: List[RequestContext], run_model: RunModel
     ) -> None:
@@ -173,29 +206,42 @@ class MiddlewareChain:
         # each context records its per-request *share* — stage totals stay
         # additive when Telemetry sums them across requests.
         batch = BatchContext(model_id=model_id, contexts=pending)
+        batch_size = len(pending)
         for middleware in self._middlewares:
+            key = f"{middleware.name}.on_batch"
+            begin = time.perf_counter()
             try:
-                begin = time.perf_counter()
                 middleware.on_batch(batch)
-                share = (time.perf_counter() - begin) / len(pending)
-                key = f"{middleware.name}.on_batch"
-                for context in pending:
-                    context.timings[key] = context.timings.get(key, 0.0) + share
             except Exception as error:  # noqa: BLE001 - fails the whole batch
+                end = time.perf_counter()
                 for context in pending:
                     context.error = error
+                self._record_batch_spans(
+                    pending, key, begin, end, batch_size, error=error
+                )
                 return
+            end = time.perf_counter()
+            share = (end - begin) / batch_size
+            for context in pending:
+                context.timings[key] = context.timings.get(key, 0.0) + share
+            self._record_batch_spans(pending, key, begin, end, batch_size)
         begin = time.perf_counter()
+        model_error: Optional[BaseException] = None
         try:
             run_model(pending)
         except Exception as error:  # noqa: BLE001 - fails every unanswered request
+            model_error = error
             for context in pending:
                 if not context.answered:
                     context.error = error
         finally:
-            share = (time.perf_counter() - begin) / len(pending)
+            end = time.perf_counter()
+            share = (end - begin) / batch_size
             for context in pending:
                 context.timings["model"] = share
+            self._record_batch_spans(
+                pending, "model", begin, end, batch_size, error=model_error
+            )
         for context in pending:
             if not context.answered:
                 context.error = MiddlewareError(

@@ -251,6 +251,11 @@ class StackSpec:
     #: :func:`repro.serve.cluster.autoscale.autoscaler_from_spec` does (the
     #: import points that way to keep middleware free of cluster imports).
     autoscale: Dict[str, object] = field(default_factory=dict)
+    #: The top-level ``[observability]`` table, carried as pure data:
+    #: ``sample_rate`` / ``max_spans`` / ``exporters`` knobs.  Interpreted by
+    #: :func:`repro.serve.observability.tracer_from_spec`, same direction of
+    #: import as ``autoscale`` to keep middleware free of tracer imports.
+    observability: Dict[str, object] = field(default_factory=dict)
 
 
 def _parse_entries(stack_name: str, definition: Mapping[str, object]):
@@ -389,6 +394,24 @@ def parse_stack_spec(spec: Mapping[str, object]) -> StackSpec:
         if scope not in resolved:
             raise UnknownStackError(str(scope), tuple(resolved), "[cluster]")
 
+    observability = spec.get("observability", {})
+    if not isinstance(observability, Mapping):
+        raise StackDefinitionError("'observability' must be a table")
+    observability = dict(observability)
+    for key, value in observability.items():
+        if key == "exporters":
+            if not isinstance(value, (list, tuple)) or not all(
+                isinstance(item, (str, Mapping)) for item in value
+            ):
+                raise StackDefinitionError(
+                    "'observability.exporters' must be an array of exporter "
+                    "names or tables"
+                )
+        elif not isinstance(value, (str, int, float, bool)):
+            raise StackDefinitionError(
+                f"'observability' key '{key}' must be a scalar, got {type(value).__name__}"
+            )
+
     return StackSpec(
         stacks=resolved,
         default_stack=None if default_stack is None else str(default_stack),
@@ -396,6 +419,7 @@ def parse_stack_spec(spec: Mapping[str, object]) -> StackSpec:
         models=_selection("models"),
         cluster={str(k): str(v) for k, v in cluster.items()},
         autoscale=autoscale,
+        observability=observability,
     )
 
 

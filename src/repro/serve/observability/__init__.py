@@ -1,0 +1,56 @@
+"""End-to-end request tracing and the unified metrics plane.
+
+The observability layer gives every request through the serving stack one
+*trace* — spans with ids, parent links and monotonic timings at each hop,
+propagated over the wire and threaded in-process through
+``RequestContext.trace`` — and every component one *metrics registry* that
+unifies the ad-hoc ``stats()`` dicts behind a single snapshot API:
+
+* :mod:`~repro.serve.observability.trace` —
+  :class:`Tracer` / :class:`ActiveSpan` / :class:`Span` /
+  :class:`TraceContext`, with head-based probabilistic sampling and
+  always-sample-on-error;
+* :mod:`~repro.serve.observability.metrics` — :class:`MetricsRegistry`
+  (counters/gauges/histograms plus named snapshot providers; the cluster
+  router's ``stats()`` is a view over it);
+* :mod:`~repro.serve.observability.exporters` — the in-memory test sink,
+  the JSONL span/metric writer, and the ``@register_exporter`` registry the
+  ``[observability]`` TOML block resolves names in;
+* :mod:`~repro.serve.observability.config` — :func:`tracer_from_spec`,
+  building a configured tracer from that block.
+
+The live cluster-wide snapshot (and a tail of recent spans) is pullable over
+the wire via the gateway's ``OBSERVE`` frame —
+:meth:`repro.serve.gateway.RemoteClient.observe`.
+"""
+
+from .config import ObservabilityConfigError, tracer_from_spec
+from .exporters import (
+    InMemoryExporter,
+    JsonlExporter,
+    SpanExporter,
+    build_exporter,
+    register_exporter,
+    registered_exporters,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import ActiveSpan, Span, TraceContext, Tracer
+
+__all__ = [
+    "ActiveSpan",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "ObservabilityConfigError",
+    "Span",
+    "SpanExporter",
+    "TraceContext",
+    "Tracer",
+    "build_exporter",
+    "register_exporter",
+    "registered_exporters",
+    "tracer_from_spec",
+]

@@ -1,0 +1,115 @@
+"""Build a configured :class:`Tracer` from the ``[observability]`` TOML block.
+
+The block is pure data — the middleware spec parser
+(:func:`repro.serve.middleware.config.parse_stack_spec`) validates its shape
+and carries it on ``StackSpec.observability``; this module interprets it::
+
+    [observability]
+    sample_rate = 0.1          # head-sampling probability for root spans
+    max_spans = 2048           # tracer ring-buffer capacity
+    exporters = [
+        "memory",                               # bare registered name
+        { name = "jsonl", path = "spans.jsonl" },  # name + factory kwargs
+    ]
+
+Exporter names resolve through the :func:`~repro.serve.observability.
+exporters.register_exporter` registry, so user extensions are one decorator
+away — the same pattern ``@register_middleware`` and
+``@register_scaling_policy`` established.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .exporters import SpanExporter, build_exporter, registered_exporters
+from .trace import Tracer
+
+
+class ObservabilityConfigError(ValueError):
+    """A malformed ``[observability]`` block, raised eagerly at build time."""
+
+
+def _parse_exporter_entries(raw: object) -> List[Tuple[str, Dict[str, object]]]:
+    if raw is None:
+        return []
+    if not isinstance(raw, (list, tuple)):
+        raise ObservabilityConfigError(
+            f"'exporters' must be an array of names or tables, got {type(raw).__name__}"
+        )
+    entries: List[Tuple[str, Dict[str, object]]] = []
+    for index, entry in enumerate(raw):
+        if isinstance(entry, str):
+            entries.append((entry, {}))
+            continue
+        if not isinstance(entry, Mapping):
+            raise ObservabilityConfigError(
+                f"'exporters' entry {index}: expected a name or a table, "
+                f"got {type(entry).__name__}"
+            )
+        kwargs = dict(entry)
+        name = kwargs.pop("name", None)
+        if not isinstance(name, str) or not name:
+            raise ObservabilityConfigError(
+                f"'exporters' entry {index}: missing exporter 'name'"
+            )
+        entries.append((name, kwargs))
+    return entries
+
+
+def tracer_from_spec(
+    observability: Optional[Mapping[str, object]],
+    extra_exporters: Tuple[SpanExporter, ...] = (),
+) -> Optional[Tracer]:
+    """Interpret one ``[observability]`` table into a :class:`Tracer`.
+
+    Accepts the raw mapping or a parsed :class:`~repro.serve.middleware.
+    config.StackSpec` (its ``observability`` field is read).  Returns ``None``
+    for an absent/empty block — the caller keeps the tracing-off fast path.
+    """
+    table = getattr(observability, "observability", observability)
+    if not table:
+        return None
+    if not isinstance(table, Mapping):
+        raise ObservabilityConfigError(
+            f"[observability] must be a table, got {type(table).__name__}"
+        )
+    known = {"sample_rate", "max_spans", "exporters"}
+    unknown = set(table) - known
+    if unknown:
+        raise ObservabilityConfigError(
+            f"unknown [observability] keys {sorted(unknown)}; known: {sorted(known)}"
+        )
+    sample_rate = table.get("sample_rate", 1.0)
+    if isinstance(sample_rate, bool) or not isinstance(sample_rate, (int, float)):
+        raise ObservabilityConfigError(
+            f"'sample_rate' must be a number in [0, 1], got {sample_rate!r}"
+        )
+    if not 0.0 <= float(sample_rate) <= 1.0:
+        raise ObservabilityConfigError(
+            f"'sample_rate' must be within [0, 1], got {sample_rate!r}"
+        )
+    max_spans = table.get("max_spans", 2048)
+    if isinstance(max_spans, bool) or not isinstance(max_spans, int) or max_spans < 1:
+        raise ObservabilityConfigError(
+            f"'max_spans' must be a positive integer, got {max_spans!r}"
+        )
+    exporters: List[SpanExporter] = []
+    for name, kwargs in _parse_exporter_entries(table.get("exporters")):
+        try:
+            exporters.append(build_exporter(name, kwargs))
+        except KeyError:
+            raise ObservabilityConfigError(
+                f"unknown exporter '{name}'; registered: {list(registered_exporters())}"
+            ) from None
+        except (TypeError, ValueError) as error:
+            raise ObservabilityConfigError(
+                f"bad arguments for exporter '{name}': {error}"
+            ) from None
+    exporters.extend(extra_exporters)
+    return Tracer(
+        sample_rate=float(sample_rate), exporters=exporters, max_spans=int(max_spans)
+    )
+
+
+__all__ = ["ObservabilityConfigError", "tracer_from_spec"]

@@ -1,0 +1,160 @@
+"""Span/metric exporters plus the ``@register_exporter`` extension registry.
+
+An exporter is anything with ``export(span_dict)``; the tracer calls it for
+every *retained* span (sampled, or error-annotated under
+always-sample-on-error) and swallows exporter failures — observability must
+never take serving down with it.  Two built-ins:
+
+* :class:`InMemoryExporter` — a bounded list for tests and demos;
+* :class:`JsonlExporter` — one JSON object per line, append-only; also
+  writes metric snapshots (tagged ``"kind": "metrics"``) on demand so one
+  file carries a session's full observability record.
+
+User exporters join the name registry with :func:`register_exporter`, which
+is what lets the ``[observability]`` TOML block reference them declaratively
+(see :mod:`repro.serve.observability.config`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class SpanExporter:
+    """Base exporter: override :meth:`export`; :meth:`close` is optional."""
+
+    def export(self, span: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; the default has none."""
+
+
+class InMemoryExporter(SpanExporter):
+    """Collects exported spans in a bounded list (oldest dropped first)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._spans: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    def export(self, span: Dict[str, object]) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if len(self._spans) > self.capacity:
+                del self._spans[: len(self._spans) - self.capacity]
+
+    @property
+    def spans(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class JsonlExporter(SpanExporter):
+    """Appends one JSON line per span (and tagged metric snapshots) to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._written = 0
+
+    def _write(self, payload: Dict[str, object]) -> None:
+        line = json.dumps(payload, default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self._written += 1
+
+    def export(self, span: Dict[str, object]) -> None:
+        self._write({"kind": "span", **span})
+
+    def write_metrics(self, snapshot: Dict[str, object]) -> None:
+        """Append one metrics snapshot line (``"kind": "metrics"``)."""
+        self._write({"kind": "metrics", "metrics": snapshot})
+
+    @property
+    def lines_written(self) -> int:
+        with self._lock:
+            return self._written
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+# ----------------------------------------------------------------------
+# The exporter registry (what [observability] exporters = [...] resolves in)
+# ----------------------------------------------------------------------
+ExporterFactory = Callable[..., SpanExporter]
+
+_EXPORTERS: Dict[str, ExporterFactory] = {}
+
+
+def register_exporter(
+    name: str, factory: Optional[ExporterFactory] = None, replace: bool = False
+):
+    """Register ``factory`` under ``name`` for the ``[observability]`` block.
+
+    Usable as a decorator (``@register_exporter("statsd")`` on a
+    :class:`SpanExporter` subclass) or called directly with a factory.
+    """
+
+    def _register(target: ExporterFactory) -> ExporterFactory:
+        if not callable(target):
+            raise TypeError(f"exporter factory for '{name}' must be callable")
+        if name in _EXPORTERS and not replace:
+            raise ValueError(
+                f"exporter name '{name}' is already registered (pass replace=True)"
+            )
+        _EXPORTERS[name] = target
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def registered_exporters() -> Tuple[str, ...]:
+    return tuple(sorted(_EXPORTERS))
+
+
+def build_exporter(name: str, kwargs: Optional[Dict[str, object]] = None) -> SpanExporter:
+    factory = _EXPORTERS.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown exporter '{name}'; registered: {sorted(_EXPORTERS)} "
+            "(add yours with @register_exporter)"
+        )
+    exporter = factory(**dict(kwargs or {}))
+    if not hasattr(exporter, "export"):
+        raise TypeError(f"exporter factory '{name}' returned an object without export()")
+    return exporter
+
+
+register_exporter("memory", InMemoryExporter)
+register_exporter("jsonl", JsonlExporter)
+
+__all__ = [
+    "InMemoryExporter",
+    "JsonlExporter",
+    "SpanExporter",
+    "build_exporter",
+    "register_exporter",
+    "registered_exporters",
+]

@@ -1,0 +1,262 @@
+"""The unified metrics plane: typed instruments plus named snapshot providers.
+
+Before this module, every component grew its own ad-hoc ``stats()`` dict and
+callers stitched them together by hand.  :class:`MetricsRegistry` unifies the
+two shapes that actually exist in the stack:
+
+* **instruments** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  created on first use by name (``metrics.counter("gateway.requests")``),
+  for new code that wants point instruments;
+* **providers** — named zero-arg callables returning a dict, for the
+  existing ``stats()``/``snapshot()`` surfaces (server, router, registry,
+  batcher, admission, limiter, cache, privacy budget, breaker-via-health,
+  autoscaler).  Registering a provider costs nothing until someone collects.
+
+``collect(names)`` returns exactly the named providers' dicts — which is how
+:meth:`ClusterRouter.stats` keeps its historical shape while genuinely being
+a view over the registry — and :meth:`snapshot` returns everything: all
+providers plus the instrument values, the payload the OBSERVE frame ships.
+
+Metric naming scheme (``docs/observability.md``): provider names are the
+component (``router``, ``admission``, ``gateway``, ``middleware.<Name>``);
+instrument names are dotted ``component.measure`` strings.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+Provider = Callable[[], Dict[str, object]]
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, replica count, sample rate)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A rolling-window distribution with count/mean/percentile summaries."""
+
+    __slots__ = ("name", "_samples", "_count", "_total", "_lock")
+
+    def __init__(self, name: str, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.name = name
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            value = float(value)
+            self._samples.append(value)
+            self._count += 1
+            self._total += value
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._total
+        if not samples:
+            return {"count": count, "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        array = np.asarray(samples)
+        return {
+            "count": count,
+            "mean": round(total / count, 6) if count else 0.0,
+            "p50": round(float(np.percentile(array, 50)), 6),
+            "p95": round(float(np.percentile(array, 95)), 6),
+        }
+
+
+class MetricsRegistry:
+    """One snapshot surface over every component's counters and stats dicts."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._providers: Dict[str, Provider] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Instruments (created on first use, shared thereafter)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, window: int = 2048) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, window=window)
+            return instrument
+
+    # ------------------------------------------------------------------
+    # Providers (the existing stats() surfaces, bound by name)
+    # ------------------------------------------------------------------
+    def register_provider(
+        self, name: str, provider: Provider, replace: bool = False
+    ) -> Provider:
+        if not callable(provider):
+            raise TypeError(f"provider '{name}' must be callable")
+        with self._lock:
+            if name in self._providers and not replace:
+                raise ValueError(
+                    f"metrics provider '{name}' is already registered (pass replace=True)"
+                )
+            self._providers[name] = provider
+        return provider
+
+    def unregister_provider(self, name: str) -> None:
+        with self._lock:
+            self._providers.pop(name, None)
+
+    def provider_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._providers)
+
+    def bind(self, name: str, source: object, replace: bool = False) -> None:
+        """Register ``source``'s stats surface under ``name``.
+
+        Accepts a zero-arg callable, or any object exposing ``stats()`` or
+        ``snapshot()`` — which covers every component in the serving stack.
+        """
+        if callable(source):
+            self.register_provider(name, source, replace=replace)
+            return
+        for attr in ("stats", "snapshot"):
+            method = getattr(source, attr, None)
+            if callable(method):
+                self.register_provider(name, method, replace=replace)
+                return
+        raise TypeError(
+            f"cannot bind {type(source).__name__} as provider '{name}': "
+            "expected a callable or an object with stats()/snapshot()"
+        )
+
+    def bind_chain(self, chain, prefix: str = "middleware.", replace: bool = False) -> List[str]:
+        """Bind every middleware in ``chain`` that exposes a stats surface.
+
+        Returns the provider names registered (``middleware.<ClassName>``),
+        so the rate limiter's buckets, the cache's hit ratio and the privacy
+        ledger all surface through one :meth:`snapshot` call.
+        """
+        bound: List[str] = []
+        for middleware in chain:
+            for attr in ("stats", "snapshot"):
+                method = getattr(middleware, attr, None)
+                if callable(method):
+                    name = f"{prefix}{middleware.name}"
+                    self.register_provider(name, method, replace=replace)
+                    bound.append(name)
+                    break
+        return bound
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect(self, names) -> Dict[str, object]:
+        """Exactly the named providers' current dicts (KeyError on unknown).
+
+        This is the "stats() as a view" primitive: a caller with a pinned
+        output shape names its sections and gets precisely those, in order.
+        """
+        with self._lock:
+            providers = {name: self._providers[name] for name in names}
+        return {name: provider() for name, provider in providers.items()}
+
+    def record_stage(self, model_id: str, stage: str, seconds: float, stats=None) -> None:
+        """The Telemetry delegation path: route one stage timing through the
+        registry into the per-model ``ModelStats`` (keeping its ``stages()``
+        output byte-compatible) while the registry tallies flow-through."""
+        self.counter("telemetry.stages_recorded").inc()
+        if stats is not None:
+            stats.record_stage(stage, seconds)
+
+    def instruments(self) -> Dict[str, object]:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: counter.value for name, counter in sorted(counters.items())},
+            "gauges": {name: gauge.value for name, gauge in sorted(gauges.items())},
+            "histograms": {
+                name: histogram.summary() for name, histogram in sorted(histograms.items())
+            },
+        }
+
+    def snapshot(self, names: Optional[List[str]] = None) -> Dict[str, object]:
+        """Every provider (or just ``names``) plus the instrument values.
+
+        A provider that raises contributes an ``{"error": ...}`` section
+        instead of killing the whole snapshot — monitoring reads must survive
+        a component mid-teardown.
+        """
+        with self._lock:
+            providers = {
+                name: provider
+                for name, provider in sorted(self._providers.items())
+                if names is None or name in names
+            }
+        sections: Dict[str, object] = {}
+        for name, provider in providers.items():
+            try:
+                sections[name] = provider()
+            except Exception as error:  # noqa: BLE001 - snapshot must not fail
+                sections[name] = {"error": f"{type(error).__name__}: {error}"}
+        sections["instruments"] = self.instruments()
+        return sections
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -1,0 +1,354 @@
+"""Distributed tracing for the serving stack: spans, context, head sampling.
+
+One request through the full stack produces one *trace* — a tree of timed
+spans linked by parent ids — whose hops are client submit, gateway frame
+handling, router placement/failover, admission queueing, replica batch
+execution and every middleware hook.  The pieces:
+
+* :class:`TraceContext` — the three fields that cross process/wire
+  boundaries: ``trace_id``, ``span_id`` (the parent on the far side) and the
+  head-sampling decision.  It rides the REQUEST frame as an optional,
+  version-tolerant suffix (see :mod:`repro.serve.gateway.wire`) and travels
+  in-process on ``RequestContext.trace``;
+* :class:`Span` — one finished, immutable-after-end record: ids, a name from
+  the ``component.operation`` scheme (``docs/observability.md``), monotonic
+  ``begin``/``end`` from :func:`time.perf_counter`, free-form attributes and
+  an optional error annotation;
+* :class:`ActiveSpan` — the live handle components hold while work is in
+  flight: ``child()`` opens a nested span, ``record()`` stamps an
+  already-measured child interval (how the middleware chain reports hook
+  timings without re-measuring), ``end()`` finishes;
+* :class:`Tracer` — the factory and sink.  **Head-based sampling**: the
+  decision is drawn once, at the root span, and inherited by every child on
+  both sides of the wire; unsampled spans are still *created* (they are
+  cheap) but dropped at finish — **unless they carry an error**, in which
+  case they are kept and exported regardless (always-sample-on-error).
+  Finished, retained spans land in a bounded ring buffer
+  (:meth:`Tracer.recent_spans` — what the OBSERVE frame tails) and fan out
+  to the configured exporters.
+
+The "tracing off" fast path is ``tracer=None``: every instrumented component
+guards span work behind one ``is not None`` test, so an unconfigured stack
+allocates no span objects at all (benchmarked by the ``observability``
+section of ``bench_serving``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+
+def _new_id(rng: random.Random, bits: int = 64) -> str:
+    return f"{rng.getrandbits(bits):0{bits // 4}x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of a trace: what crosses a boundary.
+
+    ``span_id`` names the *parent* span on the far side of the boundary;
+    ``sampled`` carries the root's head-sampling decision so downstream
+    tracers never re-roll it.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace (mutable until :meth:`ActiveSpan.end`)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    begin: float
+    end: float = 0.0
+    sampled: bool = True
+    attributes: Dict[str, object] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.begin, 0.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The exporter/wire form (plain JSON-serializable types only)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "begin": self.begin,
+            "end": self.end,
+            "duration_ms": round(self.duration * 1e3, 6),
+            "sampled": self.sampled,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+        }
+
+
+class ActiveSpan:
+    """A live span handle: open children, stamp measured intervals, finish."""
+
+    __slots__ = ("tracer", "span", "sampled", "_ended")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self.tracer = tracer
+        self.span = span
+        #: Mirrored from the span so hot paths (the middleware chain) can
+        #: check the sampling decision with one attribute read.
+        self.sampled = span.sampled
+        self._ended = False
+
+    @property
+    def context(self) -> TraceContext:
+        """What to hand the next hop (this span becomes the parent there).
+
+        Unsampled spans carry lazily materialized ids — most never need any
+        (they are dropped) — so the first context access mints them.
+        """
+        span = self.span
+        if not span.span_id:
+            self.tracer._materialize_ids(span)
+        return TraceContext(span.trace_id, span.span_id, span.sampled)
+
+    def child(
+        self, name: str, attributes: Optional[Dict[str, object]] = None
+    ) -> "ActiveSpan":
+        return self.tracer.start_span(name, parent=self.context, attributes=attributes)
+
+    def record(
+        self,
+        name: str,
+        begin: float,
+        end: float,
+        error: Optional[BaseException] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Optional[Span]:
+        """Attach an already-measured child interval as a finished span.
+
+        The middleware chain times every hook anyway; this lets it report
+        those measurements as properly-nested spans without a second clock
+        read or a live handle per hook.  An unsampled, error-free interval
+        can never be retained, so it is counted and dropped without ever
+        materializing ids or a :class:`Span` — this is the hot path that
+        keeps sampled-off tracing overhead inside the benchmark gate.
+        """
+        if not self.span.sampled and error is None:
+            self.tracer._count_unsampled()
+            return None
+        return self.tracer.record_span(
+            name,
+            begin,
+            end,
+            parent=self.context,
+            error=error,
+            attributes=attributes,
+        )
+
+    def annotate(self, key: str, value: object) -> "ActiveSpan":
+        self.span.attributes[key] = value
+        return self
+
+    def end(self, error: Optional[BaseException] = None) -> Span:
+        """Finish the span (idempotent); an error forces retention/export."""
+        if not self._ended:
+            self._ended = True
+            self.span.end = time.perf_counter()
+            if error is not None:
+                self.span.error = f"{type(error).__name__}: {error}"
+            self.tracer._finish(self.span)
+        return self.span
+
+
+class Tracer:
+    """Span factory and sink with head-based sampling and a bounded ring.
+
+    ``sample_rate`` is the probability a *root* span (one started without a
+    parent) is sampled; children and remote continuations inherit the root's
+    decision via :class:`TraceContext`.  ``rng`` is injectable so tests drive
+    the decision deterministically.  Thread-safe: spans finish on worker,
+    dispatcher and event-loop threads concurrently.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        exporters: Iterable[object] = (),
+        max_spans: int = 2048,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0.0, 1.0]")
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.sample_rate = sample_rate
+        self.exporters: List[object] = list(exporters)
+        self.clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._ring: Deque[Span] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._counters = {
+            "traces_started": 0,
+            "spans_started": 0,
+            "spans_finished": 0,
+            "spans_retained": 0,
+            "spans_dropped": 0,
+            "spans_errored": 0,
+        }
+        self._span_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[TraceContext] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> ActiveSpan:
+        """Open a live span; no parent makes it a root (and rolls sampling).
+
+        Unsampled spans defer id generation (the dominant per-span cost):
+        ids are minted only when the span is handed to a next hop
+        (:attr:`ActiveSpan.context`) or retained on error — a dropped span
+        never pays for them.
+        """
+        with self._lock:
+            if parent is None:
+                parent_id = None
+                sampled = self._rng.random() < self.sample_rate
+                trace_id = _new_id(self._rng, 128) if sampled else ""
+                self._counters["traces_started"] += 1
+            else:
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+                sampled = parent.sampled
+            span_id = _new_id(self._rng) if sampled else ""
+            self._counters["spans_started"] += 1
+        span = Span(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            begin=self.clock(),
+            sampled=sampled,
+            attributes=dict(attributes or {}),
+        )
+        return ActiveSpan(self, span)
+
+    def record_span(
+        self,
+        name: str,
+        begin: float,
+        end: float,
+        parent: Optional[TraceContext] = None,
+        error: Optional[BaseException] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Optional[Span]:
+        """Create-and-finish a span from an externally measured interval.
+
+        With an unsampled parent and no error the span could never be
+        retained; it is tallied in the counters and skipped entirely.
+        """
+        if parent is not None and not parent.sampled and error is None:
+            self._count_unsampled()
+            return None
+        active = self.start_span(name, parent=parent, attributes=attributes)
+        active.span.begin = begin
+        active.span.end = end
+        if error is not None:
+            active.span.error = f"{type(error).__name__}: {error}"
+        active._ended = True
+        self._finish(active.span, stamp_end=False)
+        return active.span
+
+    def _materialize_ids(self, span: Span) -> None:
+        """Mint the deferred ids of an unsampled span (first context access,
+        or retention on error)."""
+        with self._lock:
+            if not span.span_id:
+                span.span_id = _new_id(self._rng)
+            if not span.trace_id and span.parent_id is None:
+                span.trace_id = _new_id(self._rng, 128)
+
+    def _count_unsampled(self) -> None:
+        """Tally a measured interval that was dropped without a Span.
+
+        The sampled-off fast path still keeps the ledger balanced:
+        ``spans_started == spans_finished`` and
+        ``spans_retained + spans_dropped == spans_started`` hold whether or
+        not the span was ever materialized.
+        """
+        with self._lock:
+            self._counters["spans_started"] += 1
+            self._counters["spans_finished"] += 1
+            self._counters["spans_dropped"] += 1
+
+    def _finish(self, span: Span, stamp_end: bool = True) -> None:
+        if stamp_end and span.end == 0.0:  # pragma: no cover - end() stamps first
+            span.end = self.clock()
+        retained = span.sampled or span.error is not None
+        if retained and not span.span_id:
+            self._materialize_ids(span)
+        with self._lock:
+            self._counters["spans_finished"] += 1
+            if span.error is not None:
+                self._counters["spans_errored"] += 1
+            if retained:
+                self._counters["spans_retained"] += 1
+                self._span_counts[span.name] = self._span_counts.get(span.name, 0) + 1
+                self._ring.append(span)
+            else:
+                self._counters["spans_dropped"] += 1
+        if retained and self.exporters:
+            payload = span.to_dict()
+            for exporter in self.exporters:
+                try:
+                    exporter.export(payload)
+                except Exception:  # noqa: BLE001 - an exporter must not fail serving
+                    pass
+
+    # ------------------------------------------------------------------
+    # Introspection (what OBSERVE serves)
+    # ------------------------------------------------------------------
+    def recent_spans(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """The newest retained spans, oldest first (bounded by the ring)."""
+        with self._lock:
+            spans = list(self._ring)
+        if limit is not None:
+            spans = spans[-max(limit, 0) :]
+        return [span.to_dict() for span in spans]
+
+    def span_counts(self) -> Dict[str, int]:
+        """Retained span tally per name — the ledger the benchmark balances."""
+        with self._lock:
+            return dict(self._span_counts)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                **self._counters,
+                "sample_rate": self.sample_rate,
+                "ring_size": len(self._ring),
+                "ring_capacity": self._ring.maxlen,
+                "exporters": [type(exporter).__name__ for exporter in self.exporters],
+            }
+
+    def clear(self) -> None:
+        """Drop retained spans and tallies (tests; counters survive)."""
+        with self._lock:
+            self._ring.clear()
+            self._span_counts.clear()
+
+
+__all__ = ["ActiveSpan", "Span", "TraceContext", "Tracer"]

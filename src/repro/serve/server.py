@@ -37,6 +37,7 @@ import numpy as np
 
 from .batcher import Batcher
 from .middleware import MiddlewareChain, RequestContext, ServeMiddleware
+from .observability import MetricsRegistry, TraceContext, Tracer
 from .registry import ModelRegistry
 from .stats import ModelStats
 
@@ -68,6 +69,7 @@ class _Request:
     sample: np.ndarray
     future: Future
     tenant: str = "default"
+    trace: Optional[TraceContext] = None
     submitted_at: float = field(default_factory=time.perf_counter)
 
 
@@ -84,6 +86,9 @@ class InferenceServer:
         num_workers: int = 2,
         queue_size: int = 4096,
         middleware: Union[MiddlewareChain, Iterable[ServeMiddleware], None] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_prefix: str = "",
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -91,6 +96,7 @@ class InferenceServer:
         self.batcher = batcher if batcher is not None else Batcher()
         self.num_workers = num_workers
         self.middleware = MiddlewareChain.coerce(middleware)
+        self.tracer = tracer
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
         self._workers: List[threading.Thread] = []
         self._running = False
@@ -98,6 +104,12 @@ class InferenceServer:
         self._lifecycle_lock = threading.Lock()
         self._stats: Dict[str, ModelStats] = {}
         self._stats_lock = threading.Lock()
+        if metrics is not None:
+            # ``metrics_prefix`` namespaces the providers so several servers
+            # (one per cluster replica) can share one registry.
+            metrics.bind(f"{metrics_prefix}server", self.stats)
+            metrics.bind(f"{metrics_prefix}batcher", self.batcher.stats)
+            metrics.bind(f"{metrics_prefix}registry", self.registry.stats)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -148,12 +160,22 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Synchronous API
     # ------------------------------------------------------------------
-    def predict(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> np.ndarray:
+    def predict(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        tenant: str = "default",
+        trace: Optional[TraceContext] = None,
+    ) -> np.ndarray:
         """Serve one sample on the caller's thread (a batch of one)."""
-        return self.predict_batch(model_id, [sample], tenant=tenant)[0]
+        return self.predict_batch(model_id, [sample], tenant=tenant, trace=trace)[0]
 
     def predict_batch(
-        self, model_id: str, samples: Sequence[np.ndarray], tenant: str = "default"
+        self,
+        model_id: str,
+        samples: Sequence[np.ndarray],
+        tenant: str = "default",
+        trace: Optional[TraceContext] = None,
     ) -> List[np.ndarray]:
         """Serve many samples on the caller's thread, chunked into padded batches.
 
@@ -178,7 +200,7 @@ class InferenceServer:
                 )
                 for sample in chunk
             ]
-            self._serve_contexts(model_id, contexts)
+            self._serve_contexts(model_id, contexts, parents=[trace] * len(contexts))
             for context in contexts:
                 if context.error is not None:
                     raise context.error
@@ -263,7 +285,13 @@ class InferenceServer:
             self.middleware = new
         return old
 
-    def submit(self, model_id: str, sample: np.ndarray, tenant: str = "default") -> Future:
+    def submit(
+        self,
+        model_id: str,
+        sample: np.ndarray,
+        tenant: str = "default",
+        trace: Optional[TraceContext] = None,
+    ) -> Future:
         """Enqueue one sample; the returned future resolves to its output array.
 
         The running check and the enqueue happen under the lifecycle lock so a
@@ -272,7 +300,7 @@ class InferenceServer:
         is non-blocking: a full queue raises rather than deadlocking ``stop()``
         against a blocked ``put`` holding the lifecycle lock.
         """
-        request = _Request(model_id, np.asarray(sample), Future(), tenant=tenant)
+        request = _Request(model_id, np.asarray(sample), Future(), tenant=tenant, trace=trace)
         with self._lifecycle_lock:
             if not self._running:
                 if self._stopped:
@@ -340,7 +368,9 @@ class InferenceServer:
             )
             for request in group
         ]
-        self._serve_contexts(model_id, contexts)
+        self._serve_contexts(
+            model_id, contexts, parents=[request.trace for request in group]
+        )
         for request, context in zip(group, contexts):
             if context.error is not None:
                 request.future.set_exception(context.error)
@@ -350,7 +380,12 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # The one pipeline both modes share
     # ------------------------------------------------------------------
-    def _serve_contexts(self, model_id: str, contexts: List[RequestContext]) -> None:
+    def _serve_contexts(
+        self,
+        model_id: str,
+        contexts: List[RequestContext],
+        parents: Optional[Sequence[Optional[TraceContext]]] = None,
+    ) -> None:
         """Run a coalesced same-model group through the middleware chain.
 
         The model executes once over the contexts the chain left pending
@@ -365,11 +400,13 @@ class InferenceServer:
         entirely — the common unconfigured server keeps the bare hot path.
         """
         stats = self._model_stats(model_id)
+        spans = self._open_request_spans(model_id, contexts, parents)
         # One read: a concurrent swap_middleware must not hand the emptiness
         # check and the execution below two different chains.
         chain = self.middleware
         if not chain:
             self._serve_direct(model_id, stats, contexts)
+            self._close_request_spans(contexts, spans)
             return
         for context in contexts:
             context.stats = stats
@@ -394,6 +431,49 @@ class InferenceServer:
         if succeeded:
             latencies = [now - context.created_at for context in succeeded]
             stats.record_batch(len(succeeded), self.batcher.padded_size(len(ran)), latencies)
+        self._close_request_spans(contexts, spans)
+
+    def _open_request_spans(
+        self,
+        model_id: str,
+        contexts: List[RequestContext],
+        parents: Optional[Sequence[Optional[TraceContext]]],
+    ) -> Optional[List[object]]:
+        """Open one ``server.request`` span per context (``None`` when untraced).
+
+        Each span parents to the caller-supplied :class:`TraceContext` (the
+        router's dispatch span, or a remote client's via the wire header) so
+        the server's hop links into the caller's trace; without a parent it
+        roots a new trace.  The span lands on ``context.trace`` for the
+        middleware chain to hang hook spans off.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        spans: List[object] = []
+        for index, context in enumerate(contexts):
+            parent = parents[index] if parents is not None else None
+            span = tracer.start_span(
+                "server.request",
+                parent=parent,
+                attributes={
+                    "model_id": model_id,
+                    "tenant": context.tenant,
+                    "source": context.source,
+                },
+            )
+            context.trace = span
+            spans.append(span)
+        return spans
+
+    @staticmethod
+    def _close_request_spans(
+        contexts: List[RequestContext], spans: Optional[List[object]]
+    ) -> None:
+        if spans is None:
+            return
+        for context, span in zip(contexts, spans):
+            span.end(error=context.error)
 
     def _serve_direct(
         self, model_id: str, stats: ModelStats, contexts: List[RequestContext]

@@ -8,7 +8,7 @@ expose them from a monitoring endpoint without holding locks for long.
 from __future__ import annotations
 
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Deque, Dict, Iterable, List
 
 import numpy as np
@@ -48,16 +48,25 @@ class ModelStats:
     serving one request at a time.
     """
 
-    def __init__(self, max_batch_size: int, window: int = 4096) -> None:
+    def __init__(self, max_batch_size: int, window: int = 4096, max_stages: int = 256) -> None:
+        if max_stages < 1:
+            raise ValueError("max_stages must be >= 1")
         self.max_batch_size = max_batch_size
+        self.max_stages = max_stages
         self.requests = 0
         self.batches = 0
         self.padded_samples = 0
         self.errors = 0
+        #: Stage buckets dropped because the key set outgrew ``max_stages``;
+        #: nonzero means the breakdown in :meth:`stages` is partial.
+        self.evicted_stages = 0
         self.latency = LatencyWindow(window)
         # stage name -> [count, total_seconds]; fed by the Telemetry
-        # middleware with the chain's per-hook/model/total timings.
-        self._stages: Dict[str, List[float]] = {}
+        # middleware with the chain's per-hook/model/total timings.  Ordered
+        # least- to most-recently recorded so unbounded stage-key cardinality
+        # (e.g. a caller interpolating ids into stage names) evicts the
+        # coldest bucket instead of growing without bound.
+        self._stages: "OrderedDict[str, List[float]]" = OrderedDict()
         self._lock = threading.Lock()
 
     def record_batch(self, batch_size: int, padded_size: int, latencies: Iterable[float]) -> None:
@@ -84,13 +93,15 @@ class ModelStats:
         parts = list(parts)
         max_batch = max((part.max_batch_size for part in parts), default=1)
         window = max(sum(len(part.latency) for part in parts), 1)
-        merged = cls(max_batch, window=window)
+        max_stages = max((part.max_stages for part in parts), default=256)
+        merged = cls(max_batch, window=window, max_stages=max_stages)
         for part in parts:
             with part._lock:
                 merged.requests += part.requests
                 merged.batches += part.batches
                 merged.padded_samples += part.padded_samples
                 merged.errors += part.errors
+                merged.evicted_stages += part.evicted_stages
                 values = part.latency.values()
                 stages = {stage: list(bucket) for stage, bucket in part._stages.items()}
             for value in values:
@@ -111,9 +122,13 @@ class ModelStats:
             bucket = self._stages.get(stage)
             if bucket is None:
                 self._stages[stage] = [1, float(seconds)]
+                while len(self._stages) > self.max_stages:
+                    self._stages.popitem(last=False)
+                    self.evicted_stages += 1
             else:
                 bucket[0] += 1
                 bucket[1] += float(seconds)
+                self._stages.move_to_end(stage)
 
     def stages(self) -> Dict[str, Dict[str, float]]:
         """Per-stage latency breakdown: count, total and mean milliseconds."""
@@ -140,6 +155,7 @@ class ModelStats:
                 "requests": requests,
                 "batches": batches,
                 "errors": self.errors,
+                "evicted_stages": self.evicted_stages,
                 "mean_batch_size": round(mean_batch, 3),
                 "batch_fill_ratio": round(fill, 4),
                 "padding_overhead_x": round(pad_overhead, 3),

@@ -9,6 +9,7 @@ import pytest
 
 from repro.serve.gateway import wire
 from repro.serve.gateway.errors import ProtocolError
+from repro.serve.observability import TraceContext
 
 
 def roundtrip(frame):
@@ -108,6 +109,49 @@ class TestFrameRoundTrips:
         assert isinstance(frame, wire.Ack)
         assert frame.message == "sha256deadbeef"
 
+    def test_request_trace_suffix(self):
+        context = TraceContext(trace_id="a" * 32, span_id="b" * 16, sampled=True)
+        frame = roundtrip(
+            wire.Request(3, "m", np.ones(2, dtype=np.float32), trace=context)
+        )
+        assert frame.trace == context
+
+    def test_request_unsampled_trace(self):
+        context = TraceContext(trace_id="c" * 32, span_id="d" * 16, sampled=False)
+        frame = roundtrip(
+            wire.Request(3, "m", np.ones(2, dtype=np.float32), trace=context)
+        )
+        assert frame.trace is not None
+        assert frame.trace.sampled is False
+
+    def test_untraced_request_has_no_suffix(self):
+        """An untraced frame encodes byte-identically to the pre-trace wire."""
+        frame = roundtrip(wire.Request(3, "m", np.ones(2, dtype=np.float32)))
+        assert frame.trace is None
+
+    def test_observe(self):
+        frame = roundtrip(wire.Observe(request_id=6, what="spans", max_spans=64))
+        assert isinstance(frame, wire.Observe)
+        assert frame.request_id == 6
+        assert frame.what == "spans"
+        assert frame.max_spans == 64
+
+    def test_observe_reply(self):
+        payload = {
+            "server_id": "edge-1",
+            "metrics": {"gateway": {"requests": 3}},
+            "spans": [{"trace_id": "a" * 32, "name": "gateway.request"}],
+        }
+        frame = roundtrip(wire.ObserveReply(request_id=6, payload=payload))
+        assert isinstance(frame, wire.ObserveReply)
+        assert frame.payload == payload
+
+    def test_observe_reply_coerces_unjsonable_values(self):
+        """default=str keeps a snapshot with exotic values encodable."""
+        payload = {"weird": {1, 2}}  # a set is not JSON-serializable
+        frame = roundtrip(wire.ObserveReply(request_id=1, payload=payload))
+        assert isinstance(frame.payload["weird"], str)
+
 
 class TestProtocolGuards:
     def test_version_mismatch(self):
@@ -157,6 +201,33 @@ class TestProtocolGuards:
         corrupted = data[4:].replace(b"{}", b"{!", 1)  # same length, bad JSON
         with pytest.raises(ProtocolError, match="malformed frame payload"):
             wire.decode_payload(corrupted)
+
+    def test_garbage_after_sample_is_not_a_trace(self):
+        """Trailing bytes that are not a marked trace suffix stay an error."""
+        data = wire.encode_frame(wire.Request(1, "m", np.ones(1, dtype=np.float32)))
+        with pytest.raises(ProtocolError, match="trailing bytes"):
+            wire.decode_payload(data[4:] + b"\x00\x07garbage")
+
+    def test_garbage_after_trace_suffix_is_rejected(self):
+        context = TraceContext(trace_id="a" * 32, span_id="b" * 16)
+        data = wire.encode_frame(
+            wire.Request(1, "m", np.ones(1, dtype=np.float32), trace=context)
+        )
+        with pytest.raises(ProtocolError, match="trailing bytes"):
+            wire.decode_payload(data[4:] + b"\x01")
+
+    def test_empty_trace_ids_are_rejected(self):
+        """A suffix whose ids are empty strings is garbage, not a trace."""
+        data = wire.encode_frame(wire.Request(1, "m", np.ones(1, dtype=np.float32)))
+        bogus = struct.pack("!B", wire.TRACE_MARKER) + struct.pack("!I", 0)
+        bogus += struct.pack("!I", 0) + struct.pack("!B", 1)
+        with pytest.raises(ProtocolError, match="trailing bytes"):
+            wire.decode_payload(data[4:] + bogus)
+
+    def test_unknown_observe_scope_is_rejected_server_side(self):
+        """The wire accepts any 'what'; scope validation is the gateway's."""
+        frame = roundtrip(wire.Observe(request_id=1, what="everything"))
+        assert frame.what == "everything"
 
     def test_non_contiguous_arrays_are_encoded(self):
         base = np.arange(16, dtype=np.float32).reshape(4, 4)

@@ -29,6 +29,8 @@ from repro.serve.gateway.wire import (
     Goodbye,
     Hello,
     HelloAck,
+    Observe,
+    ObserveReply,
     Request,
     Response,
     decode_payload,
@@ -50,7 +52,12 @@ def sample_frames() -> list:
         ErrorFrame(request_id=0, error=GatewayError("generic")),
         Goodbye(reason="done"),
         Ack(request_id=9, message="ok"),
+        Observe(request_id=5, what="all", max_spans=32),
+        ObserveReply(request_id=5, payload={"server_id": "srv", "spans": []}),
     ]
+    # A *traced* Request is deliberately absent: the trace suffix is optional
+    # by design, so truncating exactly at the suffix boundary produces a valid
+    # untraced frame — which would falsify the every-truncation-fails pin.
 
 
 FRAME_CORPUS = [encode_frame(frame) for frame in sample_frames()]

@@ -1,0 +1,155 @@
+"""Tracer unit behaviour: ids, inheritance, sampling, retention, the ring."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve.observability import InMemoryExporter, TraceContext, Tracer
+
+
+def make_tracer(**kwargs) -> Tracer:
+    kwargs.setdefault("rng", random.Random(7))
+    return Tracer(**kwargs)
+
+
+class TestSpanIdentity:
+    def test_root_span_gets_fresh_ids_and_no_parent(self):
+        tracer = make_tracer()
+        span = tracer.start_span("client.submit").end()
+        assert len(span.trace_id) == 32  # 128-bit hex
+        assert len(span.span_id) == 16  # 64-bit hex
+        assert span.parent_id is None
+
+    def test_child_inherits_trace_and_links_to_parent(self):
+        tracer = make_tracer()
+        root = tracer.start_span("router.submit")
+        child = root.child("router.dispatch", attributes={"replica_id": "r0"})
+        assert child.span.trace_id == root.span.trace_id
+        assert child.span.parent_id == root.span.span_id
+        assert child.span.span_id != root.span.span_id
+        assert child.span.attributes == {"replica_id": "r0"}
+        child.end()
+        root.end()
+
+    def test_context_names_this_span_as_the_far_side_parent(self):
+        tracer = make_tracer()
+        root = tracer.start_span("client.submit")
+        context = root.context
+        assert context == TraceContext(root.span.trace_id, root.span.span_id, True)
+        # A second tracer (the remote side) continues the same trace.
+        remote = make_tracer()
+        continuation = remote.start_span("gateway.request", parent=context)
+        assert continuation.span.trace_id == root.span.trace_id
+        assert continuation.span.parent_id == root.span.span_id
+
+    def test_record_attaches_a_measured_interval_as_finished_child(self):
+        tracer = make_tracer()
+        root = tracer.start_span("server.request")
+        span = root.record("model", begin=10.0, end=10.5, attributes={"batch_size": 4})
+        assert span.begin == 10.0 and span.end == 10.5
+        assert span.parent_id == root.span.span_id
+        assert span.duration == pytest.approx(0.5)
+        [stored] = tracer.recent_spans()
+        assert stored["name"] == "model"
+        assert stored["attributes"] == {"batch_size": 4}
+
+    def test_end_is_idempotent(self):
+        tracer = make_tracer()
+        span = tracer.start_span("x")
+        first = span.end()
+        assert span.end() is first
+        assert tracer.stats()["spans_finished"] == 1
+
+
+class TestSampling:
+    def test_head_decision_is_rolled_once_and_inherited(self):
+        tracer = make_tracer(sample_rate=0.0)
+        root = tracer.start_span("client.submit")
+        assert root.span.sampled is False
+        child = root.child("nested")
+        assert child.span.sampled is False  # inherited, not re-rolled
+        child.end()
+        root.end()
+        assert tracer.recent_spans() == []
+        assert tracer.stats()["spans_dropped"] == 2
+
+    def test_remote_continuation_never_rerolls(self):
+        upstream = TraceContext("f" * 32, "e" * 16, sampled=False)
+        tracer = make_tracer(sample_rate=1.0)  # would sample its own roots
+        span = tracer.start_span("gateway.request", parent=upstream)
+        assert span.span.sampled is False
+
+    def test_errors_are_always_retained(self):
+        tracer = make_tracer(sample_rate=0.0)
+        span = tracer.start_span("router.dispatch")
+        span.end(error=RuntimeError("replica died"))
+        [stored] = tracer.recent_spans()
+        assert stored["error"] == "RuntimeError: replica died"
+        stats = tracer.stats()
+        assert stats["spans_errored"] == 1
+        assert stats["spans_retained"] == 1
+
+    def test_sample_rate_bounds_are_validated(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(max_spans=0)
+
+
+class TestRingAndLedger:
+    def test_ring_is_bounded_and_keeps_the_newest(self):
+        tracer = make_tracer(max_spans=3)
+        for index in range(5):
+            tracer.start_span(f"op-{index}").end()
+        names = [span["name"] for span in tracer.recent_spans()]
+        assert names == ["op-2", "op-3", "op-4"]
+        assert tracer.recent_spans(limit=1)[0]["name"] == "op-4"
+
+    def test_counters_balance(self):
+        tracer = make_tracer(sample_rate=0.5, rng=random.Random(3))
+        for _ in range(50):
+            root = tracer.start_span("root")
+            root.child("leaf").end()
+            root.end()
+        stats = tracer.stats()
+        assert stats["spans_started"] == stats["spans_finished"] == 100
+        assert stats["spans_retained"] + stats["spans_dropped"] == 100
+        assert stats["traces_started"] == 50
+        assert 0 < stats["spans_retained"] < 100  # the coin actually flipped
+
+    def test_span_counts_tally_by_name(self):
+        tracer = make_tracer()
+        for _ in range(3):
+            tracer.start_span("gateway.request").end()
+        tracer.start_span("router.submit").end()
+        assert tracer.span_counts() == {"gateway.request": 3, "router.submit": 1}
+        tracer.clear()
+        assert tracer.span_counts() == {}
+        assert tracer.stats()["spans_finished"] == 4  # counters survive clear()
+
+
+class TestExport:
+    def test_retained_spans_fan_out_to_exporters(self):
+        sink = InMemoryExporter()
+        tracer = make_tracer(exporters=[sink])
+        tracer.start_span("a").end()
+        assert [span["name"] for span in sink.spans] == ["a"]
+
+    def test_unsampled_spans_are_not_exported(self):
+        sink = InMemoryExporter()
+        tracer = make_tracer(sample_rate=0.0, exporters=[sink])
+        tracer.start_span("a").end()
+        assert sink.spans == []
+
+    def test_a_failing_exporter_cannot_break_serving(self):
+        class Bomb:
+            def export(self, payload):
+                raise RuntimeError("exporter down")
+
+        sink = InMemoryExporter()
+        tracer = make_tracer(exporters=[Bomb(), sink])
+        span = tracer.start_span("a").end()  # must not raise
+        assert span.name == "a"
+        assert len(sink.spans) == 1  # later exporters still run

@@ -1,0 +1,137 @@
+"""Property-based trace invariants.
+
+Hypothesis drives random span trees (shape, nesting depth, error placement,
+sampling decisions) through the real :class:`Tracer` and checks the
+structural invariants every consumer of a trace relies on:
+
+* at 100% sampling, every retained span's ``parent_id`` resolves inside the
+  retained set and every span walks up to exactly one root — zero orphans;
+* children nest within their parent's ``[begin, end]`` bounds;
+* the retention predicate is exactly ``sampled or error`` — an error-bearing
+  span survives any sampling decision, an unsampled clean span never does;
+* the tracer's own counters stay balanced whatever the tree shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.observability import Tracer
+
+
+class FakeClock:
+    """A deterministic, strictly increasing perf_counter stand-in."""
+
+    def __init__(self) -> None:
+        self._ticks = itertools.count(start=1)
+
+    def __call__(self) -> float:
+        return float(next(self._ticks))
+
+
+# A tree is a list of node specs; each node picks its parent among earlier
+# nodes (or the root) and whether it ends with an error.
+node_specs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=31), st.booleans()),
+    min_size=1,
+    max_size=32,
+)
+
+
+def build_trace(tracer: Tracer, specs) -> list:
+    """Open a root, grow the random tree under it, close in LIFO order.
+
+    Error-ended spans are closed immediately, so only still-open spans are
+    eligible parents — a child cannot begin after its parent finished.
+    """
+    root = tracer.start_span("root")
+    opened = [root]
+    open_spans = [root]
+    for parent_index, has_error in specs:
+        parent = open_spans[parent_index % len(open_spans)]
+        child = parent.child(f"op-{len(opened)}")
+        opened.append(child)
+        if has_error:
+            child.end(error=RuntimeError("boom"))
+        else:
+            open_spans.append(child)
+    for span in reversed(open_spans):
+        span.end()
+    return [span.span for span in opened]
+
+
+class TestTraceInvariants:
+    @given(specs=node_specs)
+    @settings(max_examples=200)
+    def test_every_span_reaches_one_root_with_no_orphans(self, specs):
+        tracer = Tracer(sample_rate=1.0, rng=random.Random(0), clock=FakeClock())
+        build_trace(tracer, specs)
+        retained = {span["span_id"]: span for span in tracer.recent_spans()}
+        assert len(retained) == len(specs) + 1
+        roots = 0
+        for span in retained.values():
+            if span["parent_id"] is None:
+                roots += 1
+                continue
+            # Parent ids resolve within the retained set: zero orphans.
+            hops = 0
+            cursor = span
+            while cursor["parent_id"] is not None:
+                cursor = retained[cursor["parent_id"]]
+                hops += 1
+                assert hops <= len(retained), "parent cycle"
+            assert cursor["name"] == "root"
+        assert roots == 1
+
+    @given(specs=node_specs)
+    @settings(max_examples=200)
+    def test_children_nest_within_parent_bounds(self, specs):
+        tracer = Tracer(sample_rate=1.0, rng=random.Random(0), clock=FakeClock())
+        build_trace(tracer, specs)
+        retained = {span["span_id"]: span for span in tracer.recent_spans()}
+        for span in retained.values():
+            assert span["begin"] < span["end"]
+            if span["parent_id"] is not None:
+                parent = retained[span["parent_id"]]
+                # LIFO close order: a child begins after and ends before its
+                # parent; record()-stamped intervals inherit the same clock.
+                assert parent["begin"] < span["begin"]
+                assert span["end"] < parent["end"]
+
+    @given(specs=node_specs, sampled=st.booleans())
+    @settings(max_examples=200)
+    def test_retention_is_exactly_sampled_or_error(self, specs, sampled):
+        tracer = Tracer(
+            sample_rate=1.0 if sampled else 0.0,
+            rng=random.Random(0),
+            clock=FakeClock(),
+        )
+        spans = build_trace(tracer, specs)
+        retained_ids = {span["span_id"] for span in tracer.recent_spans()}
+        for span in spans:
+            expected = sampled or span.error is not None
+            assert (span.span_id in retained_ids) == expected
+
+    @given(specs=node_specs, rate=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_counters_balance_for_any_tree_and_rate(self, specs, rate):
+        tracer = Tracer(sample_rate=rate, rng=random.Random(1), clock=FakeClock())
+        build_trace(tracer, specs)
+        stats = tracer.stats()
+        total = len(specs) + 1
+        assert stats["spans_started"] == stats["spans_finished"] == total
+        assert stats["spans_retained"] + stats["spans_dropped"] == total
+        assert stats["traces_started"] == 1
+        assert stats["spans_errored"] == sum(1 for _, has_error in specs if has_error)
+
+    @given(specs=node_specs)
+    @settings(max_examples=100)
+    def test_all_spans_share_the_root_trace_id(self, specs):
+        tracer = Tracer(sample_rate=1.0, rng=random.Random(2), clock=FakeClock())
+        spans = build_trace(tracer, specs)
+        assert len({span.trace_id for span in spans}) == 1
+        assert len({span.span_id for span in spans}) == len(spans)  # ids unique
