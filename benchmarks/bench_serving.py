@@ -17,7 +17,12 @@ Measures the request-batching scheduler in ``repro.serve`` on LeNet:
 * **observability** — the 8-client loopback-gateway hammer at tracing
   off / 10% / 100% head sampling, plus the ledger-exact span-capture check
   at 100%; the `middleware` section additionally reports the sampled-off
-  tracing overhead (gated by ``--max-tracing-overhead``).
+  tracing overhead (gated by ``--max-tracing-overhead``);
+* **slo** — the same hammer with the watching layer on: continuous
+  :class:`StageProfiler` sampling (overhead gated by
+  ``--max-profiler-overhead``), a :class:`WindowedSeriesStore` attached to
+  the router's metrics, and an :class:`AlertManager` daemon evaluating a
+  latency SLO — which must NOT page on the healthy loopback path.
 
 Writes ``BENCH_serving.json``.  The headline number is
 ``speedup_batch32_vs_single`` — batched vs single-request throughput of the
@@ -51,6 +56,7 @@ from repro.core import Amalgam, AmalgamConfig
 from repro.data import make_mnist
 from repro.models import LeNet, model_factory
 from repro.serve import (
+    AlertManager,
     Autoscaler,
     Batcher,
     CircuitBreaker,
@@ -70,10 +76,14 @@ from repro.serve import (
     ReplicaWorker,
     ResponseCache,
     RetryPolicy,
+    SLO,
+    StageProfiler,
     Telemetry,
     Tracer,
     Validator,
+    WindowedSeriesStore,
 )
+from repro.serve.observability.slo import BurnRateRule, LatencyObjective
 
 
 def throughput(total_samples: int, fn) -> Dict[str, float]:
@@ -626,6 +636,183 @@ def bench_observability(tiny: bool, seed: int) -> Dict[str, object]:
     }
 
 
+def bench_slo(tiny: bool, seed: int) -> Dict[str, object]:
+    """The watching layer's price: profiler, windowed store and SLO engine.
+
+    The 8-client loopback-gateway hammer runs three times over the same
+    2-replica cluster: bare (no instrumentation beyond the always-on metrics
+    registry), with only the continuous :class:`StageProfiler` sampling at
+    100 Hz, and with the full watching stack — profiler plus a
+    :class:`WindowedSeriesStore` attached to the router's registry plus an
+    :class:`AlertManager` daemon evaluating a latency SLO every 250 ms.
+    ``profiler_overhead_pct`` is the price of *continuous* profiling (gated
+    by ``--max-profiler-overhead``); ``full_overhead_pct`` is everything
+    together.  The healthy run must not page: ``alerts_fired`` is asserted 0.
+    Two micro-rates round out the section: store ingest (observations/s into
+    the bucketed GK sketches) and SLO evaluation (full manager sweeps/s).
+    """
+    num_clients = 8
+    per_client = 8 if tiny else 32
+
+    model = LeNet(10, 1, 28, rng=np.random.default_rng(seed))
+    bundle = pack_model(model, task="classification")
+    factory = model_factory("lenet", in_channels=1, seed=seed)
+    images = (
+        np.random.default_rng(seed)
+        .standard_normal((num_clients * per_client, 1, 28, 28))
+        .astype(np.float32)
+    )
+
+    def hammer(predict) -> Dict[str, float]:
+        latencies: list = []
+        lock = threading.Lock()
+
+        def client(offset: int) -> None:
+            local = []
+            for index in range(per_client):
+                sample = images[offset + index]
+                start = time.perf_counter()
+                predict(sample)
+                local.append(time.perf_counter() - start)
+            with lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=client, args=(index * per_client,))
+            for index in range(num_clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        total = num_clients * per_client
+        return {
+            "requests": total,
+            "seconds": round(elapsed, 6),
+            "requests_per_s": round(total / elapsed, 2) if elapsed else float("inf"),
+            "p95_latency_ms": round(float(np.percentile(latencies, 95)) * 1e3, 3),
+        }
+
+    def make_slo() -> SLO:
+        # A target the healthy loopback path sits comfortably under; the
+        # point of the full run is the cost of watching, not an alert drill.
+        return SLO(
+            "bench-latency",
+            LatencyObjective("gateway.latency_ms", target_ms=1000.0),
+            rules=[BurnRateRule(5.0, 30.0, factor=14.4, severity="page")],
+        )
+
+    def run_at(profiled: bool, watched: bool) -> Dict[str, object]:
+        router = ClusterRouter(
+            [
+                ReplicaWorker(
+                    f"replica-{index}",
+                    batcher=Batcher(max_batch_size=32, max_wait=0.002, padding="bucket"),
+                )
+                for index in range(2)
+            ]
+        )
+        router.register("lenet", bundle, factory)
+        store = alerts = None
+        if watched:
+            store = WindowedSeriesStore(interval=1.0, buckets=64).attach(router.metrics)
+            alerts = AlertManager(store)
+            alerts.add_slo(make_slo())
+        profiler = StageProfiler(hz=100.0) if profiled else None
+
+        def serve() -> Dict[str, object]:
+            with GatewayServer(
+                router, server_id="bench-slo", alerts=alerts, profiler=profiler
+            ) as gateway:
+                clients = [
+                    RemoteClient(*gateway.address, tenant=f"client-{index}")
+                    for index in range(num_clients)
+                ]
+                try:
+                    clients[0].predict("lenet", images[0])  # warm caches + connections
+                    counter = {"next": 0}
+                    counter_lock = threading.Lock()
+
+                    def remote_predict(sample: np.ndarray) -> None:
+                        with counter_lock:
+                            client = clients[counter["next"] % num_clients]
+                            counter["next"] += 1
+                        client.predict("lenet", sample)
+
+                    return hammer(remote_predict)
+                finally:
+                    for client in clients:
+                        client.close()
+
+        with router:
+            if profiler is not None and alerts is not None:
+                with profiler, alerts.start(interval=0.25):
+                    result = serve()
+            elif profiler is not None:
+                with profiler:
+                    result = serve()
+            else:
+                result = serve()
+
+        if profiler is not None:
+            snapshot = profiler.stats()
+            result["profiler"] = {
+                "hz": snapshot["hz"],
+                "ticks": snapshot["ticks"],
+                "samples": snapshot["samples"],
+                "distinct_stacks": snapshot["distinct_stacks"],
+            }
+        if alerts is not None and store is not None:
+            result["alerts_fired"] = alerts.stats()["fired"]
+            result["windowed_p95_ms"] = store.quantile("gateway.latency_ms", 0.95, window=60.0)
+        return result
+
+    bare = run_at(profiled=False, watched=False)
+    profiled = run_at(profiled=True, watched=False)
+    full = run_at(profiled=True, watched=True)
+
+    def overhead_pct(instrumented: Dict[str, object]) -> float:
+        if not instrumented["requests_per_s"]:
+            return float("inf")
+        return round((bare["requests_per_s"] / instrumented["requests_per_s"] - 1.0) * 100.0, 2)
+
+    # Micro-rate: windowed-store ingest straight into the bucketed sketches.
+    micro_store = WindowedSeriesStore(interval=1.0, buckets=16)
+    ingest_count = 20_000 if tiny else 100_000
+    start = time.perf_counter()
+    for index in range(ingest_count):
+        micro_store.record_observation("gateway.latency_ms", float(index % 97))
+    ingest_elapsed = time.perf_counter() - start
+
+    # Micro-rate: full-manager SLO sweeps against the populated store.
+    micro_alerts = AlertManager(micro_store)
+    micro_alerts.add_slo(make_slo())
+    sweep_count = 200 if tiny else 1_000
+    start = time.perf_counter()
+    for _ in range(sweep_count):
+        micro_alerts.evaluate()
+    sweep_elapsed = time.perf_counter() - start
+
+    return {
+        "num_clients": num_clients,
+        "requests_per_client": per_client,
+        "num_replicas": 2,
+        "bare": bare,
+        "profiled": profiled,
+        "full": full,
+        "profiler_overhead_pct": overhead_pct(profiled),
+        "full_overhead_pct": overhead_pct(full),
+        "store_ingest_per_s": round(ingest_count / ingest_elapsed, 2)
+        if ingest_elapsed
+        else float("inf"),
+        "slo_evaluations_per_s": round(sweep_count / sweep_elapsed, 2)
+        if sweep_elapsed
+        else float("inf"),
+    }
+
+
 def bench_resilience(tiny: bool, seed: int) -> Dict[str, object]:
     """Kill a replica mid-run, with the circuit breaker on vs off.
 
@@ -897,6 +1084,7 @@ def run(
     seed: int,
     min_speedup: float,
     max_tracing_overhead: float = 0.0,
+    max_profiler_overhead: float = 0.0,
 ) -> Dict[str, object]:
     tiny = scale == "tiny"
     print(
@@ -973,6 +1161,16 @@ def run(
         f"ledger_exact={observability['sampled_100pct']['ledger_exact']})"
     )
 
+    slo = bench_slo(tiny, seed)
+    print(
+        f"{'slo watching layer (8c)':24s} "
+        f"{slo['full']['requests_per_s']:10.1f} requests/s "
+        f"(profiler {slo['profiler_overhead_pct']:.1f}%, "
+        f"full stack {slo['full_overhead_pct']:.1f}%, "
+        f"ingest {slo['store_ingest_per_s'] / 1e3:.0f}k obs/s, "
+        f"fired {slo['full']['alerts_fired']})"
+    )
+
     resilience = bench_resilience(tiny, seed)
     print(
         f"{'resilience kill-mid-run':24s} "
@@ -1018,6 +1216,7 @@ def run(
         "cluster": cluster,
         "gateway": gateway,
         "observability": observability,
+        "slo": slo,
         "resilience": resilience,
         "autoscale": autoscale,
         "speedup_batch32_vs_single": round(speedup, 2),
@@ -1038,6 +1237,21 @@ def run(
             f"TRACING GATE FAILED: sampled-off tracing overhead "
             f"{tracing_overhead:.2f}% >= allowed {max_tracing_overhead:.1f}% "
             f"(middleware section, Tracer at sample_rate=0.0)"
+        )
+        raise SystemExit(1)
+    profiler_overhead = slo["profiler_overhead_pct"]
+    if max_profiler_overhead > 0 and profiler_overhead >= max_profiler_overhead:
+        print(
+            f"PROFILER GATE FAILED: continuous-profiler overhead "
+            f"{profiler_overhead:.2f}% >= allowed {max_profiler_overhead:.1f}% "
+            f"(slo section, StageProfiler at 100 Hz on the gateway hammer)"
+        )
+        raise SystemExit(1)
+    if slo["full"]["alerts_fired"]:
+        print(
+            f"SLO GATE FAILED: the healthy bench run paged "
+            f"({slo['full']['alerts_fired']} alert(s) fired against a "
+            f"1000 ms target on the loopback path)"
         )
         raise SystemExit(1)
     return report
@@ -1069,8 +1283,22 @@ def main() -> None:
         help="exit non-zero when the sampled-off tracing overhead on the "
         "middleware section reaches this percentage (0 disables)",
     )
+    parser.add_argument(
+        "--max-profiler-overhead",
+        type=float,
+        default=0.0,
+        help="exit non-zero when the continuous-profiler overhead on the "
+        "slo section's gateway hammer reaches this percentage (0 disables)",
+    )
     args = parser.parse_args()
-    run(args.output, args.scale, args.seed, args.min_speedup, args.max_tracing_overhead)
+    run(
+        args.output,
+        args.scale,
+        args.seed,
+        args.min_speedup,
+        args.max_tracing_overhead,
+        args.max_profiler_overhead,
+    )
 
 
 if __name__ == "__main__":

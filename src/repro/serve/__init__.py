@@ -29,7 +29,12 @@ This package turns a trained augmented model into a multi-client service:
   over the wire) and the unified
   :class:`~repro.serve.observability.MetricsRegistry` every component's
   ``stats()`` registers into, pullable cluster-wide via the gateway's
-  ``OBSERVE`` frame;
+  ``OBSERVE`` frame — plus the watching layer on top: windowed time-series
+  (:class:`~repro.serve.observability.WindowedSeriesStore`), declarative
+  SLOs with burn-rate alerting
+  (:class:`~repro.serve.observability.AlertManager`, pushed to subscribed
+  clients over the gateway's EVENT frames) and a continuous
+  :class:`~repro.serve.observability.StageProfiler`;
 * :mod:`repro.serve.faults` — the resilience layer and its proof harness:
   deterministic seeded fault injection (:class:`~repro.serve.faults.FaultPlan`
   / :class:`~repro.serve.faults.FaultInjector`) threaded into replica,
@@ -115,17 +120,31 @@ from .middleware import (
     spec_from_toml,
 )
 from .observability import (
+    SLO,
     ActiveSpan,
+    AlertEvent,
+    AlertManager,
+    AvailabilityObjective,
+    BurnRateRule,
     InMemoryExporter,
     JsonlExporter,
+    LatencyObjective,
     MetricsRegistry,
     ObservabilityConfigError,
+    PrometheusExporter,
+    QuantileSketch,
+    SLOConfigError,
     Span,
     SpanExporter,
+    StageProfiler,
     TraceContext,
     Tracer,
+    WindowedSeriesStore,
     register_exporter,
+    register_slo,
     registered_exporters,
+    registered_slos,
+    slo_from_spec,
     tracer_from_spec,
 )
 from .proxy import ExtractionProxy
@@ -137,6 +156,10 @@ __all__ = [
     "PADDING_MODES",
     "ActiveSpan",
     "AdmissionScheduler",
+    "AlertEvent",
+    "AlertManager",
+    "AvailabilityObjective",
+    "BurnRateRule",
     "AsyncRemoteClient",
     "Autoscaler",
     "BackoffSession",
@@ -181,7 +204,9 @@ __all__ = [
     "PowerOfTwoChoicesPolicy",
     "PrivacyBudget",
     "PrivacyBudgetExceeded",
+    "PrometheusExporter",
     "ProtocolError",
+    "QuantileSketch",
     "QueueDepthPolicy",
     "RateLimitExceeded",
     "RateLimiter",
@@ -193,6 +218,8 @@ __all__ = [
     "RequestContext",
     "ResponseCache",
     "RetryPolicy",
+    "SLO",
+    "SLOConfigError",
     "ScalingDecision",
     "ScalingPolicy",
     "ServeMiddleware",
@@ -201,6 +228,7 @@ __all__ = [
     "Span",
     "SpanExporter",
     "StackDefinitionError",
+    "StageProfiler",
     "StackDispatcher",
     "StackSpec",
     "Telemetry",
@@ -210,6 +238,7 @@ __all__ = [
     "UnknownStackError",
     "ValidationError",
     "Validator",
+    "WindowedSeriesStore",
     "apply_to_cluster",
     "autoscaler_from_spec",
     "build_chain",
@@ -220,9 +249,12 @@ __all__ = [
     "register_exporter",
     "register_middleware",
     "register_scaling_policy",
+    "register_slo",
     "registered_exporters",
     "registered_middleware",
+    "registered_slos",
     "sample_fingerprint",
+    "slo_from_spec",
     "spec_from_toml",
     "tracer_from_spec",
 ]

@@ -88,6 +88,28 @@ class HealthMonitor:
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._replicas: Dict[str, ReplicaHealth] = {}
         self._lock = threading.Lock()
+        #: Transition observers: each receives one dict per state change —
+        #: ``{"kind": "replica"|"breaker", "replica_id", "from", "to"}`` —
+        #: outside the monitor lock, exceptions swallowed.  The gateway's
+        #: event plane subscribes here to push health transitions.
+        self._listeners: List[Callable[[Dict[str, object]], None]] = []
+
+    def add_listener(self, listener: Callable[[Dict[str, object]], None]) -> None:
+        """Observe replica and breaker state transitions."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def _notify(self, kind: str, replica_id: str, old_state: str, new_state: str) -> None:
+        if old_state == new_state:
+            return
+        with self._lock:
+            listeners = list(self._listeners)
+        change = {"kind": kind, "replica_id": replica_id, "from": old_state, "to": new_state}
+        for listener in listeners:
+            try:
+                listener(change)
+            except Exception:  # noqa: BLE001 - observers must not break routing
+                pass
 
     # ------------------------------------------------------------------
     # Membership
@@ -98,7 +120,11 @@ class HealthMonitor:
                 raise ValueError(f"replica '{replica_id}' is already monitored")
             self._replicas[replica_id] = ReplicaHealth(replica_id, last_heartbeat=self._clock())
             if self._breaker_template is not None:
-                self._breakers[replica_id] = self._breaker_template.clone(clock=self._clock)
+                minted = self._breaker_template.clone(clock=self._clock)
+                minted.set_listener(
+                    lambda old, new, rid=replica_id: self._notify("breaker", rid, old, new)
+                )
+                self._breakers[replica_id] = minted
 
     def deregister(self, replica_id: str) -> None:
         with self._lock:
@@ -120,44 +146,52 @@ class HealthMonitor:
         Unknown ids are ignored (the replica may have been deregistered while
         a health check held a membership snapshot).
         """
+        breaker = None
         with self._lock:
             record = self._replicas.get(replica_id)
             if record is None:
                 return
+            old_state = record.state
             if not alive:
                 record.state = STOPPED
-                return
-            record.last_heartbeat = self._clock()
-            if record.state == STOPPED:
-                # A stopped replica reporting alive again (restart) is fully
-                # routable: its failure history belongs to the old process —
-                # the breaker's too.
-                record.state = HEALTHY
-                record.consecutive_failures = 0
-                breaker = self._breakers.get(replica_id)
-                if breaker is not None:
-                    breaker.reset()
-            elif record.state == UNHEALTHY:
-                # Probe-style recovery: an alive heartbeat re-admits the
-                # replica, but the failure streak is kept, so a single further
-                # failure benches it again immediately while one success
-                # (record_success) clears the streak for good.  Without this,
-                # UNHEALTHY would be a trap: unroutable replicas receive no
-                # traffic, so the success that revives them could never occur.
-                record.state = HEALTHY
+            else:
+                record.last_heartbeat = self._clock()
+                if record.state == STOPPED:
+                    # A stopped replica reporting alive again (restart) is
+                    # fully routable: its failure history belongs to the old
+                    # process — the breaker's too.
+                    record.state = HEALTHY
+                    record.consecutive_failures = 0
+                    breaker = self._breakers.get(replica_id)
+                elif record.state == UNHEALTHY:
+                    # Probe-style recovery: an alive heartbeat re-admits the
+                    # replica, but the failure streak is kept, so a single
+                    # further failure benches it again immediately while one
+                    # success (record_success) clears the streak for good.
+                    # Without this, UNHEALTHY would be a trap: unroutable
+                    # replicas receive no traffic, so the success that revives
+                    # them could never occur.
+                    record.state = HEALTHY
+            new_state = record.state
+        if breaker is not None:
+            breaker.reset()
+        self._notify("replica", replica_id, old_state, new_state)
 
     def record_success(self, replica_id: str) -> None:
         with self._lock:
             record = self._replicas.get(replica_id)
             if record is None:  # removed while the request was in flight
                 return
+            old_state = record.state
             record.total_successes += 1
             record.consecutive_failures = 0
             if record.state == UNHEALTHY:
                 record.state = HEALTHY
+            new_state = record.state
             breaker = self._breakers.get(replica_id)
         if breaker is not None:
             breaker.record_success()
+        self._notify("replica", replica_id, old_state, new_state)
 
     def record_failure(self, replica_id: str) -> None:
         """Count one availability failure; a streak marks the replica unhealthy."""
@@ -165,14 +199,17 @@ class HealthMonitor:
             record = self._replicas.get(replica_id)
             if record is None:
                 return
+            old_state = record.state
             record.total_failures += 1
             record.consecutive_failures += 1
             unhealthy = record.consecutive_failures >= self.failure_threshold
             if record.state == HEALTHY and unhealthy:
                 record.state = UNHEALTHY
+            new_state = record.state
             breaker = self._breakers.get(replica_id)
         if breaker is not None:
             breaker.record_failure()
+        self._notify("replica", replica_id, old_state, new_state)
 
     def mark_draining(self, replica_id: str) -> None:
         """Administratively drain; unknown ids are ignored (the replica may
@@ -180,15 +217,21 @@ class HealthMonitor:
         admin path race ``deregister`` routinely)."""
         with self._lock:
             record = self._replicas.get(replica_id)
-            if record is not None:
-                record.state = DRAINING
+            if record is None:
+                return
+            old_state = record.state
+            record.state = DRAINING
+        self._notify("replica", replica_id, old_state, DRAINING)
 
     def mark_stopped(self, replica_id: str) -> None:
         """Administratively stop; unknown ids are ignored like ``heartbeat``."""
         with self._lock:
             record = self._replicas.get(replica_id)
-            if record is not None:
-                record.state = STOPPED
+            if record is None:
+                return
+            old_state = record.state
+            record.state = STOPPED
+        self._notify("replica", replica_id, old_state, STOPPED)
 
     def revive(self, replica_id: str) -> None:
         """Administratively restore a replica to the routable pool.
@@ -201,12 +244,14 @@ class HealthMonitor:
             record = self._replicas.get(replica_id)
             if record is None:
                 return
+            old_state = record.state
             record.state = HEALTHY
             record.consecutive_failures = 0
             record.last_heartbeat = self._clock()
             breaker = self._breakers.get(replica_id)
         if breaker is not None:
             breaker.reset()
+        self._notify("replica", replica_id, old_state, HEALTHY)
 
     # ------------------------------------------------------------------
     # Queries

@@ -59,6 +59,23 @@ class CircuitBreaker:
         self._half_open_streak = 0
         self._opened_at = 0.0
         self._trips = 0  # times the breaker opened (first trip + re-trips)
+        #: Optional transition callback ``(old_state, new_state)``, fired
+        #: outside the lock on every state change (exceptions swallowed).
+        #: The HealthMonitor wires it per-replica so the gateway's event
+        #: plane can push breaker open/close transitions.
+        self._listener: Optional[Callable[[str, str], None]] = None
+
+    def set_listener(self, listener: Optional[Callable[[str, str], None]]) -> None:
+        """Observe state transitions; ``None`` detaches."""
+        self._listener = listener
+
+    def _notify(self, old_state: str, new_state: str) -> None:
+        listener = self._listener
+        if old_state != new_state and listener is not None:
+            try:
+                listener(old_state, new_state)
+            except Exception:  # noqa: BLE001 - observers must not break dispatch
+                pass
 
     def clone(self, clock: Optional[Callable[[], float]] = None) -> "CircuitBreaker":
         """A fresh breaker with this one's configuration (template pattern)."""
@@ -90,7 +107,11 @@ class CircuitBreaker:
         the probe window.
         """
         with self._lock:
-            return self._advance() != OPEN
+            old_state = self._state
+            allowed = self._advance() != OPEN
+            new_state = self._state
+        self._notify(old_state, new_state)
+        return allowed
 
     def would_allow(self) -> bool:
         """Read-only :meth:`allow`: the answer without the state transition.
@@ -107,6 +128,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            old_state = self._state
             self._consecutive_failures = 0
             if self._advance() == HALF_OPEN:
                 self._half_open_streak += 1
@@ -116,9 +138,12 @@ class CircuitBreaker:
             # A success while OPEN (a request dispatched before the trip) is
             # stale evidence: the streak reset above is enough, the breaker
             # stays open until its timeout-gated probe confirms recovery.
+            new_state = self._state
+        self._notify(old_state, new_state)
 
     def record_failure(self) -> None:
         with self._lock:
+            old_state = self._state
             state = self._advance()
             self._consecutive_failures += 1
             if state == HALF_OPEN or (
@@ -128,13 +153,17 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self._trips += 1
                 self._half_open_streak = 0
+            new_state = self._state
+        self._notify(old_state, new_state)
 
     def reset(self) -> None:
         """Administratively close the breaker (e.g. the replica was replaced)."""
         with self._lock:
+            old_state = self._state
             self._state = CLOSED
             self._consecutive_failures = 0
             self._half_open_streak = 0
+        self._notify(old_state, CLOSED)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -142,7 +171,10 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         with self._lock:
-            return self._advance()
+            old_state = self._state
+            state = self._advance()
+        self._notify(old_state, state)
+        return state
 
     @property
     def trips(self) -> int:
@@ -151,13 +183,17 @@ class CircuitBreaker:
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
-            return {
-                "state": self._advance(),
+            old_state = self._state
+            state = self._advance()
+            snapshot = {
+                "state": state,
                 "consecutive_failures": self._consecutive_failures,
                 "trips": self._trips,
                 "failure_threshold": self.failure_threshold,
                 "reset_timeout": self.reset_timeout,
             }
+        self._notify(old_state, state)
+        return snapshot
 
 
 __all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]

@@ -56,6 +56,7 @@ from .errors import ConnectionClosed, ProtocolError
 from .wire import (
     Ack,
     ErrorFrame,
+    Event,
     Goodbye,
     Hello,
     HelloAck,
@@ -64,9 +65,13 @@ from .wire import (
     Register,
     Request,
     Response,
+    Subscribe,
     encode_frame,
     read_frame,
 )
+
+#: Pushed events retained client-side before the oldest are dropped.
+MAX_BUFFERED_EVENTS = 1024
 
 
 @dataclass
@@ -146,6 +151,12 @@ class AsyncRemoteClient:
             "resubmitted": 0,
             "reconnects": 0,
         }
+        #: Pushed EVENT frames, oldest first, bounded (drop-oldest); the
+        #: pulse wakes wait_for_event() coroutines on every arrival.
+        self._events: List[Event] = []
+        self._events_dropped = 0
+        self._event_pulse = asyncio.Event()
+        self._topics: List[str] = []
 
     async def connect(self) -> "AsyncRemoteClient":
         """Open the socket and run the HELLO/HELLO_ACK handshake."""
@@ -218,6 +229,17 @@ class AsyncRemoteClient:
                     entry = self._pending.pop(frame.request_id, None)
                     if entry is not None and not entry.future.done():
                         entry.future.set_exception(frame.error)
+                elif isinstance(frame, Event):
+                    # Server push on a subscribed topic: buffered (bounded,
+                    # drop-oldest) and pulsed to any wait_for_event() waiter.
+                    # Handled before the unknown-frame branch below — an
+                    # unsubscribed peer never receives one, so this costs
+                    # nothing on the plain request/response path.
+                    self._events.append(frame)
+                    if len(self._events) > MAX_BUFFERED_EVENTS:
+                        del self._events[: -MAX_BUFFERED_EVENTS]
+                        self._events_dropped += 1
+                    self._event_pulse.set()
                 elif isinstance(frame, Goodbye):
                     # Graceful drain: the server answered every accepted
                     # request before this frame, so whatever is still pending
@@ -310,6 +332,14 @@ class AsyncRemoteClient:
             except (OSError, RuntimeError, ConnectionResetError):
                 return  # the new read loop classifies and retriggers
             self._ledger["resubmitted"] += 1
+        if self._topics:
+            # Re-establish event subscriptions (best-effort: the Ack arrives
+            # with no pending entry and is ignored; a failed send lands back
+            # in the reconnect path via the fresh read loop).
+            try:
+                await self._send(Subscribe(request_id=next(self._ids), topics=self._topics))
+            except (OSError, RuntimeError, ConnectionResetError):
+                pass
         self._ready.set()
 
     async def _roundtrip(self, build: Callable[[int], object]):
@@ -447,6 +477,48 @@ class AsyncRemoteClient:
             )
         )
         return reply.payload
+
+    async def subscribe(self, topics: Sequence[str]) -> List[str]:
+        """Subscribe this connection to server-pushed event topics.
+
+        Replaces the connection's topic set (an empty sequence unsubscribes)
+        and returns the granted topics from the server's Ack.  Unknown topics
+        surface as a typed :class:`ProtocolError` from the server.
+        """
+        topics = [str(topic) for topic in topics]
+        reply = await self._roundtrip(
+            lambda request_id: Subscribe(request_id=request_id, topics=topics)
+        )
+        self._topics = topics
+        return [topic for topic in reply.message.split(",") if topic]
+
+    def events(self) -> List[Event]:
+        """Drain the buffered pushed events (oldest first)."""
+        drained, self._events = self._events, []
+        return drained
+
+    async def wait_for_event(
+        self,
+        predicate: Optional[Callable[[Event], bool]] = None,
+        timeout: float = 30.0,
+    ) -> Event:
+        """Await the next buffered event matching ``predicate`` (consumes it
+        and everything buffered before it).  Raises ``asyncio.TimeoutError``
+        when nothing matches within ``timeout`` seconds."""
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + timeout
+        while True:
+            while self._events:
+                event = self._events.pop(0)
+                if predicate is None or predicate(event):
+                    return event
+            self._event_pulse.clear()
+            remaining = give_up - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(
+                    f"no matching event pushed within {timeout}s"
+                )
+            await asyncio.wait_for(self._event_pulse.wait(), timeout=remaining)
 
     async def predict_batch(
         self,
@@ -687,6 +759,60 @@ class RemoteClient:
         return asyncio.run_coroutine_threadsafe(
             connection.observe(what=what, max_spans=max_spans), self._loop
         ).result()
+
+    # ------------------------------------------------------------------
+    # Event plane (server push)
+    # ------------------------------------------------------------------
+    def subscribe(self, topics: Sequence[str], timeout: float = 30.0) -> List[str]:
+        """Subscribe to server-pushed event topics; returns the granted set.
+
+        Only the pool's first connection subscribes, so each pushed event is
+        delivered exactly once regardless of ``pool_size``.
+        """
+        with self._pool_lock:
+            if self._closed or not self._pool:
+                raise ConnectionClosed("RemoteClient is closed")
+            connection = self._pool[0]
+        return asyncio.run_coroutine_threadsafe(
+            connection.subscribe(topics), self._loop
+        ).result(timeout=timeout)
+
+    def events(self) -> List[Event]:
+        """Drain events pushed since the last drain (oldest first).
+
+        The buffer swap is a single atomic rebind (GIL-safe against the
+        reader loop's appends), so no loop hop is needed.
+        """
+        with self._pool_lock:
+            if self._closed or not self._pool:
+                return []
+            connection = self._pool[0]
+        return connection.events()
+
+    def wait_for_event(
+        self,
+        topic: Optional[str] = None,
+        name: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> Event:
+        """Block until the next pushed event matching ``topic``/``name``.
+
+        ``None`` matches anything; raises ``TimeoutError`` when no matching
+        event arrives within ``timeout`` seconds.
+        """
+        with self._pool_lock:
+            if self._closed or not self._pool:
+                raise ConnectionClosed("RemoteClient is closed")
+            connection = self._pool[0]
+
+        def _matches(event: Event) -> bool:
+            return (topic is None or event.topic == topic) and (
+                name is None or event.name == name
+            )
+
+        return asyncio.run_coroutine_threadsafe(
+            connection.wait_for_event(_matches, timeout=timeout), self._loop
+        ).result(timeout=timeout + 5.0)
 
     def register(
         self,

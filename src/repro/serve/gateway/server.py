@@ -44,8 +44,9 @@ from __future__ import annotations
 import asyncio
 import inspect
 import threading
+import time
 from functools import partial
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 
 import numpy as np
 
@@ -57,6 +58,7 @@ from .errors import Backpressure, ProtocolError
 from .wire import (
     Ack,
     ErrorFrame,
+    Event,
     Goodbye,
     Hello,
     HelloAck,
@@ -65,9 +67,13 @@ from .wire import (
     Register,
     Request,
     Response,
+    Subscribe,
     encode_frame,
     read_frame,
 )
+
+#: Topics the event plane publishes; SUBSCRIBE validates against this set.
+EVENT_TOPICS: Tuple[str, ...] = ("alert", "health", "autoscale")
 
 
 def _keyword_names(callable_obj) -> Set[str]:
@@ -81,7 +87,17 @@ def _keyword_names(callable_obj) -> Set[str]:
 class _Connection:
     """Per-connection state: handshake terms, window accounting, write lock."""
 
-    __slots__ = ("writer", "lock", "tenant", "deadline", "window", "inflight", "peer", "faults")
+    __slots__ = (
+        "writer",
+        "lock",
+        "tenant",
+        "deadline",
+        "window",
+        "inflight",
+        "peer",
+        "faults",
+        "topics",
+    )
 
     def __init__(
         self, writer: asyncio.StreamWriter, faults: Optional[FaultInjector] = None
@@ -93,6 +109,8 @@ class _Connection:
         self.window = 0
         self.inflight = 0
         self.faults = faults
+        #: Event topics this connection subscribed to (empty = no pushes).
+        self.topics: FrozenSet[str] = frozenset()
         peer = writer.get_extra_info("peername")
         self.peer = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) and len(peer) >= 2 else "?"
 
@@ -145,6 +163,8 @@ class GatewayServer:
         faults: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        alerts=None,
+        profiler=None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -163,6 +183,45 @@ class GatewayServer:
         else:
             self.metrics = MetricsRegistry()
         self.metrics.register_provider("gateway", self.stats, replace=True)
+        #: Request instruments minted once (not per request): the latency
+        #: histogram and outcome counters feed any attached
+        #: WindowedSeriesStore via the registry observer hook, which is what
+        #: latency/availability SLOs on the gateway read.
+        self._latency_hist = self.metrics.histogram("gateway.latency_ms")
+        self._requests_counter = self.metrics.counter("gateway.requests")
+        self._responses_counter = self.metrics.counter("gateway.responses")
+        self._errors_counter = self.metrics.counter("gateway.errors")
+        #: Optional SLO AlertManager and StageProfiler.  Both are observed
+        #: surfaces: the manager's transitions are pushed on the "alert"
+        #: topic, the profiler feeds OBSERVE's "profile" scope.
+        self.alerts = alerts
+        self.profiler = profiler
+        self._event_seq = 0
+        self._event_lock = threading.Lock()
+        if alerts is not None:
+            alerts.add_listener(
+                lambda event: self.publish_event("alert", event.state, event.to_dict())
+            )
+            self.metrics.register_provider("slo", alerts.stats, replace=True)
+        if profiler is not None:
+            self.metrics.register_provider("profiler", profiler.stats, replace=True)
+        # Event sources on the backend, attached when the surfaces exist: a
+        # ClusterRouter exposes health (replica/breaker transitions) and
+        # membership listeners; a bare InferenceServer exposes neither and
+        # the event plane simply has fewer topics with traffic.
+        health = getattr(backend, "health", None)
+        add_health_listener = getattr(health, "add_listener", None)
+        if callable(add_health_listener):
+            add_health_listener(
+                lambda change: self.publish_event("health", change.get("kind", "change"), change)
+            )
+        add_membership_listener = getattr(backend, "add_membership_listener", None)
+        if callable(add_membership_listener):
+            add_membership_listener(
+                lambda event, replica_id: self.publish_event(
+                    "autoscale", event, {"replica_id": replica_id}
+                )
+            )
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
         self.max_inflight = max_inflight
@@ -193,6 +252,10 @@ class GatewayServer:
             "rejected": 0,
             "registered": 0,
             "observed": 0,
+            "subscriptions": 0,
+            "events_published": 0,
+            "events_sent": 0,
+            "events_dropped": 0,
         }
         submit = getattr(backend, "submit", None)
         self._can_submit = callable(submit)
@@ -364,6 +427,10 @@ class GatewayServer:
                     return
                 if isinstance(frame, (Request, Register, Observe)):
                     self._admit(connection, frame)
+                elif isinstance(frame, Subscribe):
+                    # Subscriptions are connection metadata, not serving work:
+                    # handled inline (no window slot), acked immediately.
+                    await self._serve_subscribe(connection, frame)
                 else:
                     await connection.send(
                         ErrorFrame(
@@ -432,6 +499,62 @@ class GatewayServer:
 
         task.add_done_callback(_done)
 
+    async def _serve_subscribe(self, connection: _Connection, frame: Subscribe) -> None:
+        """Replace the connection's topic set; unknown topics are typed errors."""
+        unknown = [topic for topic in frame.topics if topic not in EVENT_TOPICS]
+        if unknown:
+            await connection.send(
+                ErrorFrame(
+                    frame.request_id,
+                    ProtocolError(
+                        f"unknown event topics {unknown}; available: {list(EVENT_TOPICS)}"
+                    ),
+                )
+            )
+            return
+        connection.topics = frozenset(frame.topics)
+        self._counters["subscriptions"] += 1
+        await connection.send(Ack(frame.request_id, ",".join(sorted(connection.topics))))
+
+    # ------------------------------------------------------------------
+    # Event plane (any thread -> loop thread -> subscribed connections)
+    # ------------------------------------------------------------------
+    def publish_event(self, topic: str, name: str, payload: Dict[str, object]) -> int:
+        """Fan one event out to every connection subscribed to ``topic``.
+
+        Thread-safe and non-blocking: callable from alert/health/autoscale
+        callbacks on any thread.  The sequence number is minted here — one
+        monotonic counter across all topics, so cross-topic ordering (alert
+        firing before resolved) is pinned — and the actual socket writes run
+        as fire-and-forget tasks on the gateway loop, never blocking the
+        caller or the request path.  Returns the sequence number (0 when the
+        event was dropped because the gateway is not running).
+        """
+        with self._event_lock:
+            self._event_seq += 1
+            seq = self._event_seq
+        event = Event(topic=topic, name=name, payload=payload, seq=seq, timestamp=time.time())
+        with self._lifecycle_lock:
+            loop = self._loop if self._running else None
+        if loop is None:
+            self._counters["events_dropped"] += 1
+            return 0
+        self._counters["events_published"] += 1
+
+        def _fan_out() -> None:
+            data = encode_frame(event)
+            for connection in list(self._connections):
+                if topic in connection.topics and not connection.writer.is_closing():
+                    self._counters["events_sent"] += 1
+                    self._spawn(connection.send_bytes(data))
+
+        try:
+            loop.call_soon_threadsafe(_fan_out)
+        except RuntimeError:  # loop shut down between the check and the call
+            self._counters["events_dropped"] += 1
+            return 0
+        return seq
+
     def _spawn(self, coroutine) -> None:
         """Track a fire-and-forget rejection send (drained once at shutdown;
         kept out of _tasks so a client spamming during drain cannot keep the
@@ -458,16 +581,21 @@ class GatewayServer:
                     "peer": connection.peer,
                 },
             )
+        began = time.perf_counter()
+        self._requests_counter.inc()
         try:
             output = await self._dispatch(connection, request, span)
         except asyncio.CancelledError:  # pragma: no cover - only on hard kill
             raise
         except BaseException as error:  # noqa: BLE001 - becomes a typed frame
+            self._latency_hist.observe((time.perf_counter() - began) * 1e3)
+            self._errors_counter.inc()
             if span is not None:
                 span.end(error=error)
             self._counters["errors"] += 1
             await connection.send(ErrorFrame(request.request_id, error))
         else:
+            self._latency_hist.observe((time.perf_counter() - began) * 1e3)
             try:
                 reply = Response(request.request_id, np.asarray(output))
                 frame_bytes = encode_frame(reply)
@@ -477,11 +605,13 @@ class GatewayServer:
                 # instead of dying with the request hung client-side.
                 if span is not None:
                     span.end(error=unencodable)
+                self._errors_counter.inc()
                 self._counters["errors"] += 1
                 await connection.send(ErrorFrame(request.request_id, unencodable))
                 return
             if span is not None:
                 span.end()
+            self._responses_counter.inc()
             self._counters["responses"] += 1
             await connection.send_bytes(frame_bytes)
 
@@ -506,6 +636,8 @@ class GatewayServer:
             # its locks inline, so it goes through the executor too — only
             # the await of the returned future lives on the loop.
             call = partial(self.backend.submit, request.model_id, request.sample, **kwargs)
+            if self.profiler is not None:
+                call = partial(self.profiler.call_tagged, "gateway.submit", call)
             future = await asyncio.get_running_loop().run_in_executor(None, call)
             return await asyncio.wrap_future(future)
         kwargs = {}
@@ -516,6 +648,8 @@ class GatewayServer:
         if span is not None and "trace" in self._predict_params:
             kwargs["trace"] = span.context
         call = partial(self.backend.predict, request.model_id, request.sample, **kwargs)
+        if self.profiler is not None:
+            call = partial(self.profiler.call_tagged, "gateway.predict", call)
         return await asyncio.get_running_loop().run_in_executor(None, call)
 
     async def _serve_observe(self, connection: _Connection, frame: Observe) -> None:
@@ -537,7 +671,7 @@ class GatewayServer:
             await connection.send(ObserveReply(frame.request_id, payload))
 
     def _observe_payload(self, what: str, max_spans: int) -> Dict[str, object]:
-        scopes = ("all", "metrics", "spans")
+        scopes = ("all", "metrics", "spans", "profile")
         if what not in scopes:
             raise ProtocolError(f"unknown OBSERVE scope '{what}'; expected one of {scopes}")
         payload: Dict[str, object] = {"server_id": self.server_id}
@@ -547,6 +681,11 @@ class GatewayServer:
             tracer = self.tracer
             payload["spans"] = [] if tracer is None else tracer.recent_spans(max_spans)
             payload["tracer"] = None if tracer is None else tracer.stats()
+        if what in ("all", "profile"):
+            profiler = self.profiler
+            # max_spans doubles as the stack bound: OBSERVE("profile") tails
+            # the hottest folded stacks the way "spans" tails recent spans.
+            payload["profile"] = None if profiler is None else profiler.snapshot(limit=max_spans)
         return payload
 
     async def _serve_register(self, connection: _Connection, frame: Register) -> None:

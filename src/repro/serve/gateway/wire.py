@@ -41,6 +41,11 @@ Frame types:
  0x09   OBSERVE       !Q request id, str what ("metrics"|"spans"|"all"),
                       !I max spans to tail
  0x0A   OBSERVE_REPLY !Q request id, str snapshot JSON
+ 0x0B   SUBSCRIBE     !Q request id, !H topic count, str per topic
+                      (server replies ACK; replaces the connection's set)
+ 0x0C   EVENT         str topic, str name, str payload JSON, !Q sequence,
+                      !d timestamp (server→client push; never solicited
+                      from peers that did not SUBSCRIBE)
 ====== ============= =========================================================
 
 Frames are versioned (`WIRE_VERSION`): a version byte the decoder does not
@@ -95,6 +100,8 @@ FRAME_REGISTER = 0x07
 FRAME_ACK = 0x08
 FRAME_OBSERVE = 0x09
 FRAME_OBSERVE_REPLY = 0x0A
+FRAME_SUBSCRIBE = 0x0B
+FRAME_EVENT = 0x0C
 
 #: First byte of the optional REQUEST trace suffix.  The suffix is the only
 #: place the protocol appends data after a frame's fixed body, so it carries a
@@ -209,6 +216,38 @@ class ObserveReply:
     payload: Dict[str, object] = field(default_factory=dict)
 
 
+@dataclass
+class Subscribe:
+    """Client→server: set this connection's event-topic subscriptions.
+
+    Replaces (not extends) the connection's topic set, so an empty list
+    unsubscribes.  The server confirms with an :class:`Ack` carrying the
+    granted topics; peers that never send SUBSCRIBE see no EVENT frames at
+    all — the push plane is strictly opt-in and old clients interoperate
+    untouched.
+    """
+
+    request_id: int
+    topics: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Event:
+    """Server→client push: one observability event on a subscribed topic.
+
+    ``seq`` is a per-server monotonic sequence (total order across topics —
+    the pinned ordering in the SLO acceptance scenario); ``payload`` is
+    JSON-shaped data specific to ``(topic, name)`` — an alert transition, a
+    health/breaker state change, an autoscale membership change.
+    """
+
+    topic: str
+    name: str
+    payload: Dict[str, object] = field(default_factory=dict)
+    seq: int = 0
+    timestamp: float = 0.0
+
+
 Frame = Union[
     Hello,
     HelloAck,
@@ -220,6 +259,8 @@ Frame = Union[
     Ack,
     Observe,
     ObserveReply,
+    Subscribe,
+    Event,
 ]
 
 
@@ -524,6 +565,19 @@ def _encode_frame(frame: Frame) -> bytes:
             struct.pack("!Q", frame.request_id),
             _pack_str(json.dumps(frame.payload, default=str)),
         ]
+    elif isinstance(frame, Subscribe):
+        frame_type = FRAME_SUBSCRIBE
+        parts = [struct.pack("!Q", frame.request_id), struct.pack("!H", len(frame.topics))]
+        parts.extend(_pack_str(topic) for topic in frame.topics)
+    elif isinstance(frame, Event):
+        frame_type = FRAME_EVENT
+        parts = [
+            _pack_str(frame.topic),
+            _pack_str(frame.name),
+            _pack_str(json.dumps(frame.payload, default=str)),
+            struct.pack("!Q", frame.seq),
+            struct.pack("!d", frame.timestamp),
+        ]
     else:
         raise ProtocolError(f"cannot encode {type(frame).__name__} as a wire frame")
     length = sum(map(len, parts)) + _HEADER.size
@@ -649,6 +703,17 @@ def _decode_body(cursor: _Cursor) -> Frame:
     if frame_type == FRAME_OBSERVE_REPLY:
         (request_id,) = cursor.unpack("!Q")
         return ObserveReply(request_id=request_id, payload=json.loads(cursor.str_()))
+    if frame_type == FRAME_SUBSCRIBE:
+        (request_id,) = cursor.unpack("!Q")
+        (count,) = cursor.unpack("!H")
+        return Subscribe(request_id=request_id, topics=[cursor.str_() for _ in range(count)])
+    if frame_type == FRAME_EVENT:
+        topic = cursor.str_()
+        name = cursor.str_()
+        payload = json.loads(cursor.str_())
+        (seq,) = cursor.unpack("!Q")
+        (timestamp,) = cursor.unpack("!d")
+        return Event(topic=topic, name=name, payload=payload, seq=seq, timestamp=timestamp)
     raise ProtocolError(f"unknown frame type 0x{frame_type:02x}")
 
 
@@ -677,6 +742,7 @@ __all__ = [
     "WIRE_VERSION",
     "Ack",
     "ErrorFrame",
+    "Event",
     "Frame",
     "Goodbye",
     "Hello",
@@ -686,6 +752,7 @@ __all__ = [
     "Register",
     "Request",
     "Response",
+    "Subscribe",
     "TraceContext",
     "decode_error",
     "decode_payload",

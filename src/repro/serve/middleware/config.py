@@ -407,6 +407,11 @@ def parse_stack_spec(spec: Mapping[str, object]) -> StackSpec:
                     "'observability.exporters' must be an array of exporter "
                     "names or tables"
                 )
+        elif key == "slo":
+            # Shape is validated in depth by slo_from_spec (it owns the typed
+            # errors); here only the table-ness is pinned.
+            if not isinstance(value, Mapping):
+                raise StackDefinitionError("'observability.slo' must be a table")
         elif not isinstance(value, (str, int, float, bool)):
             raise StackDefinitionError(
                 f"'observability' key '{key}' must be a scalar, got {type(value).__name__}"

@@ -74,7 +74,9 @@ def tracer_from_spec(
         raise ObservabilityConfigError(
             f"[observability] must be a table, got {type(table).__name__}"
         )
-    known = {"sample_rate", "max_spans", "exporters"}
+    # "slo" is carried on the same table but interpreted by slo_from_spec
+    # (repro.serve.observability.slo); the tracer builder ignores it.
+    known = {"sample_rate", "max_spans", "exporters", "slo"}
     unknown = set(table) - known
     if unknown:
         raise ObservabilityConfigError(

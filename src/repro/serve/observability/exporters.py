@@ -98,6 +98,85 @@ class JsonlExporter(SpanExporter):
                 self._handle.close()
 
 
+class PrometheusExporter(SpanExporter):
+    """Renders a :class:`MetricsRegistry` snapshot as Prometheus text format.
+
+    Not a span sink (``export`` is a deliberate no-op — Prometheus scrapes
+    metrics, it does not ingest spans): the value is :meth:`render`, which
+    turns the ``instruments`` section of a registry snapshot into the
+    ``text/plain; version=0.0.4`` exposition format, so any snapshot —
+    local, or pulled over the wire via ``observe("metrics")`` — can be
+    served to a scraper without bespoke tooling.  Metric names swap dots
+    for underscores (``gateway.requests`` → ``gateway_requests_total``);
+    histograms render the coherent ``snapshot()`` shape: ``_bucket{le=...}``
+    cumulative counts plus ``_count``/``_sum``.
+    """
+
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def export(self, span: Dict[str, object]) -> None:
+        """Spans are not scrape-able; deliberately dropped."""
+
+    @staticmethod
+    def _name(metric: str, suffix: str = "") -> str:
+        safe = "".join(
+            char if char.isalnum() or char == "_" else "_" for char in metric
+        )
+        if safe and safe[0].isdigit():
+            safe = "_" + safe
+        return safe + suffix
+
+    def render(self, source) -> str:
+        """Exposition text from a registry, a snapshot dict, or instruments.
+
+        Accepts a :class:`~repro.serve.observability.metrics.MetricsRegistry`
+        (its live instruments are read, histograms via their coherent
+        ``snapshot()``), a full ``snapshot()`` dict (the ``"instruments"``
+        section is used), or a bare instruments dict.
+        """
+        registry = source if hasattr(source, "instruments") else None
+        if registry is not None:
+            instruments = registry.instruments()
+        elif isinstance(source, dict):
+            instruments = source.get("instruments", source)
+        else:
+            raise TypeError(
+                f"cannot render {type(source).__name__}: expected a MetricsRegistry "
+                "or a snapshot dict"
+            )
+        lines: List[str] = []
+        for name, value in sorted(dict(instruments.get("counters", {})).items()):
+            metric = self._name(name, "_total")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        for name, value in sorted(dict(instruments.get("gauges", {})).items()):
+            metric = self._name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value}")
+        histograms = dict(instruments.get("histograms", {}))
+        for name in sorted(histograms):
+            metric = self._name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            detail = None
+            if registry is not None:
+                # Live registry: the coherent single-lock snapshot with
+                # cumulative buckets.  A summary-shaped dict (count/mean/pXX,
+                # what instruments() carries) renders without buckets.
+                with_buckets = registry.histogram(name).snapshot()
+                detail = with_buckets
+            elif isinstance(histograms[name], dict) and "buckets" in histograms[name]:
+                detail = histograms[name]
+            summary = histograms[name] if isinstance(histograms[name], dict) else {}
+            if detail is not None:
+                for bound, count in detail["buckets"].items():
+                    lines.append(f'{metric}_bucket{{le="{bound}"}} {count}')
+                lines.append(f"{metric}_count {detail['count']}")
+                lines.append(f"{metric}_sum {detail['sum']}")
+            else:
+                lines.append(f"{metric}_count {summary.get('count', 0)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
 # ----------------------------------------------------------------------
 # The exporter registry (what [observability] exporters = [...] resolves in)
 # ----------------------------------------------------------------------
@@ -149,10 +228,12 @@ def build_exporter(name: str, kwargs: Optional[Dict[str, object]] = None) -> Spa
 
 register_exporter("memory", InMemoryExporter)
 register_exporter("jsonl", JsonlExporter)
+register_exporter("prometheus", PrometheusExporter)
 
 __all__ = [
     "InMemoryExporter",
     "JsonlExporter",
+    "PrometheusExporter",
     "SpanExporter",
     "build_exporter",
     "register_exporter",

@@ -17,6 +17,14 @@ two shapes that actually exist in the stack:
 a view over the registry — and :meth:`snapshot` returns everything: all
 providers plus the instrument values, the payload the OBSERVE frame ships.
 
+**Observers** (:meth:`MetricsRegistry.add_observer`) see every instrument
+update as it happens — ``on_counter(name, increment)`` /
+``on_gauge(name, value)`` / ``on_observation(name, value)`` — which is how
+:class:`~repro.serve.observability.timeseries.WindowedSeriesStore` grows a
+history for every existing instrument without any call site changing.
+Observer callbacks run outside instrument locks and their exceptions are
+swallowed: history must never stall or fail the serving path.
+
 Metric naming scheme (``docs/observability.md``): provider names are the
 component (``router``, ``admission``, ``gateway``, ``middleware.<Name>``);
 instrument names are dotted ``component.measure`` strings.
@@ -24,28 +32,71 @@ instrument names are dotted ``component.measure`` strings.
 
 from __future__ import annotations
 
+import bisect
 import threading
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 Provider = Callable[[], Dict[str, object]]
 
+#: Default Histogram bucket upper bounds (Prometheus-style, milliseconds-ish
+#: spread): cumulative counts over these plus "+Inf" form the snapshot shape
+#: the Prometheus exporter renders.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+)
+
+
+def _notify(watchers, method: str, name: str, value: float) -> None:
+    """Fan one instrument update out to registry observers (never raises)."""
+    for watcher in watchers:
+        callback = getattr(watcher, method, None)
+        if callback is None:
+            continue
+        try:
+            callback(name, value)
+        except Exception:  # noqa: BLE001 - history must not fail the hot path
+            pass
+
 
 class Counter:
     """A monotonically increasing tally."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "_value", "_lock", "_watchers")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0
         self._lock = threading.Lock()
+        self._watchers: Tuple[object, ...] = ()
 
     def inc(self, amount: int = 1) -> None:
         with self._lock:
             self._value += amount
+        if self._watchers:
+            # Observers get the *increment*, not the cumulative value:
+            # increments are commutative, so notifications racing out of
+            # order (they run outside the lock) still sum correctly, where
+            # out-of-order cumulative values would fake a counter reset.
+            _notify(self._watchers, "on_counter", self.name, amount)
 
     @property
     def value(self) -> int:
@@ -55,16 +106,20 @@ class Counter:
 class Gauge:
     """A point-in-time value (queue depth, replica count, sample rate)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "_value", "_lock", "_watchers")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
         self._lock = threading.Lock()
+        self._watchers: Tuple[object, ...] = ()
 
     def set(self, value: float) -> None:
+        value = float(value)
         with self._lock:
-            self._value = float(value)
+            self._value = value
+        if self._watchers:
+            _notify(self._watchers, "on_gauge", self.name, value)
 
     @property
     def value(self) -> float:
@@ -72,11 +127,32 @@ class Gauge:
 
 
 class Histogram:
-    """A rolling-window distribution with count/mean/percentile summaries."""
+    """A rolling-window distribution with count/mean/percentile summaries.
 
-    __slots__ = ("name", "_samples", "_count", "_total", "_lock")
+    Alongside the rolling sample window (which feeds :meth:`summary`'s
+    percentiles), the histogram keeps cumulative bucket counts over fixed
+    upper bounds; :meth:`snapshot` reads buckets, count and sum under **one**
+    lock acquisition so a concurrent :meth:`observe` can never produce a
+    snapshot whose sum/count disagree with its buckets.
+    """
 
-    def __init__(self, name: str, window: int = 2048) -> None:
+    __slots__ = (
+        "name",
+        "_samples",
+        "_count",
+        "_total",
+        "_lock",
+        "_bounds",
+        "_bucket_counts",
+        "_watchers",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        window: int = 2048,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.name = name
@@ -84,13 +160,24 @@ class Histogram:
         self._count = 0
         self._total = 0.0
         self._lock = threading.Lock()
+        bounds = tuple(sorted(float(bound) for bound in (buckets or DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError("buckets must be non-empty")
+        self._bounds = bounds
+        self._bucket_counts = [0] * len(bounds)
+        self._watchers: Tuple[object, ...] = ()
 
     def observe(self, value: float) -> None:
+        value = float(value)
         with self._lock:
-            value = float(value)
             self._samples.append(value)
             self._count += 1
             self._total += value
+            index = bisect.bisect_left(self._bounds, value)
+            if index < len(self._bucket_counts):
+                self._bucket_counts[index] += 1
+        if self._watchers:
+            _notify(self._watchers, "on_observation", self.name, value)
 
     def summary(self) -> Dict[str, float]:
         with self._lock:
@@ -106,6 +193,25 @@ class Histogram:
             "p95": round(float(np.percentile(array, 95)), 6),
         }
 
+    def snapshot(self) -> Dict[str, object]:
+        """Coherent count/sum/buckets read under a single lock acquisition.
+
+        ``buckets`` maps each upper bound (plus ``"+Inf"``) to the
+        *cumulative* count at or below it — the Prometheus exposition shape —
+        and the invariant ``buckets["+Inf"] == count`` holds for every
+        snapshot regardless of concurrent observes.
+        """
+        with self._lock:
+            count, total = self._count, self._total
+            per_bucket = list(self._bucket_counts)
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, bucket_count in zip(self._bounds, per_bucket):
+            running += bucket_count
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = count
+        return {"count": count, "sum": round(total, 6), "buckets": cumulative}
+
 
 class MetricsRegistry:
     """One snapshot surface over every component's counters and stats dicts."""
@@ -115,6 +221,7 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._providers: Dict[str, Provider] = {}
+        self._observers: Tuple[object, ...] = ()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -125,6 +232,7 @@ class MetricsRegistry:
             instrument = self._counters.get(name)
             if instrument is None:
                 instrument = self._counters[name] = Counter(name)
+                instrument._watchers = self._observers
             return instrument
 
     def gauge(self, name: str) -> Gauge:
@@ -132,6 +240,7 @@ class MetricsRegistry:
             instrument = self._gauges.get(name)
             if instrument is None:
                 instrument = self._gauges[name] = Gauge(name)
+                instrument._watchers = self._observers
             return instrument
 
     def histogram(self, name: str, window: int = 2048) -> Histogram:
@@ -139,7 +248,41 @@ class MetricsRegistry:
             instrument = self._histograms.get(name)
             if instrument is None:
                 instrument = self._histograms[name] = Histogram(name, window=window)
+                instrument._watchers = self._observers
             return instrument
+
+    # ------------------------------------------------------------------
+    # Observers (live update fan-out: the time-series hook)
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: object) -> object:
+        """Subscribe to every instrument update, existing and future.
+
+        ``observer`` implements any of ``on_counter(name, increment)``,
+        ``on_gauge(name, value)``, ``on_observation(name, value)``; missing
+        methods are skipped, raised exceptions swallowed.  Returns the
+        observer (decorator-friendly).
+        """
+        with self._lock:
+            self._observers = self._observers + (observer,)
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+            for instrument in instruments:
+                instrument._watchers = self._observers
+        return observer
+
+    def remove_observer(self, observer: object) -> None:
+        with self._lock:
+            self._observers = tuple(o for o in self._observers if o is not observer)
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+            for instrument in instruments:
+                instrument._watchers = self._observers
 
     # ------------------------------------------------------------------
     # Providers (the existing stats() surfaces, bound by name)
@@ -259,4 +402,4 @@ class MetricsRegistry:
         return sections
 
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram", "MetricsRegistry"]

@@ -1,0 +1,238 @@
+"""Continuous sampling profiler: folded stacks tagged by serving stage.
+
+Tracing (:mod:`repro.serve.observability.trace`) answers *where one request
+spent its time*; this module answers *where the process spends its time in
+aggregate*, cheaply enough to leave running in production.  A daemon thread
+wakes ``hz`` times per second, walks :func:`sys._current_frames` and folds
+each thread's stack into a ``outermost;...;innermost`` string (the flamegraph
+interchange format), bounded in depth and in distinct-stack count so memory
+stays constant however long it runs.
+
+Stacks are *tagged by stage*: a worker thread executing inside
+:meth:`StageProfiler.tag` (or a callable wrapped by
+:meth:`StageProfiler.call_tagged` — what the gateway wraps its executor
+dispatches in) attributes its samples to that stage name; everything else
+lands under ``untagged``.  The aggregate is exposed through the gateway's
+``observe("profile")`` scope, :meth:`snapshot` locally, and a JSONL exporter
+for offline flamegraph tooling.
+
+Overhead is the budget the benchmark gates (``--max-profiler-overhead``):
+sampling touches only frame objects (no sys.settrace, no per-call hooks), so
+the serving path itself is untouched — the only cost is the sampler thread's
+own CPU share, which shrinks with ``hz``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class StageProfiler:
+    """Bounded-memory sampling profiler with per-stage stack attribution."""
+
+    def __init__(
+        self,
+        hz: float = 100.0,
+        max_stacks: int = 512,
+        max_depth: int = 32,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if hz <= 0 or hz > 1000:
+            raise ValueError("hz must be in (0, 1000]")
+        if max_stacks < 1:
+            raise ValueError("max_stacks must be >= 1")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.hz = float(hz)
+        self.max_stacks = int(max_stacks)
+        self.max_depth = int(max_depth)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (stage, folded_stack) -> sample count; bounded at max_stacks keys.
+        self._samples: Dict[Tuple[str, str], int] = {}
+        #: thread ident -> current stage name (set by tag()/call_tagged()).
+        self._stages: Dict[int, str] = {}
+        self._counters = {
+            "ticks": 0,
+            "samples": 0,
+            "dropped_stacks": 0,
+            "started_at": 0.0,
+        }
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "StageProfiler":
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            self._counters["started_at"] = self._clock()
+            self._thread = threading.Thread(
+                target=self._run, name="stage-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "StageProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Stage tagging (worker threads)
+    # ------------------------------------------------------------------
+    class _Tag:
+        __slots__ = ("profiler", "stage", "previous", "ident")
+
+        def __init__(self, profiler: "StageProfiler", stage: str) -> None:
+            self.profiler = profiler
+            self.stage = stage
+
+        def __enter__(self) -> "StageProfiler._Tag":
+            self.ident = threading.get_ident()
+            self.previous = self.profiler._stages.get(self.ident)
+            self.profiler._stages[self.ident] = self.stage
+            return self
+
+        def __exit__(self, *exc) -> None:
+            if self.previous is None:
+                self.profiler._stages.pop(self.ident, None)
+            else:
+                self.profiler._stages[self.ident] = self.previous
+
+    def tag(self, stage: str) -> "StageProfiler._Tag":
+        """Attribute this thread's samples to ``stage`` while the context is
+        open (nestable; the previous stage is restored on exit)."""
+        return StageProfiler._Tag(self, stage)
+
+    def call_tagged(self, stage: str, fn: Callable, *args, **kwargs):
+        """Run ``fn`` with its thread tagged as ``stage`` — the zero-import
+        hook the gateway wraps executor dispatches in."""
+        with self.tag(stage):
+            return fn(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Sampling (daemon thread)
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        interval = 1.0 / self.hz
+        while not self._stop.wait(interval):
+            self._sample_once(own_ident)
+
+    def _sample_once(self, skip_ident: int) -> None:
+        frames = sys._current_frames()
+        with self._lock:
+            self._counters["ticks"] += 1
+            stages = dict(self._stages)
+            for ident, frame in frames.items():
+                if ident == skip_ident:
+                    continue
+                folded = self._fold(frame)
+                if not folded:
+                    continue
+                key = (stages.get(ident, "untagged"), folded)
+                if key not in self._samples and len(self._samples) >= self.max_stacks:
+                    self._counters["dropped_stacks"] += 1
+                    continue
+                self._samples[key] = self._samples.get(key, 0) + 1
+                self._counters["samples"] += 1
+
+    def _fold(self, frame) -> str:
+        parts: List[str] = []
+        depth = 0
+        while frame is not None and depth < self.max_depth:
+            code = frame.f_code
+            parts.append(f"{code.co_name} ({code.co_filename.rsplit('/', 1)[-1]})")
+            frame = frame.f_back
+            depth += 1
+        parts.reverse()  # outermost first: the flamegraph convention
+        return ";".join(parts)
+
+    # ------------------------------------------------------------------
+    # Introspection + export
+    # ------------------------------------------------------------------
+    def snapshot(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """Aggregated samples: per-stage counts plus the hottest stacks.
+
+        ``limit`` bounds the stacks list (hottest first); the per-stage tally
+        always covers every retained sample.
+        """
+        with self._lock:
+            samples = dict(self._samples)
+            counters = dict(self._counters)
+        stages: Dict[str, int] = {}
+        for (stage, _folded), count in samples.items():
+            stages[stage] = stages.get(stage, 0) + count
+        ranked = sorted(samples.items(), key=lambda item: (-item[1], item[0]))
+        if limit is not None:
+            ranked = ranked[: max(limit, 0)]
+        return {
+            "hz": self.hz,
+            "running": self.running,
+            "stages": dict(sorted(stages.items())),
+            "stacks": [
+                {"stage": stage, "stack": folded, "samples": count}
+                for (stage, folded), count in ranked
+            ],
+            **counters,
+        }
+
+    def folded(self) -> List[str]:
+        """``stage;frame;...;frame count`` lines (flamegraph.pl input)."""
+        with self._lock:
+            samples = dict(self._samples)
+        return [
+            f"{stage};{folded} {count}"
+            for (stage, folded), count in sorted(samples.items(), key=lambda item: -item[1])
+        ]
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per aggregated stack; returns the line count."""
+        with self._lock:
+            samples = dict(self._samples)
+        with open(path, "w", encoding="utf-8") as handle:
+            for (stage, folded), count in sorted(samples.items(), key=lambda item: -item[1]):
+                handle.write(
+                    json.dumps({"stage": stage, "stack": folded, "samples": count}) + "\n"
+                )
+        return len(samples)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "hz": self.hz,
+                "running": self._thread is not None,
+                "distinct_stacks": len(self._samples),
+                "max_stacks": self.max_stacks,
+                "tagged_threads": len(self._stages),
+                **self._counters,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self._counters.update(ticks=0, samples=0, dropped_stacks=0)
+
+
+__all__ = ["StageProfiler"]

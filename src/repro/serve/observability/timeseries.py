@@ -1,0 +1,460 @@
+"""Windowed time-series aggregation over the metrics plane.
+
+:class:`~repro.serve.observability.metrics.MetricsRegistry` answers "what is
+the value *now*"; this module answers "what has it been doing *lately*" —
+the question SLO burn rates, windowed autoscaling signals and dashboards all
+ask.  One :class:`WindowedSeriesStore` keeps, per metric, a fixed-interval
+ring of buckets (constant memory, oldest evicted), with three aggregation
+kinds matching the three instrument shapes:
+
+* **counter** — per-bucket *increase* derived from the cumulative value
+  (resets detected), so :meth:`WindowedSeriesStore.rate` is a true
+  events-per-second over any window;
+* **gauge** — last value per bucket (:meth:`WindowedSeriesStore.last`);
+* **observation** (histogram samples) — per-bucket count, sum and a
+  constant-memory :class:`QuantileSketch` (Greenwald–Khanna, the GK/CKMS
+  family), so :meth:`WindowedSeriesStore.quantile` serves p50/p95/p99 and
+  :meth:`WindowedSeriesStore.fraction_above` serves the SLO "how many were
+  slower than the target" question without retaining raw samples.
+
+The store plugs into a registry as an *observer*
+(:meth:`WindowedSeriesStore.attach` →
+:meth:`~repro.serve.observability.metrics.MetricsRegistry.add_observer`):
+every existing ``Counter.inc`` / ``Gauge.set`` / ``Histogram.observe``
+forwards its update, so components instrumented against the registry get
+history for free — no call sites change.  The clock is injectable, so tests
+drive bucket rollover deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+COUNTER = "counter"
+GAUGE = "gauge"
+OBSERVATION = "observation"
+
+
+class QuantileSketch:
+    """Greenwald–Khanna streaming quantile summary with ε rank error.
+
+    Constant memory (``O(1/ε · log(εn))`` tuples, in practice a few hundred
+    for ε=0.01), single-pass, no raw sample retention.  The guarantee:
+    :meth:`quantile`\\ (q) returns a value whose *rank* in the stream is
+    within ``ε·n`` of ``q·n`` — the bound the hypothesis property suite
+    pins against exact quantiles.  ``min``/``max``/``sum``/``count`` are
+    tracked exactly.
+    """
+
+    __slots__ = ("epsilon", "_entries", "_count", "_sum", "_min", "_max", "_since_compress")
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not 0.0 < epsilon < 0.5:
+            raise ValueError("epsilon must be in (0, 0.5)")
+        self.epsilon = float(epsilon)
+        # Each entry is [value, g, delta]: g is the rank gap to the previous
+        # entry, delta the uncertainty of this entry's rank.
+        self._entries: List[List[float]] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._since_compress = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        return self._min
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        entries = self._entries
+        index = bisect.bisect_right([entry[0] for entry in entries], value)
+        if index == 0 or index == len(entries):
+            delta = 0.0  # a new extreme has exact rank
+        else:
+            delta = math.floor(2.0 * self.epsilon * self._count)
+        entries.insert(index, [value, 1.0, delta])
+        self._count += 1
+        self._since_compress += 1
+        if self._since_compress >= max(int(1.0 / (2.0 * self.epsilon)), 1):
+            self._compress()
+
+    def _compress(self) -> None:
+        self._since_compress = 0
+        entries = self._entries
+        threshold = math.floor(2.0 * self.epsilon * self._count)
+        index = len(entries) - 2
+        while index >= 1:
+            current, nxt = entries[index], entries[index + 1]
+            if current[1] + nxt[1] + nxt[2] <= threshold:
+                nxt[1] += current[1]
+                del entries[index]
+            index -= 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """A value whose rank is within ``ε·n`` of ``q·n``; None when empty."""
+        if self._count == 0:
+            return None
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+        rank = max(1, math.ceil(q * self._count))
+        margin = self.epsilon * self._count
+        rmin = 0.0
+        previous = self._entries[0][0]
+        for value, g, delta in self._entries:
+            rmin += g
+            if rmin + delta > rank + margin:
+                return previous
+            previous = value
+        return self._entries[-1][0]
+
+    def fraction_at_or_below(self, value: float) -> Optional[float]:
+        """Approximate CDF at ``value`` (rank error within ~2ε); None if empty."""
+        if self._count == 0:
+            return None
+        if value >= self._max:
+            return 1.0
+        if value < self._min:
+            return 0.0
+        rank = 0.0
+        for entry_value, g, _delta in self._entries:
+            if entry_value > value:
+                break
+            rank += g
+        return min(max(rank / self._count, 0.0), 1.0)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self._count,
+            "sum": round(self._sum, 6),
+            "min": None if self._count == 0 else self._min,
+            "max": None if self._count == 0 else self._max,
+            "entries": len(self._entries),
+            "epsilon": self.epsilon,
+        }
+
+
+class _Bucket:
+    """One fixed-interval aggregation bucket of a single series."""
+
+    __slots__ = ("index", "increase", "value", "count", "total", "sketch")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.increase = 0.0  # counter: cumulative delta landed in this bucket
+        self.value: Optional[float] = None  # gauge: last value seen
+        self.count = 0  # observations landed in this bucket
+        self.total = 0.0
+        self.sketch: Optional[QuantileSketch] = None
+
+
+class _Series:
+    """The per-metric bucket ring plus counter-reset bookkeeping."""
+
+    __slots__ = ("name", "kind", "buckets", "last_cumulative")
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.buckets: Dict[int, _Bucket] = {}
+        self.last_cumulative: Optional[float] = None
+
+
+class WindowedSeriesStore:
+    """Fixed-interval windowed history for every metric that reports to it.
+
+    ``interval`` seconds per bucket, ``buckets`` of retention (constant
+    memory per series).  Thread-safe; the clock is injectable so tests roll
+    buckets without sleeping.  Attach to a registry with :meth:`attach`, or
+    feed it directly via :meth:`record_counter` / :meth:`record_gauge` /
+    :meth:`record_observation`.
+    """
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        buckets: int = 120,
+        epsilon: float = 0.01,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be > 0 seconds")
+        if buckets < 2:
+            raise ValueError("buckets must be >= 2")
+        self.interval = float(interval)
+        self.capacity = int(buckets)
+        self.epsilon = float(epsilon)
+        self._clock = clock
+        self._series: Dict[str, _Series] = {}
+        self._lock = threading.Lock()
+        self._dropped_updates = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _bucket(self, series: _Series) -> _Bucket:
+        index = int(self._clock() // self.interval)
+        bucket = series.buckets.get(index)
+        if bucket is None:
+            bucket = series.buckets[index] = _Bucket(index)
+            floor = index - self.capacity + 1
+            if len(series.buckets) > self.capacity:
+                for stale in [i for i in series.buckets if i < floor]:
+                    del series.buckets[stale]
+        return bucket
+
+    def _get(self, name: str, kind: str) -> _Series:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = _Series(name, kind)
+        elif series.kind != kind:
+            # A name reused across kinds keeps its first kind; the stray
+            # update is counted rather than corrupting the series.
+            self._dropped_updates += 1
+            raise KeyError(name)
+        return series
+
+    def record_counter(self, name: str, cumulative: float) -> None:
+        """Record a counter's *cumulative* value; the bucket stores the delta."""
+        cumulative = float(cumulative)
+        with self._lock:
+            try:
+                series = self._get(name, COUNTER)
+            except KeyError:
+                return
+            last = series.last_cumulative
+            if last is None or cumulative < last:  # first sight, or a reset
+                delta = cumulative if last is None else cumulative
+            else:
+                delta = cumulative - last
+            series.last_cumulative = cumulative
+            self._bucket(series).increase += max(delta, 0.0)
+
+    def record_counter_delta(self, name: str, amount: float) -> None:
+        """Record one counter *increment* (the registry observer feed).
+
+        Increments are commutative, so notifications arriving out of order
+        — they run outside instrument locks — still sum correctly, where
+        out-of-order cumulative values would trip reset detection.
+        """
+        with self._lock:
+            try:
+                series = self._get(name, COUNTER)
+            except KeyError:
+                return
+            self._bucket(series).increase += max(float(amount), 0.0)
+
+    def record_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            try:
+                series = self._get(name, GAUGE)
+            except KeyError:
+                return
+            self._bucket(series).value = float(value)
+
+    def record_observation(self, name: str, value: float) -> None:
+        with self._lock:
+            try:
+                series = self._get(name, OBSERVATION)
+            except KeyError:
+                return
+            bucket = self._bucket(series)
+            value = float(value)
+            bucket.count += 1
+            bucket.total += value
+            if bucket.sketch is None:
+                bucket.sketch = QuantileSketch(self.epsilon)
+            bucket.sketch.observe(value)
+
+    # ------------------------------------------------------------------
+    # MetricsRegistry observer protocol (see MetricsRegistry.add_observer)
+    # ------------------------------------------------------------------
+    on_counter = record_counter_delta
+    on_gauge = record_gauge
+    on_observation = record_observation
+
+    def attach(self, registry) -> "WindowedSeriesStore":
+        """Subscribe to every instrument update the registry sees."""
+        registry.add_observer(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _window_buckets(self, series: _Series, window: Optional[float]) -> List[_Bucket]:
+        span = self.capacity if window is None else max(int(math.ceil(window / self.interval)), 1)
+        span = min(span, self.capacity)
+        now_index = int(self._clock() // self.interval)
+        floor = now_index - span + 1
+        return [bucket for index, bucket in series.buckets.items() if floor <= index <= now_index]
+
+    def _span_seconds(self, window: Optional[float]) -> float:
+        span = self.capacity * self.interval if window is None else float(window)
+        return min(max(span, self.interval), self.capacity * self.interval)
+
+    def increase(self, name: str, window: Optional[float] = None) -> float:
+        """Total counter increase inside the window (0.0 for unknown series)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or series.kind != COUNTER:
+                return 0.0
+            return float(sum(bucket.increase for bucket in self._window_buckets(series, window)))
+
+    def rate(self, name: str, window: Optional[float] = None) -> float:
+        """Counter events per second over the window."""
+        span = self._span_seconds(window)
+        return self.increase(name, window) / span
+
+    def last(self, name: str) -> Optional[float]:
+        """The gauge's most recent retained value (None when never set)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or series.kind != GAUGE or not series.buckets:
+                return None
+            newest = series.buckets[max(series.buckets)]
+            return newest.value
+
+    def observation_count(self, name: str, window: Optional[float] = None) -> int:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or series.kind != OBSERVATION:
+                return 0
+            return sum(bucket.count for bucket in self._window_buckets(series, window))
+
+    def quantile(self, name: str, q: float, window: Optional[float] = None) -> Optional[float]:
+        """Windowed quantile estimate; None when the window holds no samples.
+
+        Per-bucket sketches are combined by count-weighted interpolation over
+        a fixed quantile grid — the ring never rebuilds a global sketch, so a
+        query is O(buckets · grid) regardless of stream length.
+        """
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or series.kind != OBSERVATION:
+                return None
+            buckets = [
+                bucket
+                for bucket in self._window_buckets(series, window)
+                if bucket.sketch is not None and bucket.count
+            ]
+            if not buckets:
+                return None
+            if len(buckets) == 1:
+                return buckets[0].sketch.quantile(q)
+            grid = 32
+            values: List[float] = []
+            weights: List[float] = []
+            for bucket in buckets:
+                weight = bucket.count / grid
+                for step in range(grid):
+                    point = bucket.sketch.quantile((step + 0.5) / grid)
+                    if point is not None:
+                        values.append(point)
+                        weights.append(weight)
+        order = sorted(range(len(values)), key=values.__getitem__)
+        total = sum(weights)
+        target = q * total
+        running = 0.0
+        for position in order:
+            running += weights[position]
+            if running >= target:
+                return values[position]
+        return values[order[-1]] if order else None
+
+    def fraction_above(
+        self, name: str, threshold: float, window: Optional[float] = None
+    ) -> Optional[float]:
+        """Fraction of windowed observations above ``threshold`` (the SLO
+        "bad event" ratio for latency objectives); None without samples."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or series.kind != OBSERVATION:
+                return None
+            total = 0
+            above = 0.0
+            for bucket in self._window_buckets(series, window):
+                if bucket.sketch is None or not bucket.count:
+                    continue
+                cdf = bucket.sketch.fraction_at_or_below(threshold)
+                total += bucket.count
+                above += bucket.count * (1.0 - (cdf if cdf is not None else 1.0))
+        if total == 0:
+            return None
+        return min(max(above / total, 0.0), 1.0)
+
+    def quantile_source(
+        self, name: str, q: float = 0.95, window: Optional[float] = None
+    ) -> Callable[[], Optional[float]]:
+        """A zero-arg closure over :meth:`quantile` — what
+        :class:`~repro.serve.cluster.autoscale.LatencyTargetPolicy` accepts
+        as its windowed ``p95_source``."""
+
+        def source() -> Optional[float]:
+            return self.quantile(name, q, window=window)
+
+        return source
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def series_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The full retained history, JSON-shaped (what OBSERVE could ship)."""
+        with self._lock:
+            series_sections: Dict[str, object] = {}
+            for name, series in sorted(self._series.items()):
+                points = []
+                for index in sorted(series.buckets):
+                    bucket = series.buckets[index]
+                    point: Dict[str, object] = {"start": round(index * self.interval, 6)}
+                    if series.kind == COUNTER:
+                        point["increase"] = round(bucket.increase, 6)
+                    elif series.kind == GAUGE:
+                        point["value"] = bucket.value
+                    else:
+                        point["count"] = bucket.count
+                        point["sum"] = round(bucket.total, 6)
+                    points.append(point)
+                series_sections[name] = {"kind": series.kind, "points": points}
+            return {
+                "interval": self.interval,
+                "retention_seconds": round(self.capacity * self.interval, 6),
+                "dropped_updates": self._dropped_updates,
+                "series": series_sections,
+            }
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "interval": self.interval,
+                "buckets": self.capacity,
+                "series": len(self._series),
+                "dropped_updates": self._dropped_updates,
+            }
+
+
+__all__ = ["COUNTER", "GAUGE", "OBSERVATION", "QuantileSketch", "WindowedSeriesStore"]

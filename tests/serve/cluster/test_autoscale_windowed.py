@@ -1,0 +1,72 @@
+"""LatencyTargetPolicy with a windowed p95 source.
+
+The default signal path reads the router's rolling p95, which only decays by
+*displacement* — hence the backlog gate that zeroes the signal on an idle
+cluster.  A ``p95_source`` swaps that for a wall-clock-windowed percentile
+from a :class:`WindowedSeriesStore`: the value ages out on its own, the
+backlog gate is bypassed, and an empty window (``None``) reads as zero.
+"""
+
+from __future__ import annotations
+
+from repro.serve import LatencyTargetPolicy, WindowedSeriesStore
+from repro.serve.cluster.autoscale import SCALE_DOWN, SCALE_UP
+
+from .test_autoscale import FakeClock, make_observation
+
+
+def make_policy(clock, source=None, **overrides):
+    kwargs = dict(
+        target_p95_ms=50.0, breach_count=1, cooldown=0, clock=clock, p95_source=source
+    )
+    kwargs.update(overrides)
+    return LatencyTargetPolicy(**kwargs)
+
+
+class TestWindowedSignal:
+    def test_source_value_overrides_the_observation(self):
+        policy = make_policy(FakeClock(), source=lambda: 120.0)
+        observation = make_observation(p95_ms=1.0, in_flight=3)
+        assert policy.signal(observation) == 120.0
+        assert policy.decide(observation).action == SCALE_UP
+
+    def test_empty_window_reads_zero_and_bypasses_the_backlog_gate(self):
+        # Backlog is non-zero, the router's rolling p95 is terrible — but the
+        # windowed source has aged everything out, so the signal is zero.
+        policy = make_policy(FakeClock(), source=lambda: None)
+        busy_but_recovered = make_observation(p95_ms=400.0, queue_depth=7, in_flight=3)
+        assert policy.signal(busy_but_recovered) == 0.0
+        assert policy.decide(busy_but_recovered).action == SCALE_DOWN
+
+    def test_default_path_is_unchanged_without_a_source(self):
+        policy = make_policy(FakeClock())
+        loaded = make_observation(p95_ms=80.0, in_flight=3)
+        idle = make_observation(p95_ms=400.0)
+        assert policy.signal(loaded) == 80.0
+        assert policy.signal(idle) == 0.0  # the displacement-path backlog gate
+
+    def test_describe_names_the_signal_source(self):
+        clock = FakeClock()
+        assert make_policy(clock).describe()["p95_source"] == "router"
+        assert make_policy(clock, source=lambda: 1.0).describe()["p95_source"] == "windowed"
+
+
+class TestAgainstALiveStore:
+    def test_spike_fires_and_ages_out_by_wall_clock(self):
+        clock = FakeClock()
+        store = WindowedSeriesStore(interval=1.0, buckets=8, clock=clock)
+        source = store.quantile_source("gateway.latency_ms", 0.95, window=4.0)
+        policy = make_policy(clock, source=source)
+
+        for _ in range(40):
+            store.record_observation("gateway.latency_ms", 200.0)
+        spike = make_observation(in_flight=5)
+        assert policy.signal(spike) == 200.0
+        assert policy.decide(spike).action == SCALE_UP
+
+        # No new traffic; the spike ages past the window on its own.  The
+        # displacement path would stay pinned at 200 here if backlog > 0.
+        clock.advance(6.0)
+        still_busy = make_observation(in_flight=5)
+        assert policy.signal(still_busy) == 0.0
+        assert policy.decide(still_busy).action == SCALE_DOWN

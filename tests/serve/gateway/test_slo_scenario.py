@@ -1,0 +1,194 @@
+"""Acceptance scenario: a replica kill fires a latency SLO over the wire.
+
+An 8-client hammer runs against a two-replica cluster behind the gateway,
+with a latency SLO evaluated from the gateway's own windowed latency series.
+Mid-run the shard primary is killed; every request now pays a deterministic
+failover backoff, the fast-burn rule fires, and the alert is **pushed** to
+the subscribed client while the hammer is still running.  After recovery
+(the corpse is administratively benched) the alert resolves.  Pinned:
+
+* zero lost requests — every predict during the outage succeeds via failover;
+* the firing event precedes the resolved event (one monotonic seq stream);
+* the client ledger balances before close: submitted == succeeded, 0 failed.
+
+Health auto-benching and the circuit breaker are deliberately configured out
+(huge thresholds): the stack normally routes around a corpse within a few
+failures, which would make the outage window — and the test — a timing race.
+Here the outage lasts exactly until the test benches the replica, so the
+fire → resolve cycle is driven by controlled state, not scheduling luck.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.models import model_factory
+from repro.serve import (
+    AlertManager,
+    Batcher,
+    CircuitBreaker,
+    ClusterRouter,
+    ConsistentHashPolicy,
+    GatewayServer,
+    HealthMonitor,
+    RemoteClient,
+    ReplicaWorker,
+    RetryPolicy,
+    SLO,
+    StageProfiler,
+    WindowedSeriesStore,
+)
+from repro.serve.observability.slo import BurnRateRule, LatencyObjective
+
+from ..conftest import lenet_bundle
+
+TARGET_MS = 150.0
+BACKOFF_S = 0.4  # deterministic failover pause: every outage request > target
+
+
+def make_stack():
+    health = HealthMonitor(
+        failure_threshold=10_000,
+        heartbeat_timeout=1_000.0,
+        breaker=CircuitBreaker(failure_threshold=10_000, reset_timeout=1_000.0),
+    )
+    router = ClusterRouter(
+        [
+            ReplicaWorker(
+                f"r{index}",
+                batcher=Batcher(max_batch_size=8, max_wait=0.002, padding="full"),
+            )
+            for index in range(2)
+        ],
+        placement=ConsistentHashPolicy(replication_factor=2, vnodes=16),
+        health=health,
+        retry=RetryPolicy(
+            max_attempts=4, base_delay=BACKOFF_S, max_delay=BACKOFF_S, jitter=False
+        ),
+    )
+    router.register("lenet", lenet_bundle(), model_factory("lenet", in_channels=1, seed=3))
+    store = WindowedSeriesStore(interval=0.25, buckets=64).attach(router.metrics)
+    alerts = AlertManager(store)
+    alerts.add_slo(
+        SLO(
+            "gateway-latency",
+            LatencyObjective("gateway.latency_ms", target_ms=TARGET_MS, quantile=0.95),
+            rules=[BurnRateRule(0.75, 1.5, factor=2.0, severity="page")],
+        )
+    )
+    return router, store, alerts
+
+
+class Hammer:
+    """8 concurrent clients; every failure is recorded, none expected."""
+
+    def __init__(self, client: RemoteClient, sample: np.ndarray, threads: int = 8) -> None:
+        self.client = client
+        self.sample = sample
+        self.stop = threading.Event()
+        self.completed = 0
+        self.failures = []
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._run, daemon=True) for _ in range(threads)
+        ]
+
+    def _run(self) -> None:
+        while not self.stop.is_set():
+            try:
+                output = self.client.predict("lenet", self.sample)
+                assert output.shape == (10,)
+                with self._lock:
+                    self.completed += 1
+            except Exception as error:  # noqa: BLE001 - recorded, asserted empty
+                with self._lock:
+                    self.failures.append(error)
+                return
+
+    def __enter__(self) -> "Hammer":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+
+
+def test_replica_kill_fires_and_resolves_the_latency_slo_over_the_wire():
+    sample = np.random.default_rng(7).standard_normal((1, 28, 28)).astype(np.float32)
+    router, store, alerts = make_stack()
+    profiler = StageProfiler(hz=50.0)
+    with router:
+        with profiler:
+            with GatewayServer(
+                router, server_id="slo-e2e", alerts=alerts, profiler=profiler
+            ) as gateway:
+                with alerts.start(interval=0.05):
+                    with RemoteClient(*gateway.address) as client:
+                        granted = client.subscribe(["alert", "health"])
+                        assert granted == ["alert", "health"]
+
+                        with Hammer(client, sample) as hammer:
+                            # Phase 1 — healthy traffic only: no alert fires.
+                            time.sleep(1.0)
+                            assert alerts.active() == []
+                            healthy_completed = hammer.completed
+                            assert healthy_completed > 0
+
+                            # Phase 2 — kill the shard primary mid-run.  Every
+                            # request now fails over with a backoff > target.
+                            primary = router.shard_map()["lenet"][0]
+                            router.replica(primary).kill()
+                            firing = client.wait_for_event(
+                                topic="alert", name="firing", timeout=30.0
+                            )
+                            # Pushed while the hammer is still running — the
+                            # ledger is still open, requests still in flight.
+                            assert not hammer.stop.is_set()
+                            assert firing.payload["slo"] == "gateway-latency"
+                            assert firing.payload["severity"] == "page"
+
+                            # Phase 3 — recovery: bench the corpse; routing
+                            # goes direct to the survivor and the burn drains.
+                            # The bench itself is pushed on the health topic
+                            # (wait_for_event consumes in order, so take it
+                            # before waiting for the later resolved alert).
+                            router.health.mark_stopped(primary)
+                            stopped = client.wait_for_event(
+                                topic="health", name="replica", timeout=10.0
+                            )
+                            assert stopped.payload["replica_id"] == primary
+                            assert stopped.payload["to"] == "stopped"
+                            resolved = client.wait_for_event(
+                                topic="alert", name="resolved", timeout=30.0
+                            )
+                            assert resolved.payload["slo"] == "gateway-latency"
+
+                        # Hammer stopped: settle accounts before close.
+                        ledger = client.ledger()
+                        profile = client.observe(what="profile")["profile"]
+
+    # Zero lost requests: every predict succeeded, through the outage.
+    assert hammer.failures == []
+    assert hammer.completed > healthy_completed
+    assert ledger["failed"] == 0
+    assert ledger["pending"] == 0
+    assert ledger["submitted"] == ledger["succeeded"]
+
+    # Cross-topic ordering is pinned by one monotonic sequence stream:
+    # fire, then bench, then resolve.
+    assert 0 < firing.seq < stopped.seq < resolved.seq
+
+    # The alert engine's accounting survived the whole cycle.
+    stats = alerts.stats()
+    assert stats["fired"] >= 1 and stats["resolved"] >= 1
+    assert alerts.active() == []
+
+    # The continuous profiler ran throughout and ships over the wire.
+    assert profile is not None
+    assert profile["ticks"] > 0 and profile["samples"] > 0

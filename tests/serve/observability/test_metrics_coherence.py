@@ -1,0 +1,91 @@
+"""Histogram snapshot coherence under concurrency (regression).
+
+The old shape read count, sum and bucket counts under separate lock
+acquisitions, so a snapshot taken during a concurrent ``observe`` could
+report ``sum``/``count`` that disagreed with its buckets.  ``snapshot()``
+now reads everything under one acquisition; these tests hammer it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import MetricsRegistry
+from repro.serve.observability.metrics import DEFAULT_BUCKETS, Histogram
+
+
+class TestSnapshotShape:
+    def test_buckets_are_cumulative_and_close_at_count(self):
+        histogram = Histogram("latency")
+        for value in (0.003, 0.02, 0.2, 2.0, 20.0, 2000.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        counts = list(snapshot["buckets"].values())
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert snapshot["buckets"]["+Inf"] == snapshot["count"] == 6
+        assert snapshot["buckets"][repr(0.005)] == 1  # 0.003 only
+        assert snapshot["sum"] == pytest.approx(2022.223)
+
+    def test_value_above_every_bound_lands_only_in_inf(self):
+        histogram = Histogram("latency")
+        histogram.observe(max(DEFAULT_BUCKETS) * 10)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"][repr(max(DEFAULT_BUCKETS))] == 0
+        assert snapshot["buckets"]["+Inf"] == 1
+
+    def test_boundary_value_counts_at_or_below_its_bound(self):
+        histogram = Histogram("latency")
+        histogram.observe(0.25)  # exactly a bound: le="0.25" must include it
+        assert histogram.snapshot()["buckets"][repr(0.25)] == 1
+
+    def test_custom_buckets(self):
+        histogram = Histogram("latency", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {repr(1.0): 1, repr(10.0): 2, "+Inf": 3}
+
+    def test_summary_shape_is_unchanged(self):
+        histogram = Histogram("latency")
+        assert set(histogram.summary()) == {"count", "mean", "p50", "p95"}
+
+
+class TestCoherenceUnderConcurrency:
+    def test_snapshot_never_disagrees_with_itself(self):
+        """Threaded regression: every snapshot's +Inf bucket equals its count
+        and its sum matches count × the constant sample value exactly."""
+        histogram = MetricsRegistry().histogram("latency")
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(3.0)
+
+        def reader():
+            while not stop.is_set():
+                snapshot = histogram.snapshot()
+                if snapshot["buckets"]["+Inf"] != snapshot["count"]:
+                    errors.append(("inf-vs-count", snapshot))
+                    return
+                if snapshot["sum"] != pytest.approx(snapshot["count"] * 3.0):
+                    errors.append(("sum-vs-count", snapshot))
+                    return
+                counts = list(snapshot["buckets"].values())
+                if counts != sorted(counts):
+                    errors.append(("non-monotone", snapshot))
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(4)] + [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        stop_timer = threading.Timer(1.0, stop.set)
+        stop_timer.start()
+        for thread in threads:
+            thread.join()
+        stop_timer.cancel()
+        assert not errors, errors[:1]

@@ -1,0 +1,144 @@
+"""StageProfiler: sampling, stage tagging, bounded memory, exports."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve import StageProfiler
+
+
+def burn_until(event: threading.Event) -> None:
+    while not event.wait(0.001):
+        sum(range(200))
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        profiler = StageProfiler(hz=200.0)
+        assert not profiler.running
+        profiler.start()
+        profiler.start()  # second start is a no-op
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_context_manager(self):
+        with StageProfiler(hz=200.0) as profiler:
+            assert profiler.running
+        assert not profiler.running
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageProfiler(hz=0.0)
+        with pytest.raises(ValueError):
+            StageProfiler(max_stacks=0)
+        with pytest.raises(ValueError):
+            StageProfiler(max_depth=0)
+
+
+class TestSampling:
+    def test_samples_running_threads_into_folded_stacks(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=burn_until, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            with StageProfiler(hz=500.0) as profiler:
+                deadline = time.monotonic() + 5.0
+                while profiler.stats()["samples"] == 0 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                snapshot = profiler.snapshot()
+        finally:
+            stop.set()
+            worker.join()
+        assert snapshot["samples"] > 0
+        assert snapshot["stacks"], "expected at least one folded stack"
+        top = snapshot["stacks"][0]
+        assert top["samples"] >= 1
+        # Folded stacks are outermost-first, semicolon-joined frames.
+        assert ";" in top["stack"] or "(" in top["stack"]
+
+    def test_stage_tagging_attributes_samples(self):
+        stop = threading.Event()
+        profiler = StageProfiler(hz=500.0)
+
+        def tagged_burn():
+            with profiler.tag("gateway.predict"):
+                burn_until(stop)
+
+        worker = threading.Thread(target=tagged_burn, daemon=True)
+        worker.start()
+        try:
+            with profiler:
+                deadline = time.monotonic() + 5.0
+                while (
+                    profiler.snapshot()["stages"].get("gateway.predict", 0) == 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                stages = profiler.snapshot()["stages"]
+        finally:
+            stop.set()
+            worker.join()
+        assert stages.get("gateway.predict", 0) > 0
+
+    def test_call_tagged_restores_the_previous_stage(self):
+        profiler = StageProfiler()
+        ident = threading.get_ident()
+        with profiler.tag("outer"):
+            assert profiler._stages[ident] == "outer"
+            result = profiler.call_tagged("inner", lambda x: x + 1, 41)
+            assert result == 42
+            assert profiler._stages[ident] == "outer"  # inner tag unwound
+        assert ident not in profiler._stages
+
+    def test_distinct_stack_count_is_bounded(self):
+        profiler = StageProfiler(hz=100.0, max_stacks=2)
+        # Drive _sample_once directly with synthetic stages to overflow the cap.
+        for index in range(10):
+            profiler._samples[(f"stage-{index % 2}", f"stack-{index % 2}")] = 1
+        profiler._stages = {}
+        profiler._sample_once(skip_ident=-1)  # real threads: new keys dropped
+        assert len(profiler._samples) <= profiler.max_stacks + 1
+        # (+1 tolerance: the sampler may land on an already-retained key)
+
+
+class TestExports:
+    def seeded(self) -> StageProfiler:
+        profiler = StageProfiler()
+        profiler._samples[("gateway.predict", "run (a.py);step (b.py)")] = 7
+        profiler._samples[("untagged", "loop (c.py)")] = 3
+        return profiler
+
+    def test_snapshot_ranks_hottest_first_and_honours_limit(self):
+        profiler = self.seeded()
+        snapshot = profiler.snapshot()
+        assert [stack["samples"] for stack in snapshot["stacks"]] == [7, 3]
+        assert snapshot["stages"] == {"gateway.predict": 7, "untagged": 3}
+        assert len(profiler.snapshot(limit=1)["stacks"]) == 1
+
+    def test_folded_lines_are_flamegraph_input(self):
+        lines = self.seeded().folded()
+        assert lines[0] == "gateway.predict;run (a.py);step (b.py) 7"
+        assert lines[1] == "untagged;loop (c.py) 3"
+
+    def test_export_jsonl_round_trips(self, tmp_path):
+        path = tmp_path / "profile.jsonl"
+        count = self.seeded().export_jsonl(str(path))
+        assert count == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0] == {
+            "stage": "gateway.predict",
+            "stack": "run (a.py);step (b.py)",
+            "samples": 7,
+        }
+
+    def test_clear_resets_samples_but_keeps_config(self):
+        profiler = self.seeded()
+        profiler.clear()
+        assert profiler.snapshot()["stacks"] == []
+        assert profiler.max_stacks == 512

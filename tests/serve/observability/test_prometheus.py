@@ -1,0 +1,92 @@
+"""PrometheusExporter.render(): text exposition from registries and snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import MetricsRegistry, PrometheusExporter
+from repro.serve.observability import build_exporter, registered_exporters
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    metrics = MetricsRegistry()
+    metrics.counter("gateway.requests").inc(5)
+    metrics.gauge("router.replicas").set(3)
+    histogram = metrics.histogram("gateway.latency_ms")
+    for value in (0.5, 4.0, 80.0):
+        histogram.observe(value)
+    return metrics
+
+
+class TestRender:
+    def test_counters_get_the_total_suffix_and_type_line(self, registry):
+        text = PrometheusExporter().render(registry)
+        assert "# TYPE gateway_requests_total counter" in text
+        assert "gateway_requests_total 5" in text
+
+    def test_gauges_render_plainly(self, registry):
+        text = PrometheusExporter().render(registry)
+        assert "# TYPE router_replicas gauge" in text
+        assert "router_replicas 3.0" in text
+
+    def test_histograms_render_cumulative_buckets_count_and_sum(self, registry):
+        text = PrometheusExporter().render(registry)
+        lines = text.splitlines()
+        bucket_lines = [line for line in lines if line.startswith("gateway_latency_ms_bucket")]
+        assert bucket_lines, "expected _bucket lines from the live registry"
+        # Cumulative: the counts along the bucket lines never decrease.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert counts[-1] == 3
+        assert "gateway_latency_ms_count 3" in text
+        assert "gateway_latency_ms_sum 84.5" in text
+
+    def test_render_accepts_a_snapshot_dict(self, registry):
+        snapshot = registry.snapshot()
+        text = PrometheusExporter().render(snapshot)
+        assert "gateway_requests_total 5" in text
+        # Snapshot histograms carry summaries (no buckets): count-only render.
+        assert "gateway_latency_ms_count 3" in text
+        assert "_bucket" not in text
+
+    def test_render_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            PrometheusExporter().render(42)
+
+    def test_output_ends_with_a_newline_and_sections_are_sorted(self, registry):
+        registry.counter("admission.shed").inc()
+        text = PrometheusExporter().render(registry)
+        assert text.endswith("\n")
+        counter_names = [
+            line.split(" ")[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE") and line.endswith("counter")
+        ]
+        assert counter_names == sorted(counter_names)
+
+    def test_empty_registry_renders_empty(self):
+        assert PrometheusExporter().render(MetricsRegistry()) == ""
+
+
+class TestNameSanitisation:
+    def test_dots_and_dashes_become_underscores(self):
+        assert PrometheusExporter._name("gateway.latency-ms") == "gateway_latency_ms"
+
+    def test_leading_digit_is_guarded(self):
+        assert PrometheusExporter._name("2xx.responses") == "_2xx_responses"
+
+
+class TestExporterContract:
+    def test_registered_by_name_for_the_toml_block(self):
+        assert "prometheus" in registered_exporters()
+        exporter = build_exporter("prometheus")
+        assert isinstance(exporter, PrometheusExporter)
+
+    def test_export_is_a_deliberate_noop(self):
+        exporter = PrometheusExporter()
+        exporter.export({"name": "span", "trace_id": "x"})  # must not raise
+
+    def test_content_type_is_the_prometheus_text_version(self):
+        assert "version=0.0.4" in PrometheusExporter.CONTENT_TYPE

@@ -1,0 +1,89 @@
+"""Property tests (hypothesis): the GK sketch's ε rank-error guarantee.
+
+The sketch promises: for any stream and any q, the returned value's *rank*
+in the sorted stream is within ``ε·n`` of ``q·n``.  We verify against exact
+sorted ranks — a value satisfies the bound iff the count of stream elements
+strictly below it (min rank) and at or below it (max rank) bracket an
+interval overlapping ``[q·n − ε·n, q·n + ε·n]``.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import QuantileSketch
+
+values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+streams = st.lists(values, min_size=1, max_size=400)
+quantiles = st.floats(min_value=0.01, max_value=0.99)
+epsilons = st.sampled_from((0.01, 0.05, 0.1))
+
+
+def rank_bounds(sorted_stream, value):
+    """(min_rank, max_rank) of ``value`` in the sorted stream, 1-based."""
+    low = bisect.bisect_left(sorted_stream, value)
+    high = bisect.bisect_right(sorted_stream, value)
+    return low + 1, high
+
+
+@given(stream=streams, q=quantiles, epsilon=epsilons)
+@settings(max_examples=200, deadline=None)
+def test_quantile_rank_error_is_within_epsilon(stream, q, epsilon):
+    sketch = QuantileSketch(epsilon=epsilon)
+    for value in stream:
+        sketch.observe(value)
+    answer = sketch.quantile(q)
+    assert answer is not None
+    ordered = sorted(stream)
+    assert answer in stream  # GK returns a real stream element, never invented
+    n = len(stream)
+    target = q * n
+    slack = epsilon * n + 1.0  # +1: rank is integral, target need not be
+    min_rank, max_rank = rank_bounds(ordered, answer)
+    assert min_rank - slack <= target <= max_rank + slack, (
+        f"rank({answer}) in [{min_rank}, {max_rank}] vs target {target} ± {slack}"
+    )
+
+
+@given(stream=streams)
+@settings(max_examples=100, deadline=None)
+def test_extremes_count_and_sum_are_exact(stream):
+    sketch = QuantileSketch(epsilon=0.05)
+    for value in stream:
+        sketch.observe(value)
+    assert sketch.min == min(stream)
+    assert sketch.max == max(stream)
+    assert sketch.count == len(stream)
+    assert abs(sketch.sum - sum(stream)) <= 1e-6 * max(1.0, abs(sum(stream)))
+    assert sketch.quantile(0.0) == min(stream)
+    assert sketch.quantile(1.0) == max(stream)
+
+
+@given(stream=streams, epsilon=epsilons)
+@settings(max_examples=100, deadline=None)
+def test_quantiles_are_monotone_in_q(stream, epsilon):
+    sketch = QuantileSketch(epsilon=epsilon)
+    for value in stream:
+        sketch.observe(value)
+    answers = [sketch.quantile(q / 10) for q in range(11)]
+    assert answers == sorted(answers)
+
+
+@given(stream=streams, threshold=values)
+@settings(max_examples=100, deadline=None)
+def test_cdf_error_is_bounded(stream, threshold):
+    epsilon = 0.05
+    sketch = QuantileSketch(epsilon=epsilon)
+    for value in stream:
+        sketch.observe(value)
+    estimate = sketch.fraction_at_or_below(threshold)
+    exact = sum(1 for value in stream if value <= threshold) / len(stream)
+    assert estimate is not None
+    # The CDF reads off summary ranks: each carries up to ~2ε rank error,
+    # plus one element of discretisation.
+    assert abs(estimate - exact) <= 2 * epsilon + 1.0 / len(stream) + 1e-9

@@ -1,0 +1,83 @@
+"""Property tests (hypothesis): burn-rate alerting cannot flap.
+
+The hysteresis guarantee: for ANY burn-rate sequence, transitions strictly
+alternate firing → resolved → firing …, a "resolved" only happens after the
+burn drops below ``factor × resolve_fraction`` on both windows, and a
+sequence oscillating entirely *inside* the hysteresis band produces at most
+one transition — the no-flapping property.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import BurnRateRule
+
+burns = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+burn_pairs = st.tuples(burns, burns)
+sequences = st.lists(
+    st.one_of(burn_pairs, st.just((None, None))), min_size=1, max_size=200
+)
+factors = st.floats(min_value=0.5, max_value=20.0)
+resolve_fractions = st.floats(min_value=0.1, max_value=0.99)
+
+
+@given(sequence=sequences, factor=factors, resolve_fraction=resolve_fractions)
+@settings(max_examples=300, deadline=None)
+def test_transitions_strictly_alternate(sequence, factor, resolve_fraction):
+    rule = BurnRateRule(60.0, 600.0, factor, resolve_fraction=resolve_fraction)
+    transitions = []
+    for short_burn, long_burn in sequence:
+        outcome = rule.evaluate(short_burn, long_burn)
+        if outcome is not None:
+            transitions.append(outcome)
+    for first, second in zip(transitions, transitions[1:]):
+        assert first != second, f"repeated '{first}' without the opposite transition"
+    if transitions:
+        assert transitions[0] == "firing"  # rules start quiet
+
+
+@given(sequence=sequences, factor=factors, resolve_fraction=resolve_fractions)
+@settings(max_examples=300, deadline=None)
+def test_transition_thresholds_are_honoured(sequence, factor, resolve_fraction):
+    rule = BurnRateRule(60.0, 600.0, factor, resolve_fraction=resolve_fraction)
+    for short_burn, long_burn in sequence:
+        outcome = rule.evaluate(short_burn, long_burn)
+        if outcome == "firing":
+            assert short_burn > factor and long_burn > factor
+        elif outcome == "resolved":
+            clear = factor * resolve_fraction
+            assert short_burn < clear and long_burn < clear
+        if short_burn is None:
+            assert outcome is None  # silence never transitions
+
+
+@given(
+    factor=factors,
+    resolve_fraction=st.floats(min_value=0.1, max_value=0.9),
+    oscillations=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=200, deadline=None)
+def test_oscillation_inside_the_band_cannot_flap(factor, resolve_fraction, oscillations):
+    """A burn bouncing between 'just below firing' and 'well above firing'
+    — entirely above the resolve threshold — transitions at most once."""
+    rule = BurnRateRule(60.0, 600.0, factor, resolve_fraction=resolve_fraction)
+    clear = factor * resolve_fraction
+    inside_low = clear + (factor - clear) * 0.5  # below factor, above clear
+    above = factor * 1.5
+    transitions = 0
+    for _ in range(oscillations):
+        for burn in (above, inside_low):
+            if rule.evaluate(burn, burn) is not None:
+                transitions += 1
+    assert transitions <= 1
+
+
+@given(factor=factors, resolve_fraction=resolve_fractions)
+@settings(max_examples=100, deadline=None)
+def test_fire_resolve_round_trip(factor, resolve_fraction):
+    rule = BurnRateRule(60.0, 600.0, factor, resolve_fraction=resolve_fraction)
+    assert rule.evaluate(factor * 2, factor * 2) == "firing"
+    assert rule.evaluate(0.0, 0.0) == "resolved"
+    assert rule.evaluate(factor * 2, factor * 2) == "firing"  # re-armable
